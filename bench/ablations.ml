@@ -1,0 +1,329 @@
+(* Ablation benches for the design choices DESIGN.md calls out: the
+   baseline's sorting policy, empirical linearity of the lattice walk,
+   strategy dispatch, insensitivity to l and p, block transfers over
+   maximal runs, communication-set scaling, the table-free R/L trade-off,
+   the Theorem 3 step mix, the Hiranandani special case, and the gcd=1
+   shared-FSM amortisation. *)
+
+open Lams_util
+open Lams_core
+open Lams_codegen
+
+let construction_time build =
+  let inner = Config.construction_inner in
+  let batch () =
+    for _ = 1 to inner do
+      Sys.opaque_identity (ignore (build ()))
+    done
+  in
+  Timer.best_of ~repeats:Config.construction_repeats batch /. float_of_int inner
+
+let sort_policies =
+  [ ("insertion", Lams_sort.Sorting.insertion);
+    ("quicksort", Lams_sort.Sorting.quicksort);
+    ("merge", Lams_sort.Sorting.merge);
+    ("radix", Lams_sort.Sorting.radix_lsd ?bits_per_pass:None);
+    ("paper policy", Lams_sort.Sorting.for_baseline) ]
+
+let sorting_policy () =
+  print_endline "=== Ablation: Chatterjee baseline under different sorts (s=7, m=0, us) ===";
+  let t = Ascii_table.create ("k" :: List.map fst sort_policies) in
+  List.iter
+    (fun k ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s:7 in
+      Ascii_table.add_row t
+        (string_of_int k
+        :: List.map
+             (fun (_, sort) ->
+               Printf.sprintf "%.1f"
+                 (construction_time (fun () ->
+                      Chatterjee.gap_table_with_sort ~sort pr ~m:0)))
+             sort_policies))
+    [ 16; 64; 256; 1024 ];
+  print_string (Ascii_table.render t)
+
+let table_free () =
+  print_endline
+    "=== Ablation: table-based (8(d)) vs table-free R/L enumeration (us/traversal) ===";
+  let t = Ascii_table.create [ "k"; "s"; "8(d) table"; "table-free R/L"; "table words" ] in
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s in
+      let u = s * ((Config.processors * 2000) - 1) in
+      (match Plan.build pr ~m:0 ~u with
+      | None -> ()
+      | Some plan ->
+          let mem = Array.make (Plan.local_extent_needed plan) 0. in
+          let table_us =
+            Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
+                Shapes.assign Shapes.Shape_d plan mem 1.)
+          in
+          let free_us =
+            Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
+                Enumerate.iter_bounded pr ~m:0 ~u ~f:(fun _ local ->
+                    mem.(local) <- 1.))
+          in
+          let words = (2 * k) + Array.length plan.Plan.delta_m in
+          Ascii_table.add_row t
+            [ string_of_int k; string_of_int s;
+              Printf.sprintf "%.1f" table_us; Printf.sprintf "%.1f" free_us;
+              string_of_int words ]))
+    [ (4, 3); (32, 15); (256, 99); (512, 7) ];
+  print_string (Ascii_table.render t);
+  print_endline
+    "(table-free trades a small per-access penalty for O(1) table space, as §6.2 predicts)"
+
+let theorem3_profile () =
+  print_endline "=== Ablation: Theorem 3 step mix and points visited (m=0, l=0) ===";
+  let t =
+    Ascii_table.create
+      [ "k"; "s"; "length"; "eq1 (R)"; "eq2 (-L)"; "eq3 (R-L)"; "visited"; "2k+1" ]
+  in
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s in
+      let table, stats = Kns.gap_table_with_stats pr ~m:0 in
+      Ascii_table.add_row t
+        [ string_of_int k; string_of_int s;
+          string_of_int table.Access_table.length;
+          string_of_int stats.Kns.eq1; string_of_int stats.Kns.eq2;
+          string_of_int stats.Kns.eq3; string_of_int stats.Kns.points_visited;
+          string_of_int ((2 * k) + 1) ])
+    [ (8, 9); (32, 7); (64, 99); (256, 31); (512, 1023); (512, 16383) ];
+  print_string (Ascii_table.render t)
+
+let hiranandani_domain () =
+  print_endline
+    "=== Ablation: KNS vs Hiranandani special case on its domain (s mod pk < k, us) ===";
+  let t = Ascii_table.create [ "k"; "s"; "KNS"; "Hiranandani"; "Chatterjee" ] in
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s in
+      assert (Hiranandani.applicable pr);
+      Ascii_table.add_row t
+        [ string_of_int k; string_of_int s;
+          Printf.sprintf "%.1f"
+            (construction_time (fun () -> Kns.gap_table pr ~m:0));
+          Printf.sprintf "%.1f"
+            (construction_time (fun () -> Hiranandani.gap_table pr ~m:0));
+          Printf.sprintf "%.1f"
+            (construction_time (fun () -> Chatterjee.gap_table pr ~m:0)) ])
+    [ (16, 7); (64, 33); (256, 255); (512, 16385) ];
+  print_string (Ascii_table.render t)
+
+let shared_fsm () =
+  print_endline
+    "=== Ablation: per-proc construction vs shared FSM when gcd(s,pk)=1 (us, all 32 procs) ===";
+  let t =
+    Ascii_table.create [ "k"; "s"; "KNS x32"; "shared FSM (once + 32 starts)" ]
+  in
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s in
+      assert (Problem.gcd pr = 1);
+      let all_kns () =
+        for m = 0 to Config.processors - 1 do
+          Sys.opaque_identity (ignore (Kns.gap_table pr ~m))
+        done
+      in
+      let all_shared () =
+        match Shared_fsm.build pr with
+        | None -> assert false
+        | Some shared ->
+            for m = 0 to Config.processors - 1 do
+              Sys.opaque_identity (ignore (Shared_fsm.gap_table shared ~m))
+            done
+      in
+      Ascii_table.add_row t
+        [ string_of_int k; string_of_int s;
+          Printf.sprintf "%.1f" (construction_time all_kns);
+          Printf.sprintf "%.1f" (construction_time all_shared) ])
+    [ (16, 7); (64, 99); (256, 31); (512, 8191) ];
+  print_string (Ascii_table.render t);
+  print_endline
+    "(with gcd = 1 the AM tables are cyclic shifts of one another, so the FSM is\n\
+     built once and each processor only finds its start location, as noted in §6.1)"
+
+let block_transfers () =
+  print_endline
+    "=== Ablation: scalar node code vs block transfers over maximal runs ===";
+  print_endline
+    "(runs are extracted once at plan time; the timed region is the fill)";
+  let t =
+    Ascii_table.create
+      [ "k"; "s"; "runs"; "avg run len"; "8(b) scalar us"; "run fills us" ]
+  in
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s in
+      let u = s * ((Config.processors * 4000) - 1) in
+      match Plan.build pr ~m:0 ~u with
+      | None -> ()
+      | Some plan ->
+          let mem = Array.make (Plan.local_extent_needed plan) 0. in
+          let runs = Runs.of_plan plan in
+          let scalar =
+            Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
+                Shapes.assign Shapes.Shape_b plan mem 1.)
+          in
+          let blocks =
+            Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
+                List.iter
+                  (fun { Runs.start_local; length } ->
+                    Array.fill mem start_local length 1.)
+                  runs)
+          in
+          Ascii_table.add_row t
+            [ string_of_int k; string_of_int s;
+              string_of_int (List.length runs);
+              Printf.sprintf "%.1f" (Runs.average_run_length plan);
+              Printf.sprintf "%.1f" scalar; Printf.sprintf "%.1f" blocks ])
+    [ (64, 1); (512, 1); (8, 1); (64, 2); (64, 63) ];
+  print_string (Ascii_table.render t);
+  print_endline
+    "(stride 1 leaves one giant run per processor — a single memset; any\n\
+     stride >= 2 degenerates to single-element runs where scalar code wins)"
+
+let comm_sets_scaling () =
+  print_endline
+    "=== Ablation: closed-form comm sets vs element enumeration (us/schedule) ===";
+  let t =
+    Ascii_table.create
+      [ "elements"; "schedule us"; "enumerate us"; "pairs" ]
+  in
+  let src_layout = Lams_dist.Layout.create ~p:16 ~k:8
+  and dst_layout = Lams_dist.Layout.create ~p:16 ~k:4 in
+  List.iter
+    (fun count ->
+      let src_section =
+        Lams_dist.Section.make ~lo:0 ~hi:(3 * (count - 1)) ~stride:3
+      and dst_section =
+        Lams_dist.Section.make ~lo:0 ~hi:(5 * (count - 1)) ~stride:5
+      in
+      let sched = ref None in
+      let schedule_us =
+        construction_time (fun () ->
+            sched :=
+              Some
+                (Lams_sim.Comm_sets.build ~src_layout ~src_section ~dst_layout
+                   ~dst_section))
+      in
+      let enumerate_us =
+        construction_time (fun () ->
+            (* The naive alternative: owner pair per element. *)
+            let pairs = Array.make (16 * 16) 0 in
+            for j = 0 to count - 1 do
+              let sg = Lams_dist.Section.nth src_section j
+              and dg = Lams_dist.Section.nth dst_section j in
+              let q = Lams_dist.Layout.owner src_layout sg
+              and r = Lams_dist.Layout.owner dst_layout dg in
+              pairs.((q * 16) + r) <- pairs.((q * 16) + r) + 1
+            done;
+            Sys.opaque_identity pairs)
+      in
+      let pairs =
+        match !sched with
+        | Some s -> List.length s.Lams_sim.Comm_sets.transfers
+        | None -> 0
+      in
+      Ascii_table.add_row t
+        [ string_of_int count; Printf.sprintf "%.1f" schedule_us;
+          Printf.sprintf "%.1f" enumerate_us; string_of_int pairs ])
+    [ 1_000; 10_000; 100_000; 1_000_000 ];
+  print_string (Ascii_table.render t);
+  print_endline
+    "(the schedule cost depends on the layouts, not the section length)"
+
+let parameter_insensitivity () =
+  (* §6.1: "The lower bound of the regular section has almost no influence
+     on the running time ... the effects of varying the number of
+     processors are only minor." Check both claims. *)
+  print_endline
+    "=== Ablation: sensitivity to l and p (KNS construction, k=256 s=7, us) ===";
+  let t1 = Ascii_table.create [ "l"; "KNS us"; "Sorting us" ] in
+  List.iter
+    (fun l ->
+      let pr = Problem.make ~p:32 ~k:256 ~l ~s:7 in
+      Ascii_table.add_row t1
+        [ string_of_int l;
+          Printf.sprintf "%.1f" (construction_time (fun () -> Kns.gap_table pr ~m:0));
+          Printf.sprintf "%.1f"
+            (construction_time (fun () -> Chatterjee.gap_table pr ~m:0)) ])
+    [ 0; 13; 255; 8191; 1_000_000 ];
+  print_string (Ascii_table.render t1);
+  let t2 = Ascii_table.create [ "p"; "KNS us"; "Sorting us" ] in
+  List.iter
+    (fun p ->
+      let pr = Problem.make ~p ~k:256 ~l:0 ~s:7 in
+      Ascii_table.add_row t2
+        [ string_of_int p;
+          Printf.sprintf "%.1f" (construction_time (fun () -> Kns.gap_table pr ~m:0));
+          Printf.sprintf "%.1f"
+            (construction_time (fun () -> Chatterjee.gap_table pr ~m:0)) ])
+    [ 2; 8; 32; 128; 512 ];
+  print_string (Ascii_table.render t2);
+  print_endline
+    "(both flat, as §6.1 claims: l and p only enter through the O(log) Euclid term)"
+
+let auto_dispatch () =
+  print_endline
+    "=== Ablation: strategy dispatch vs always-general (us for all 32 procs) ===";
+  let t = Ascii_table.create [ "k"; "s"; "strategy"; "auto"; "always KNS" ] in
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s in
+      let auto_all () =
+        let auto = Auto.create pr in
+        for m = 0 to Config.processors - 1 do
+          Sys.opaque_identity (ignore (Auto.gap_table auto ~m))
+        done
+      in
+      let kns_all () =
+        for m = 0 to Config.processors - 1 do
+          Sys.opaque_identity (ignore (Kns.gap_table pr ~m))
+        done
+      in
+      Ascii_table.add_row t
+        [ string_of_int k; string_of_int s;
+          Auto.strategy_name (Auto.create pr);
+          Printf.sprintf "%.1f" (construction_time auto_all);
+          Printf.sprintf "%.1f" (construction_time kns_all) ])
+    [ (256, 7); (256, 8192 * 32); (256, 6); (512, 1023) ];
+  print_string (Ascii_table.render t)
+
+let linearity () =
+  (* Empirical check of the O(k) claim: construction time divided by k
+     should be roughly constant across two orders of magnitude. *)
+  print_endline "=== Ablation: empirical linearity of KNS construction (s = 7, m = 0) ===";
+  let t = Ascii_table.create [ "k"; "us"; "ns per k" ] in
+  List.iter
+    (fun k ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s:7 in
+      let us = construction_time (fun () -> Kns.gap_table pr ~m:0) in
+      Ascii_table.add_row t
+        [ string_of_int k; Printf.sprintf "%.2f" us;
+          Printf.sprintf "%.1f" (1000. *. us /. float_of_int k) ])
+    [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ];
+  print_string (Ascii_table.render t);
+  print_endline "(a flat last column is the paper's O(k + log) in the flesh)"
+
+let run () =
+  sorting_policy ();
+  print_newline ();
+  linearity ();
+  print_newline ();
+  auto_dispatch ();
+  print_newline ();
+  parameter_insensitivity ();
+  print_newline ();
+  block_transfers ();
+  print_newline ();
+  comm_sets_scaling ();
+  print_newline ();
+  shared_fsm ();
+  print_newline ();
+  table_free ();
+  print_newline ();
+  theorem3_profile ();
+  print_newline ();
+  hiranandani_domain ()

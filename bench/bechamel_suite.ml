@@ -1,0 +1,75 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment — Table 1's two
+   table-construction algorithms and Table 2's four node-code shapes — run
+   under Bechamel's OLS estimator for statistically sound ns/run numbers
+   that complement the paper-format tables. *)
+
+open Bechamel
+open Toolkit
+open Lams_core
+open Lams_codegen
+
+let table1_tests =
+  (* The Figure 7 column (s = 7) across the paper's block sizes, one
+     Test.make per (algorithm, k) cell. *)
+  List.concat_map
+    (fun k ->
+      let pr = Problem.make ~p:Config.processors ~k ~l:0 ~s:7 in
+      [ Test.make ~name:(Printf.sprintf "table1/lattice k=%d s=7" k)
+          (Staged.stage (fun () -> Sys.opaque_identity (Kns.gap_table pr ~m:0)));
+        Test.make ~name:(Printf.sprintf "table1/sorting k=%d s=7" k)
+          (Staged.stage (fun () ->
+               Sys.opaque_identity (Chatterjee.gap_table pr ~m:0))) ])
+    [ 16; 64; 256; 512 ]
+
+let table2_tests =
+  (* Representative Table 2 cell: k = 32, s = 15, ~10k accesses. *)
+  let pr = Problem.make ~p:Config.processors ~k:32 ~l:0 ~s:15 in
+  let u = 15 * ((Config.processors * Config.table2_accesses_per_proc) - 1) in
+  match Plan.build pr ~m:0 ~u with
+  | None -> []
+  | Some plan ->
+      let mem = Array.make (Plan.local_extent_needed plan) 0. in
+      List.map
+        (fun shape ->
+          Test.make
+            ~name:(Printf.sprintf "table2/shape %s k=32 s=15" (Shapes.name shape))
+            (Staged.stage (fun () -> Shapes.assign shape plan mem 100.)))
+        Shapes.all
+
+let grouped =
+  Test.make_grouped ~name:"lams" (table1_tests @ table2_tests)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let run () =
+  print_endline "=== Bechamel micro-benchmarks (OLS ns/run) ===";
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let t = Lams_util.Ascii_table.create [ "benchmark"; "ns/run"; "r^2" ] in
+  List.iter
+    (fun (name, ns, r2) ->
+      Lams_util.Ascii_table.add_row t
+        [ name; Printf.sprintf "%.1f" ns; Printf.sprintf "%.4f" r2 ])
+    rows;
+  print_string (Lams_util.Ascii_table.render t)

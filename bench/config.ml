@@ -1,0 +1,36 @@
+(* Shared benchmark configuration, mirroring §6: p = 32 processors, lower
+   bound l = 0 throughout ("the lower bound has almost no influence"),
+   block sizes are powers of two. *)
+
+let processors = 32
+let lower_bound = 0
+
+(* Table 1 parameter grid. *)
+let table1_block_sizes = [ 4; 8; 16; 32; 64; 128; 256; 512 ]
+
+type stride_spec = Fixed of int | K_plus_1 | Pk_minus_1 | Pk_plus_1
+
+let table1_strides =
+  [ ("s=7", Fixed 7);
+    ("s=99", Fixed 99);
+    ("s=k+1", K_plus_1);
+    ("s=pk-1", Pk_minus_1);
+    ("s=pk+1", Pk_plus_1) ]
+
+let resolve_stride spec ~k =
+  match spec with
+  | Fixed s -> s
+  | K_plus_1 -> k + 1
+  | Pk_minus_1 -> (processors * k) - 1
+  | Pk_plus_1 -> (processors * k) + 1
+
+(* Table 2 parameter grid: each processor assigns ~10,000 elements. *)
+let table2_block_sizes = [ 4; 32; 256 ]
+let table2_strides = [ 3; 15; 99 ]
+let table2_accesses_per_proc = 10_000
+
+(* Timing policy: best of [repeats] batches of [inner] runs each. *)
+let construction_repeats = 5
+let construction_inner = 50
+let traversal_repeats = 9
+let traversal_inner = 4

@@ -1,0 +1,30 @@
+(* Reproduction of Figure 7: construction time vs. block size for the two
+   algorithms at s = 7, plotted on the terminal. *)
+
+open Lams_util
+
+let run (rows : Table1.row list) =
+  print_endline "=== Figure 7: construction time vs k (s = 7) ===";
+  let series_of pick label marker =
+    { Ascii_plot.label;
+      marker;
+      points =
+        List.map
+          (fun (r : Table1.row) ->
+            (float_of_int r.Table1.k, pick (List.assoc "s=7" r.Table1.cells)))
+          rows }
+  in
+  let lattice = series_of (fun c -> c.Table1.lattice_us) "Lattice (this paper)" '*'
+  and sorting = series_of (fun c -> c.Table1.sorting_us) "Sorting (Chatterjee et al.)" 'o' in
+  print_string
+    (Ascii_plot.plot ~log_x:true ~x_label:"block size k"
+       ~y_label:"construction time (us)" ~title:"Figure 7 (s = 7)"
+       [ sorting; lattice ]);
+  (* Series in machine-readable form for EXPERIMENTS.md. *)
+  print_endline "k, lattice_us, sorting_us:";
+  List.iter
+    (fun (r : Table1.row) ->
+      let c = List.assoc "s=7" r.Table1.cells in
+      Printf.printf "  %4d  %8.1f  %8.1f\n" r.Table1.k c.Table1.lattice_us
+        c.Table1.sorting_us)
+    rows

@@ -1,0 +1,39 @@
+(* Benchmark harness entry point. With no arguments, regenerates every
+   table and figure from the paper's evaluation section plus the ablation
+   benches; individual experiments can be selected by name. *)
+
+let usage () =
+  print_endline
+    "usage: bench/main.exe [table1 | figure7 | table2 | ablations | bechamel | all]";
+  print_endline "  (no argument = all)"
+
+let run_table1_and_figure7 () =
+  let rows = Table1.run () in
+  print_newline ();
+  Figure7.run rows
+
+let () =
+  let experiments = Array.to_list Sys.argv |> List.tl in
+  let experiments = if experiments = [] then [ "all" ] else experiments in
+  List.iter
+    (fun name ->
+      match String.lowercase_ascii name with
+      | "table1" -> ignore (Table1.run () : Table1.row list)
+      | "figure7" -> run_table1_and_figure7 ()
+      | "table2" -> ignore (Table2.run () : Table2.row list)
+      | "ablations" -> Ablations.run ()
+      | "bechamel" -> Bechamel_suite.run ()
+      | "all" ->
+          run_table1_and_figure7 ();
+          print_newline ();
+          ignore (Table2.run () : Table2.row list);
+          print_newline ();
+          Ablations.run ();
+          print_newline ();
+          Bechamel_suite.run ()
+      | "-h" | "--help" | "help" -> usage ()
+      | other ->
+          Printf.eprintf "unknown experiment %S\n" other;
+          usage ();
+          exit 2)
+    experiments

@@ -1,0 +1,94 @@
+(* Reproduction of Table 1: execution time (microseconds) for constructing
+   the memory-gap table, our Lattice algorithm (Kns) vs. the Sorting
+   baseline (Chatterjee), maximum over all 32 processors, for each (k, s)
+   in the paper's grid. *)
+
+open Lams_util
+open Lams_core
+
+type cell = { lattice_us : float; sorting_us : float }
+
+type row = { k : int; cells : (string * cell) list }
+
+(* Time one table construction on one processor: best over batches. *)
+let time_construction build ~m =
+  let inner = Config.construction_inner in
+  let batch () =
+    for _ = 1 to inner do
+      Sys.opaque_identity (ignore (build ~m))
+    done
+  in
+  Timer.best_of ~repeats:Config.construction_repeats batch /. float_of_int inner
+
+let max_over_procs build =
+  let worst = ref 0. in
+  for m = 0 to Config.processors - 1 do
+    let us = time_construction build ~m in
+    if us > !worst then worst := us
+  done;
+  !worst
+
+let measure_cell ~k ~s =
+  let pr =
+    Problem.make ~p:Config.processors ~k ~l:Config.lower_bound ~s
+  in
+  { lattice_us = max_over_procs (fun ~m -> Kns.gap_table pr ~m);
+    sorting_us = max_over_procs (fun ~m -> Chatterjee.gap_table pr ~m) }
+
+let measure_rows () =
+  List.map
+    (fun k ->
+      let cells =
+        List.map
+          (fun (label, spec) ->
+            (label, measure_cell ~k ~s:(Config.resolve_stride spec ~k)))
+          Config.table1_strides
+      in
+      { k; cells })
+    Config.table1_block_sizes
+
+let render rows =
+  let headers =
+    "Block size"
+    :: List.concat_map
+         (fun (label, _) -> [ label ^ " Lattice"; label ^ " Sorting" ])
+         Config.table1_strides
+  in
+  let t = Ascii_table.create headers in
+  List.iter
+    (fun { k; cells } ->
+      Ascii_table.add_row t
+        (Printf.sprintf "k=%d" k
+        :: List.concat_map
+             (fun (_, c) ->
+               [ Printf.sprintf "%.1f" c.lattice_us;
+                 Printf.sprintf "%.1f" c.sorting_us ])
+             cells))
+    rows;
+  Ascii_table.render t
+
+let render_speedups rows =
+  let t =
+    Ascii_table.create
+      ("Block size"
+      :: List.map (fun (label, _) -> label ^ " speedup") Config.table1_strides)
+  in
+  List.iter
+    (fun { k; cells } ->
+      Ascii_table.add_row t
+        (Printf.sprintf "k=%d" k
+        :: List.map
+             (fun (_, c) -> Printf.sprintf "%.2fx" (c.sorting_us /. c.lattice_us))
+             cells))
+    rows;
+  Ascii_table.render t
+
+let run () =
+  print_endline "=== Table 1: gap-table construction time (us, max over 32 procs) ===";
+  print_endline "(paper: Lattice beats Sorting, gap growing with k; see EXPERIMENTS.md)";
+  let rows = measure_rows () in
+  print_string (render rows);
+  print_newline ();
+  print_endline "--- Sorting/Lattice ratio (paper's k=512 column: ~8-9x) ---";
+  print_string (render_speedups rows);
+  rows

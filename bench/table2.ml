@@ -1,0 +1,90 @@
+(* Reproduction of Table 2: node-code execution time for the four shapes of
+   Figure 8, microseconds, max over the 32 processors, each processor
+   assigning ~10,000 section elements (u scales with s so the access count
+   stays constant across strides, as in §6.2). *)
+
+open Lams_util
+open Lams_core
+open Lams_codegen
+
+type row = { k : int; s : int; per_shape : (Shapes.t * float) list }
+
+let problem ~k ~s = Problem.make ~p:Config.processors ~k ~l:Config.lower_bound ~s
+
+let upper_bound ~s =
+  (* Total section elements = p * accesses-per-proc; with gcd(s, pk) = 1
+     (pk is a power of two, s odd in the grid) every processor gets the
+     same share. *)
+  Config.lower_bound
+  + (s * ((Config.processors * Config.table2_accesses_per_proc) - 1))
+
+let measure_row ~k ~s =
+  let pr = problem ~k ~s in
+  let u = upper_bound ~s in
+  let plans = Array.init Config.processors (fun m -> Plan.build pr ~m ~u) in
+  let max_extent =
+    Array.fold_left
+      (fun acc plan ->
+        match plan with
+        | None -> acc
+        | Some p -> max acc (Plan.local_extent_needed p))
+      0 plans
+  in
+  (* One reusable local store: processors run one after another, so peak
+     host memory stays one node's worth. *)
+  let mem = Array.make max_extent 0. in
+  let per_shape =
+    List.map
+      (fun shape ->
+        let worst = ref 0. in
+        for m = 0 to Config.processors - 1 do
+          match plans.(m) with
+          | None -> ()
+          | Some plan ->
+              (* Warm-up run, then best of repeated small batches. *)
+              Shapes.assign shape plan mem 100.;
+              let inner = Config.traversal_inner in
+              let us =
+                Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
+                    for _ = 1 to inner do
+                      Shapes.assign shape plan mem 100.
+                    done)
+                /. float_of_int inner
+              in
+              if us > !worst then worst := us
+        done;
+        (shape, !worst))
+      Shapes.all
+  in
+  { k; s; per_shape }
+
+let measure_rows () =
+  List.concat_map
+    (fun k -> List.map (fun s -> measure_row ~k ~s) Config.table2_strides)
+    Config.table2_block_sizes
+
+let render rows =
+  let t =
+    Ascii_table.create
+      ([ "k"; "s" ] @ List.map Shapes.name Shapes.all)
+  in
+  let last_k = ref (-1) in
+  List.iter
+    (fun { k; s; per_shape } ->
+      if !last_k >= 0 && k <> !last_k then Ascii_table.add_separator t;
+      last_k := k;
+      Ascii_table.add_row t
+        (string_of_int k :: string_of_int s
+        :: List.map (fun (_, us) -> Printf.sprintf "%.1f" us) per_shape))
+    rows;
+  Ascii_table.render t
+
+let run () =
+  Printf.printf
+    "=== Table 2: node-code time (us, max over %d procs, %d accesses/proc) ===\n"
+    Config.processors Config.table2_accesses_per_proc;
+  print_endline
+    "(paper: 8(a) mod version far slower; 8(d) two-table lookup fastest)";
+  let rows = measure_rows () in
+  print_string (render rows);
+  rows

@@ -1,0 +1,450 @@
+(* lams: command-line front end to the library.
+
+   Subcommands:
+     am-table  print the memory-gap table for one processor
+     layout    draw the block-cyclic layout with a section marked
+     emit-c    print the generated node code for a processor
+     verify    randomized cross-validation of all algorithms
+     run       compile and execute a mini-HPF source file *)
+
+open Cmdliner
+open Lams_core
+open Lams_dist
+
+(* --- Shared arguments --- *)
+
+let procs_arg =
+  Arg.(value & opt int 4 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of processors.")
+
+let block_arg =
+  Arg.(value & opt int 8 & info [ "k"; "block" ] ~docv:"K" ~doc:"Block size of cyclic(K).")
+
+let lower_arg =
+  Arg.(value & opt int 0 & info [ "l"; "lower" ] ~docv:"L" ~doc:"Section lower bound.")
+
+let stride_arg =
+  Arg.(value & opt int 9 & info [ "s"; "stride" ] ~docv:"S" ~doc:"Section stride.")
+
+let proc_arg =
+  Arg.(value & opt int 0 & info [ "m"; "proc" ] ~docv:"M" ~doc:"Processor number.")
+
+let problem ~p ~k ~l ~s =
+  try Ok (Problem.make ~p ~k ~l ~s)
+  with Invalid_argument msg -> Error msg
+
+(* --- am-table --- *)
+
+let algorithms =
+  [ ("kns", `Kns); ("lattice", `Kns); ("chatterjee", `Chatterjee);
+    ("sorting", `Chatterjee); ("hiranandani", `Hiranandani); ("brute", `Brute);
+    ("auto", `Auto) ]
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt (enum algorithms) `Kns
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:"Algorithm: $(b,kns) (the paper's lattice method), \
+              $(b,chatterjee), $(b,hiranandani), $(b,brute), or $(b,auto) \
+              (strategy dispatch).")
+
+let am_table_cmd =
+  let run p k l s m algo =
+    match problem ~p ~k ~l ~s with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok pr -> begin
+        if m < 0 || m >= p then begin
+          Printf.eprintf "error: processor %d out of range [0, %d)\n" m p;
+          1
+        end
+        else begin
+          let table =
+            match algo with
+            | `Kns -> Ok (Kns.gap_table pr ~m)
+            | `Auto ->
+                let auto = Auto.create pr in
+                Printf.printf "strategy: %s\n" (Auto.strategy_name auto);
+                Ok (Auto.gap_table auto ~m)
+            | `Chatterjee -> Ok (Chatterjee.gap_table pr ~m)
+            | `Brute -> Ok (Brute.gap_table pr ~m)
+            | `Hiranandani ->
+                if Hiranandani.applicable pr then Ok (Hiranandani.gap_table pr ~m)
+                else Error "hiranandani requires s mod p*k < k"
+          in
+          match table with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | Ok table ->
+              Format.printf "%a@." Access_table.pp table;
+              (match Kns.basis pr with
+              | Some b -> Format.printf "basis: %a@." Lams_lattice.Basis.pp b
+              | None -> ());
+              0
+        end
+      end
+  in
+  let term =
+    Term.(
+      const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg
+      $ algorithm_arg)
+  in
+  Cmd.v
+    (Cmd.info "am-table"
+       ~doc:"Print the local memory-gap (AM) table for one processor.")
+    term
+
+(* --- layout --- *)
+
+let size_arg =
+  Arg.(value & opt int 320 & info [ "n"; "size" ] ~docv:"N" ~doc:"Array size.")
+
+let section_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "section" ] ~docv:"L:U:S" ~doc:"Section to mark, e.g. 4:319:9.")
+
+let layout_cmd =
+  let run p k n section =
+    let lay = Layout.create ~p ~k in
+    let mark =
+      match section with
+      | None -> fun _ -> false
+      | Some text -> begin
+          match Lams_hpf.Parser.parse_triplet text with
+          | { Lams_hpf.Ast.t_lo; t_hi; t_stride } ->
+              let sec = Section.make ~lo:t_lo ~hi:t_hi ~stride:t_stride in
+              fun g -> Section.mem sec g
+          | exception _ ->
+              Printf.eprintf "warning: could not parse section %S\n" text;
+              fun _ -> false
+        end
+    in
+    print_endline (Render.legend lay);
+    print_string (Render.layout lay ~n ~mark ());
+    0
+  in
+  let term = Term.(const run $ procs_arg $ block_arg $ size_arg $ section_arg) in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Draw the cyclic(k) layout, optionally marking a section.")
+    term
+
+(* --- emit-c --- *)
+
+let upper_arg =
+  Arg.(value & opt int 319 & info [ "u"; "upper" ] ~docv:"U" ~doc:"Section upper bound.")
+
+let shape_arg =
+  Arg.(
+    value
+    & opt string "d"
+    & info [ "shape" ] ~docv:"SHAPE" ~doc:"Node code shape: a, b, c or d (Figure 8).")
+
+let table_free_flag =
+  Arg.(value & flag & info [ "table-free" ]
+         ~doc:"Emit the table-free R/L variant instead of a Figure 8 shape.")
+
+let emit_c_cmd =
+  let run p k l s m u shape_name table_free =
+    match (problem ~p ~k ~l ~s, Lams_codegen.Shapes.of_string shape_name) with
+    | Error msg, _ ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | _, None ->
+        Printf.eprintf "error: unknown shape %S\n" shape_name;
+        1
+    | Ok pr, Some shape -> begin
+        match Lams_codegen.Plan.build pr ~m ~u with
+        | None ->
+            Printf.printf "/* processor %d owns no element of the section */\n" m;
+            0
+        | Some plan ->
+            let name = Printf.sprintf "assign_proc%d" m in
+            print_string
+              (if table_free then
+                 Lams_codegen.Emit_c.table_free_function plan ~name
+               else Lams_codegen.Emit_c.full_function shape plan ~name);
+            0
+      end
+  in
+  let term =
+    Term.(
+      const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg
+      $ upper_arg $ shape_arg $ table_free_flag)
+  in
+  Cmd.v
+    (Cmd.info "emit-c" ~doc:"Emit the C node code of Figure 8 for one processor.")
+    term
+
+(* --- comm-sets --- *)
+
+let comm_sets_cmd =
+  let src_p = Arg.(value & opt int 4 & info [ "src-p" ] ~docv:"P" ~doc:"Source processors.") in
+  let src_k = Arg.(value & opt int 8 & info [ "src-k" ] ~docv:"K" ~doc:"Source block size.") in
+  let dst_p = Arg.(value & opt int 4 & info [ "dst-p" ] ~docv:"P" ~doc:"Destination processors.") in
+  let dst_k = Arg.(value & opt int 8 & info [ "dst-k" ] ~docv:"K" ~doc:"Destination block size.") in
+  let src_sec =
+    Arg.(value & opt string "0:99:1" & info [ "src" ] ~docv:"L:U:S" ~doc:"Source section.")
+  in
+  let dst_sec =
+    Arg.(value & opt string "0:99:1" & info [ "dst" ] ~docv:"L:U:S" ~doc:"Destination section.")
+  in
+  let run src_p src_k dst_p dst_k src_sec dst_sec =
+    let parse text =
+      let { Lams_hpf.Ast.t_lo; t_hi; t_stride } =
+        Lams_hpf.Parser.parse_triplet text
+      in
+      Section.make ~lo:t_lo ~hi:t_hi ~stride:t_stride
+    in
+    match (parse src_sec, parse dst_sec) with
+    | exception _ ->
+        Printf.eprintf "error: could not parse a section triplet\n";
+        1
+    | src_section, dst_section -> begin
+        match
+          Lams_sim.Comm_sets.build
+            ~src_layout:(Layout.create ~p:src_p ~k:src_k)
+            ~src_section
+            ~dst_layout:(Layout.create ~p:dst_p ~k:dst_k)
+            ~dst_section
+        with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | sched ->
+            Format.printf "%a@." Lams_sim.Comm_sets.pp sched;
+            Printf.printf "cross-processor elements: %d of %d\n"
+              (Lams_sim.Comm_sets.cross_processor_elements sched)
+              sched.Lams_sim.Comm_sets.total;
+            0
+      end
+  in
+  let term =
+    Term.(const run $ src_p $ src_k $ dst_p $ dst_k $ src_sec $ dst_sec)
+  in
+  Cmd.v
+    (Cmd.info "comm-sets"
+       ~doc:"Print the closed-form communication schedule for \
+             DST(dst) = SRC(src) between two block-cyclic mappings.")
+    term
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run p k l s m =
+    match problem ~p ~k ~l ~s with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok pr ->
+        let table, st = Kns.gap_table_with_stats pr ~m in
+        Format.printf "table: %a@." Access_table.pp table;
+        Printf.printf
+          "theorem-3 steps: eq1(R)=%d eq2(-L)=%d eq3(R-L)=%d; points \
+           visited=%d (bound %d)\n"
+          st.Kns.eq1 st.Kns.eq2 st.Kns.eq3 st.Kns.points_visited
+          ((2 * k) + 1);
+        (match Kns.basis pr with
+        | Some b ->
+            let u, v =
+              Lams_lattice.Reduction.gauss b.Lams_lattice.Basis.r
+                b.Lams_lattice.Basis.l
+            in
+            Format.printf "basis: %a; Gauss-reduced: %a %a@."
+              Lams_lattice.Basis.pp b Lams_lattice.Point.pp u
+              Lams_lattice.Point.pp v
+        | None -> print_endline "degenerate instance (d >= k): no basis");
+        Printf.printf "gcd(s, pk) = %d; period = %d of at most k = %d\n"
+          (Problem.gcd pr) table.Access_table.length k;
+        0
+  in
+  let term =
+    Term.(const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show Theorem 3 step statistics, the lattice basis and its \
+             Gauss reduction for one instance.")
+    term
+
+(* --- compile-c --- *)
+
+let compile_c_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Mini-HPF source file.")
+  in
+  let run file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Lams_hpf.Emit_program.emit_source source with
+    | Ok text ->
+        print_string text;
+        0
+    | Error (`Failure f) ->
+        Format.eprintf "%a@." Lams_hpf.Driver.pp_failure f;
+        1
+    | Error (`Unsupported u) ->
+        Format.eprintf "%a@." Lams_hpf.Emit_program.pp_unsupported u;
+        1
+  in
+  Cmd.v
+    (Cmd.info "compile-c"
+       ~doc:"Compile a mini-HPF source file to a self-contained SPMD C              program (supported subset: rank-1 arrays, fills, copies,              in-place updates, prints).")
+    Term.(const run $ file_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run p k l s m n =
+    match problem ~p ~k ~l ~s with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok pr ->
+        let lay = Layout.create ~p ~k in
+        Printf.printf "=== Instance: p=%d k=%d l=%d s=%d, processor %d ===\n\n" p k l s m;
+        print_endline "-- Layout (section marked, lower bound circled) --";
+        let sec_mark g = (g - l) >= 0 && (g - l) mod s = 0 in
+        print_string
+          (Render.layout lay ~n ~mark:sec_mark ~highlight:(fun g -> g = l) ());
+        print_newline ();
+        let auto = Auto.create pr in
+        Printf.printf "-- Strategy: %s (d = %d) --\n" (Auto.strategy_name auto)
+          (Problem.gcd pr);
+        let table, st = Kns.gap_table_with_stats pr ~m in
+        Format.printf "table: %a@." Access_table.pp table;
+        Printf.printf "theorem-3 steps: R=%d -L=%d R-L=%d, %d points (bound %d)\n"
+          st.Kns.eq1 st.Kns.eq2 st.Kns.eq3 st.Kns.points_visited ((2 * k) + 1);
+        (match Kns.basis pr with
+        | Some b -> Format.printf "basis: %a@." Lams_lattice.Basis.pp b
+        | None -> print_endline "no basis needed (degenerate)");
+        (match Fsm.build pr ~m with
+        | Some fsm ->
+            print_endline "-- FSM transition table --";
+            Format.printf "%a@." Fsm.pp fsm
+        | None -> ());
+        (match Lams_codegen.Plan.build pr ~m ~u:(n - 1) with
+        | None -> Printf.printf "processor %d owns nothing below %d\n" m n
+        | Some plan ->
+            Printf.printf "-- Contiguous runs: %d (avg length %.1f) --\n"
+              (Lams_codegen.Runs.count plan)
+              (Lams_codegen.Runs.average_run_length plan);
+            print_endline "-- Node code (8(d)) --";
+            print_string
+              (Lams_codegen.Emit_c.full_function Lams_codegen.Shapes.Shape_d
+                 plan ~name:"assign");
+            print_endline "-- Table-free node code --";
+            print_string
+              (Lams_codegen.Emit_c.table_free_function plan ~name:"assign_tf"));
+        0
+  in
+  let term =
+    Term.(
+      const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg
+      $ size_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"One-stop report for an instance: layout figure, strategy,              basis, AM table, FSM, runs and node code.")
+    term
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let trials_arg =
+    Arg.(value & opt int 2000 & info [ "trials" ] ~docv:"N" ~doc:"Random instances.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let max_p_arg =
+    Arg.(value & opt int 16 & info [ "max-p" ] ~docv:"P" ~doc:"Largest processor count.")
+  in
+  let max_k_arg =
+    Arg.(value & opt int 64 & info [ "max-k" ] ~docv:"K" ~doc:"Largest block size.")
+  in
+  let max_s_arg =
+    Arg.(value & opt int 4096 & info [ "max-s" ] ~docv:"S" ~doc:"Largest stride.")
+  in
+  let run trials seed max_p max_k max_s =
+    match
+      Validate.check_random ~seed:(Int64.of_int seed) ~trials ~max_p ~max_k
+        ~max_s
+    with
+    | None ->
+        Printf.printf
+          "OK: %d random instances, every algorithm matches brute force\n" trials;
+        0
+    | Some (pr, mismatch) ->
+        Format.printf "MISMATCH on %a:@ %a@." Problem.pp pr Validate.pp_mismatch
+          mismatch;
+        1
+  in
+  let term =
+    Term.(const run $ trials_arg $ seed_arg $ max_p_arg $ max_k_arg $ max_s_arg)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Cross-validate KNS, Chatterjee, Hiranandani, the enumerator and \
+             the FSM against brute force on random instances.")
+    term
+
+(* --- run --- *)
+
+let run_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-HPF source file.")
+  in
+  let no_crosscheck_arg =
+    Arg.(value & flag & info [ "no-crosscheck" ] ~doc:"Skip the sequential reference check.")
+  in
+  let run file no_crosscheck shape_name =
+    match Lams_codegen.Shapes.of_string shape_name with
+    | None ->
+        Printf.eprintf "error: unknown shape %S\n" shape_name;
+        1
+    | Some shape -> begin
+        let source = In_channel.with_open_text file In_channel.input_all in
+        let outcome =
+          if no_crosscheck then
+            match Lams_hpf.Driver.compile_and_run ~shape source with
+            | Ok o -> Ok o
+            | Error f -> Error (`Failure f)
+          else Lams_hpf.Driver.crosscheck ~shape source
+        in
+        match outcome with
+        | Ok o ->
+            List.iter print_endline o.Lams_hpf.Driver.outputs;
+            (match o.Lams_hpf.Driver.runtime.Lams_hpf.Runtime.network with
+            | Some net ->
+                Printf.eprintf "(network: %d messages, %d elements)\n"
+                  (Lams_sim.Network.messages_sent net)
+                  (Lams_sim.Network.elements_moved net)
+            | None -> ());
+            0
+        | Error (`Failure f) ->
+            Format.eprintf "%a@." Lams_hpf.Driver.pp_failure f;
+            1
+        | Error (`Diverged d) ->
+            Format.eprintf "internal divergence: %a@." Lams_hpf.Driver.pp_divergence d;
+            2
+      end
+  in
+  let term = Term.(const run $ file_arg $ no_crosscheck_arg $ shape_arg) in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile and execute a mini-HPF source file on the simulated machine.")
+    term
+
+let () =
+  let info =
+    Cmd.info "lams" ~version:"1.0.0"
+      ~doc:"Linear-time memory access sequences for HPF cyclic(k) \
+            distributions (Kennedy, Nedeljkovic & Sethi, PPOPP 1995)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd; stats_cmd; explain_cmd; verify_cmd; run_cmd ]))

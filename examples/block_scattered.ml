@@ -1,0 +1,107 @@
+(* Block-scattered dense linear algebra — the workload that motivates
+   cyclic(k) in the paper's introduction (Dongarra, van de Geijn & Walker's
+   scalable dense linear algebra libraries).
+
+   A 64x64 matrix is distributed over a 2x2 processor grid with cyclic(4)
+   in both dimensions (the ScaLAPACK "block-scattered" decomposition).
+   We run the update phase of one step of LU factorisation without
+   pivoting — the trailing-submatrix rank-1 update
+
+       A(i, j) -= A(i, 0) * A(0, j) / A(0, 0)   for i, j >= 1
+
+   expressed as strided-section traversals on each grid node, then verify
+   the distributed result against a sequential reference.
+
+   Run with: dune exec examples/block_scattered.exe *)
+
+open Lams_dist
+open Lams_multidim
+
+let n = 64
+let grid = Proc_grid.create [| 2; 2 |]
+
+let md =
+  Md_array.create ~dims:[| n; n |]
+    ~dists:[| Distribution.Block_cyclic 4; Distribution.Block_cyclic 4 |]
+    ~grid
+
+(* Per-node local stores, addressed through Md_array. *)
+let stores =
+  Array.init (Proc_grid.size grid) (fun r ->
+      let coords = Proc_grid.coords_of_rank grid r in
+      Array.make (Md_array.local_size md ~coords) 0.)
+
+let get i j =
+  let idx = [| i; j |] in
+  let coords = Md_array.owner_coords md idx in
+  stores.(Proc_grid.rank_of_coords grid coords).(Md_array.local_address md ~coords idx)
+
+let set i j v =
+  let idx = [| i; j |] in
+  let coords = Md_array.owner_coords md idx in
+  stores.(Proc_grid.rank_of_coords grid coords).(Md_array.local_address md ~coords idx) <- v
+
+(* Deterministic diagonally-dominant test matrix. *)
+let init_value i j =
+  if i = j then float_of_int (n + ((i * 7) mod 5))
+  else float_of_int (((i * 13) + (j * 29)) mod 11) /. 10.
+
+let () =
+  (* Distribute the matrix. *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      set i j (init_value i j)
+    done
+  done;
+
+  (* Sequential reference. *)
+  let ref_a = Array.init n (fun i -> Array.init n (init_value i)) in
+  let pivot = ref_a.(0).(0) in
+  for i = 1 to n - 1 do
+    let factor = ref_a.(i).(0) /. pivot in
+    for j = 1 to n - 1 do
+      ref_a.(i).(j) <- ref_a.(i).(j) -. (factor *. ref_a.(0).(j))
+    done
+  done;
+
+  (* SPMD update: every node traverses its share of the trailing
+     submatrix A(1:n-1:1, 1:n-1:1) using the per-dimension access-sequence
+     machinery; the pivot row/column values are read through the global
+     accessors (a broadcast on a real machine). *)
+  let trailing =
+    [| Section.make ~lo:1 ~hi:(n - 1) ~stride:1;
+       Section.make ~lo:1 ~hi:(n - 1) ~stride:1 |]
+  in
+  let pivot00 = get 0 0 in
+  let row0 = Array.init n (fun j -> get 0 j) in
+  let col0 = Array.init n (fun i -> get i 0) in
+  for rank = 0 to Proc_grid.size grid - 1 do
+    let coords = Proc_grid.coords_of_rank grid rank in
+    let store = stores.(rank) in
+    Md_array.traverse_owned md ~sections:trailing ~coords
+      ~f:(fun ~global ~local ->
+        let i = global.(0) and j = global.(1) in
+        store.(local) <- store.(local) -. (col0.(i) /. pivot00 *. row0.(j)))
+  done;
+
+  (* Verify. *)
+  let max_err = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      max_err := Float.max !max_err (Float.abs (get i j -. ref_a.(i).(j)))
+    done
+  done;
+  Printf.printf
+    "Block-scattered rank-1 update on a %dx%d matrix over a 2x2 grid\n" n n;
+  Printf.printf "max |distributed - sequential| = %g\n" !max_err;
+  assert (!max_err < 1e-9);
+
+  (* Show the address-sequence structure a compiler would exploit: the
+     innermost dimension's AM table for each node. *)
+  for rank = 0 to Proc_grid.size grid - 1 do
+    let coords = Proc_grid.coords_of_rank grid rank in
+    let table = Md_array.inner_gap_table md ~sections:trailing ~coords in
+    Format.printf "node (%d,%d) inner-dim table: %a@\n" coords.(0) coords.(1)
+      Lams_core.Access_table.pp table
+  done;
+  print_endline "Verified: distributed update matches the sequential factorisation step."

@@ -1,0 +1,79 @@
+(* Butterfly (FFT-style) access patterns over a cyclic(k) distribution.
+
+   Stage t of an FFT over n = 2^q points pairs element i with i + 2^t and
+   walks the even "tops": sections with power-of-two strides 2^(t+1). For
+   a cyclic(k) distribution the gcd d = gcd(2^(t+1), pk) doubles each
+   stage, so the access structure marches through the algorithm's regimes:
+   dense tables while d < k, then the degenerate single-offset case, then
+   stages where most processors own nothing. This example prints each
+   stage's strategy and AM table, runs the butterflies on the simulated
+   machine, and verifies the result against a sequential computation.
+
+   Run with: dune exec examples/butterfly.exe *)
+
+open Lams_core
+open Lams_dist
+open Lams_sim
+
+let q = 10 (* n = 1024 *)
+let n = 1 lsl q
+let p = 8
+let k = 16
+
+let () =
+  Printf.printf "Butterfly sweep, n = %d, cyclic(%d) over %d procs\n\n" n k p;
+
+  (* Show how the table structure evolves with the stage. *)
+  for t = 0 to q - 1 do
+    let stride = 1 lsl (t + 1) in
+    let pr = Problem.make ~p ~k ~l:0 ~s:stride in
+    let auto = Auto.create pr in
+    let table = Auto.gap_table auto ~m:0 in
+    Format.printf "stage %2d: stride %4d, d = %4d, %-24s proc0 %a@." t stride
+      (Problem.gcd pr) (Auto.strategy_name auto) Access_table.pp table
+  done;
+  print_newline ();
+
+  (* Execute: a "toy butterfly" value update x[i], x[i+h] <- x[i]+x[i+h],
+     x[i]-x[i+h], expressed with section operations per stage. *)
+  let a =
+    Darray.of_array ~name:"X" ~p ~dist:(Distribution.Block_cyclic k)
+      (Array.init n (fun i -> float_of_int ((i mod 7) + 1)))
+  in
+  let reference = Array.init n (fun i -> float_of_int ((i mod 7) + 1)) in
+  for t = 0 to q - 1 do
+    let h = 1 lsl t in
+    let stride = 2 * h in
+    (* Sequential reference for this stage. *)
+    let i = ref 0 in
+    while !i < n do
+      for j = !i to !i + h - 1 do
+        let x = reference.(j) and y = reference.(j + h) in
+        reference.(j) <- x +. y;
+        reference.(j + h) <- x -. y
+      done;
+      i := !i + stride
+    done;
+    (* Distributed: per-processor traversal of the "tops" section of each
+       group via the table-free enumerator, with owner-computes updates
+       (reads of the partner element go through the global accessor — a
+       communication step on a real machine). *)
+    let tops = Section.make ~lo:0 ~hi:(n - 1) ~stride in
+    let pr = Problem.of_section (Darray.layout a) tops in
+    let snapshot = Darray.gather a in
+    Spmd.run ~p ~f:(fun m ->
+        Enumerate.iter_bounded pr ~m ~u:(n - 1) ~f:(fun g _local ->
+            for j = g to g + h - 1 do
+              let x = snapshot.(j) and y = snapshot.(j + h) in
+              Darray.set a j (x +. y);
+              Darray.set a (j + h) (x -. y)
+            done))
+  done;
+  let result = Darray.gather a in
+  let max_err = ref 0. in
+  Array.iteri
+    (fun i v -> max_err := Float.max !max_err (Float.abs (v -. reference.(i))))
+    result;
+  Printf.printf "max |distributed - sequential| after %d stages = %g\n" q !max_err;
+  assert (!max_err = 0.);
+  print_endline "Verified: butterfly network computed identically."

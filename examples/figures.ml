@@ -1,0 +1,65 @@
+(* Reproduces the paper's illustrative figures as terminal output:
+
+   - Figure 1: cyclic(8) layout of 320 elements on 4 processors, the
+     section l=0, s=9 marked with brackets;
+   - Figure 2: the lattice with basis candidates (3,3) and (-1,2);
+   - Figures 3-4: the extremal basis vectors R = (4,1) and L = (5,-1);
+   - Figure 6: the points the algorithm visits for p=4, k=8, l=4, s=9, m=1.
+
+   Run with: dune exec examples/figures.exe *)
+
+open Lams_dist
+open Lams_core
+open Lams_lattice
+
+let section_mark sec g = Section.mem sec g
+
+let () =
+  let p = 4 and k = 8 and n = 320 in
+  let lay = Layout.create ~p ~k in
+
+  print_endline "== Figure 1: layout, section l=0 s=9 marked ==";
+  let sec1 = Section.make ~lo:0 ~hi:(n - 1) ~stride:9 in
+  print_string
+    (Render.layout lay ~n ~mark:(section_mark sec1) ~highlight:(fun g -> g = 0) ());
+  print_newline ();
+
+  print_endline "== Figure 2: lattice points and a basis test ==";
+  let lat = Section_lattice.create ~row_len:(p * k) ~stride:9 in
+  let u = Point.make ~b:3 ~a:3 and v = Point.make ~b:(-1) ~a:2 in
+  Format.printf "candidate basis u = %a (index %d), v = %a (index %d)@\n"
+    Point.pp u
+    (Option.get (Section_lattice.index_of lat u))
+    Point.pp v
+    (Option.get (Section_lattice.index_of lat v));
+  Format.printf "det(u, v) = %d = +/- stride, so {u, v} is a basis: %b@\n@\n"
+    (Point.det u v)
+    (Section_lattice.is_basis lat u v);
+
+  print_endline "== Figures 3-4: the extremal vectors R and L ==";
+  (match Basis.construct ~p ~k ~s:9 with
+  | None -> assert false
+  | Some b ->
+      Format.printf "%a@\n" Basis.pp b;
+      Format.printf "R corresponds to section index %d (element %d)@\n"
+        (Basis.index_of_r b)
+        (Basis.index_of_r b * 9);
+      Format.printf "L corresponds to section index %d (element %d)@\n@\n"
+        (Basis.index_of_l b)
+        (Basis.index_of_l b * 9));
+
+  print_endline "== Figure 6: points visited for p=4 k=8 l=4 s=9, processor 1 ==";
+  let pr = Problem.make ~p ~k ~l:4 ~s:9 in
+  let visited = Brute.owned_prefix pr ~m:1 ~count:9 in
+  let visited_list = Array.to_list visited in
+  print_string
+    (Render.layout lay ~n:320
+       ~mark:(fun g -> List.mem g visited_list)
+       ~highlight:(fun g -> g = 4)
+       ());
+  let table = Kns.gap_table pr ~m:1 in
+  Format.printf "@\nAM table for processor 1: %a@\n" Access_table.pp table;
+
+  print_endline "\n== Processor 1's local memory (globals at each local cell) ==";
+  print_string
+    (Render.local_memory lay ~n:320 ~proc:1 ~mark:(fun g -> List.mem g visited_list) ())

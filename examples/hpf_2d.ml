@@ -1,0 +1,58 @@
+(* Two-dimensional mini-HPF: a block-scattered matrix sweep.
+
+   Dimensions of a multidimensional distribution are independent of one
+   another (§2), so the compiler applies the 1-D access-sequence algorithm
+   once per dimension. This example distributes a 32x24 matrix cyclic(4) x
+   cyclic(3) over a 2x2 processor grid, runs a checkerboard of strided
+   assignments, and cross-checks against the sequential reference.
+
+   Run with: dune exec examples/hpf_2d.exe *)
+
+let source =
+  "! checkerboard sweep over a block-scattered matrix\n\
+   real M(32, 24)\n\
+   real N(32, 24)\n\
+   distribute M (cyclic(4), cyclic(3)) onto (2, 2)\n\
+   distribute N (block, block) onto (4, 1)\n\
+   M(0:31:1, 0:23:1) = 1.0\n\
+   M(0:31:2, 0:23:2) = 4.0\n\
+   M(1:31:2, 1:23:2) = 9.0\n\
+   N(0:31:1, 0:23:1) = M(0:31:1, 0:23:1)     ! redistribution, 2-D\n\
+   N(0:31:1, 0:23:1) = N(0:31:1, 0:23:1) * 0.5\n\
+   print sum M(0:31:1, 0:23:1)\n\
+   print sum N(0:31:1, 0:23:1)\n\
+   print M(0:3:1, 0:5:1)\n\
+   print N(0:3:1, 0:5:1)\n"
+
+let () =
+  print_endline "== Source ==";
+  print_string source;
+  print_newline ();
+  match Lams_hpf.Driver.crosscheck source with
+  | Ok outcome ->
+      print_endline "== Outputs (verified against sequential reference) ==";
+      List.iteri (Printf.printf "  output %d: %s\n") outcome.Lams_hpf.Driver.outputs;
+      (* Show the per-node inner-loop gap tables the compiler would use. *)
+      print_endline "\n== Per-node structure for M(0:31:2, 0:23:2) ==";
+      let grid = Lams_dist.Proc_grid.create [| 2; 2 |] in
+      let md =
+        Lams_multidim.Md_array.create ~dims:[| 32; 24 |]
+          ~dists:
+            [| Lams_dist.Distribution.Block_cyclic 4;
+               Lams_dist.Distribution.Block_cyclic 3 |]
+          ~grid
+      in
+      let sections =
+        [| Lams_dist.Section.make ~lo:0 ~hi:31 ~stride:2;
+           Lams_dist.Section.make ~lo:0 ~hi:23 ~stride:2 |]
+      in
+      for r = 0 to 3 do
+        let coords = Lams_dist.Proc_grid.coords_of_rank grid r in
+        Format.printf "  node (%d,%d): inner AM %a@\n" coords.(0) coords.(1)
+          Lams_core.Access_table.pp
+          (Lams_multidim.Md_array.inner_gap_table md ~sections ~coords)
+      done
+  | Error (`Failure f) ->
+      Format.printf "compilation failed: %a@." Lams_hpf.Driver.pp_failure f
+  | Error (`Diverged d) ->
+      Format.printf "DIVERGED: %a@." Lams_hpf.Driver.pp_divergence d

@@ -1,0 +1,92 @@
+(* Compiling and running a mini-HPF program.
+
+   Shows the full pipeline the paper's algorithm serves: parse HPF-like
+   source, resolve distributions and alignments, display the per-processor
+   access tables and generated node code for the array statements, execute
+   on the simulated distributed machine, and cross-check against a
+   sequential reference.
+
+   Run with: dune exec examples/hpf_compile.exe *)
+
+open Lams_hpf
+open Lams_dist
+
+let source =
+  "! Jacobi-flavoured sweep over a cyclic(8) array, plus a re-distribution\n\
+   real A(320)\n\
+   real B(320)\n\
+   distribute A (cyclic(8)) onto 4\n\
+   distribute B (block) onto 4\n\
+   A(0:319:1) = 1.0\n\
+   A(4:319:9) = 100.0\n\
+   B(0:319:1) = A(0:319:1)      ! cyclic(8) -> block redistribution\n\
+   B(1:318:1) = B(1:318:1) * 0.5\n\
+   forall i = 0:79 do B(4*i+1) = A(319-2*i) + 0.25\n\
+   print sum A(0:319:1)\n\
+   print sum B(0:319:1)\n\
+   print B(0:15:1)\n"
+
+let () =
+  print_endline "== Source ==";
+  print_string source;
+  print_newline ();
+
+  match Driver.compile source with
+  | Error f -> Format.printf "compilation failed: %a@." Driver.pp_failure f
+  | Ok checked ->
+      print_endline "== Resolved mappings ==";
+      List.iter
+        (fun (info : Sema.array_info) ->
+          match info.Sema.mapping with
+          | Sema.Grid { dists; grid } ->
+              Format.printf "  %s(%d): %a onto %d procs@\n" info.Sema.name
+                info.Sema.sizes.(0) Distribution.pp dists.(0) grid.(0)
+          | Sema.Aligned_1d { p; dist; align; _ } ->
+              Format.printf "  %s(%d): %a onto %d procs, align %a@\n"
+                info.Sema.name info.Sema.sizes.(0) Distribution.pp dist p
+                Alignment.pp align)
+        checked.Sema.arrays;
+      print_newline ();
+
+      (* Show the compilation artifact for the strided assignment: the AM
+         table and node code per processor. *)
+      print_endline "== Access tables for A(4:319:9) = 100.0 ==";
+      let a_info =
+        List.find (fun (i : Sema.array_info) -> i.Sema.name = "A") checked.Sema.arrays
+      in
+      let a_dist, a_p =
+        match a_info.Sema.mapping with
+        | Sema.Grid { dists; grid } -> (dists.(0), grid.(0))
+        | Sema.Aligned_1d { dist; p; _ } -> (dist, p)
+      in
+      let lay = Distribution.to_layout a_dist ~n:a_info.Sema.sizes.(0) ~p:a_p in
+      let sec = Section.make ~lo:4 ~hi:319 ~stride:9 in
+      let pr = Lams_core.Problem.of_section lay sec in
+      for m = 0 to a_p - 1 do
+        Format.printf "  proc %d: %a@\n" m Lams_core.Access_table.pp
+          (Lams_core.Kns.gap_table pr ~m)
+      done;
+      print_newline ();
+      (match Lams_codegen.Plan.build pr ~m:0 ~u:319 with
+      | Some plan ->
+          print_endline "== Node code for processor 0 (shape 8(b)) ==";
+          print_endline
+            (Lams_codegen.Emit_c.full_function Lams_codegen.Shapes.Shape_b plan
+               ~name:"assign_A")
+      | None -> ());
+
+      print_endline "== Execution (simulated machine vs sequential reference) ==";
+      (match Driver.crosscheck source with
+      | Ok outcome ->
+          List.iteri (Printf.printf "  output %d: %s\n") outcome.Driver.outputs;
+          (match outcome.Driver.runtime.Runtime.network with
+          | Some net ->
+              Printf.printf
+                "  redistribution traffic: %d messages, %d elements moved\n"
+                (Lams_sim.Network.messages_sent net)
+                (Lams_sim.Network.elements_moved net)
+          | None -> print_endline "  no communication needed");
+          print_endline "  crosscheck: simulated == sequential reference"
+      | Error (`Failure f) -> Format.printf "failed: %a@." Driver.pp_failure f
+      | Error (`Diverged d) ->
+          Format.printf "DIVERGED: %a@." Driver.pp_divergence d)

@@ -1,0 +1,56 @@
+(* Quickstart: the paper's running example end to end.
+
+   An array of 320 elements is distributed cyclic(8) over 4 processors and
+   the program traverses the section A(4:319:9). We compute processor 1's
+   memory access sequence with the lattice algorithm, show the basis
+   vectors R and L, emit the node code a compiler would generate, execute
+   the assignment on the simulated machine, and verify the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Lams_core
+open Lams_dist
+open Lams_codegen
+open Lams_sim
+
+let () =
+  let p = 4 and k = 8 and l = 4 and s = 9 and m = 1 in
+  let n = 320 in
+  let u = n - 1 in
+  Printf.printf "Problem: A(%d:%d:%d) over cyclic(%d) on %d processors\n\n" l u s k p;
+
+  (* 1. The gap table (Figure 5's output for processor m). *)
+  let pr = Problem.make ~p ~k ~l ~s in
+  let table = Kns.gap_table pr ~m in
+  Format.printf "Processor %d access table: %a@\n" m Access_table.pp table;
+
+  (* 2. The lattice basis behind it (Theorem 2). *)
+  (match Kns.basis pr with
+  | Some b ->
+      Format.printf "Lattice basis: %a@\n" Lams_lattice.Basis.pp b;
+      Format.printf "  gap(R) = %d, gap(-L) = %d, gap(R-L) = %d@\n"
+        (Lams_lattice.Basis.gap b b.Lams_lattice.Basis.r)
+        (Lams_lattice.Basis.gap b (Lams_lattice.Point.neg b.Lams_lattice.Basis.l))
+        (Lams_lattice.Basis.gap b
+           (Lams_lattice.Point.sub b.Lams_lattice.Basis.r b.Lams_lattice.Basis.l))
+  | None -> print_endline "degenerate instance: no basis needed");
+  print_newline ();
+
+  (* 3. The node code a compiler would emit for this processor. *)
+  (match Plan.build pr ~m ~u with
+  | None -> print_endline "processor owns nothing"
+  | Some plan ->
+      print_endline "Generated node code (shape 8(d), the paper's fastest):";
+      print_endline (Emit_c.full_function Shapes.Shape_d plan ~name:"assign_section"));
+
+  (* 4. Execute A(4:319:9) = 100.0 on the simulated machine and verify. *)
+  let a = Darray.create ~name:"A" ~n ~p ~dist:(Distribution.Block_cyclic k) in
+  let sec = Section.make ~lo:l ~hi:u ~stride:s in
+  Section_ops.fill a sec 100.;
+  let values = Darray.gather a in
+  let written = Array.to_list values |> List.filter (fun v -> v = 100.) in
+  Printf.printf "Executed A(%d:%d:%d) = 100.0: %d elements written, %d expected\n"
+    l u s (List.length written) (Section.count sec);
+  assert (List.length written = Section.count sec);
+  Array.iteri (fun g v -> assert (v = if Section.mem sec g then 100. else 0.)) values;
+  print_endline "Verified: exactly the section elements were assigned."

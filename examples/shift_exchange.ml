@@ -1,0 +1,59 @@
+(* Nearest-neighbour shift with communication accounting.
+
+   The classic data-parallel shift A(1:n-1) = A(0:n-2) forces every
+   processor of a cyclic(k) distribution to exchange block-boundary
+   elements with its neighbour. This example executes shifted copies for
+   several block sizes, verifies them, and reports how much traffic each
+   block size generates — the locality story behind choosing k.
+
+   Run with: dune exec examples/shift_exchange.exe *)
+
+open Lams_dist
+open Lams_sim
+
+let n = 4096
+let p = 8
+
+let run_shift ~k =
+  let dist = Distribution.Block_cyclic k in
+  let src =
+    Darray.of_array ~name:"SRC" ~p ~dist (Array.init n float_of_int)
+  in
+  let dst = Darray.create ~name:"DST" ~n ~p ~dist in
+  let src_section = Section.make ~lo:0 ~hi:(n - 2) ~stride:1
+  and dst_section = Section.make ~lo:1 ~hi:(n - 1) ~stride:1 in
+  let net = Section_ops.copy ~src ~src_section ~dst ~dst_section () in
+  (* Verify the shift. *)
+  let out = Darray.gather dst in
+  for g = 1 to n - 1 do
+    assert (out.(g) = float_of_int (g - 1))
+  done;
+  (* Off-processor traffic: elements whose source and destination owners
+     differ; everything else could stay local (our runtime routes all
+     elements through the mailbox, so subtract the self-sends). *)
+  let lay = Darray.layout src in
+  let cross = ref 0 in
+  for g = 0 to n - 2 do
+    if Layout.owner lay g <> Layout.owner lay (g + 1) then incr cross
+  done;
+  (net, !cross)
+
+let () =
+  Printf.printf "Shift A(1:%d) = A(0:%d) on %d procs, n = %d\n\n" (n - 1) (n - 2) p n;
+  let t = Lams_util.Ascii_table.create
+      [ "k"; "messages"; "elements moved"; "cross-boundary elements" ] in
+  List.iter
+    (fun k ->
+      let net, cross = run_shift ~k in
+      Lams_util.Ascii_table.add_row t
+        [ string_of_int k;
+          string_of_int (Network.messages_sent net);
+          string_of_int (Network.elements_moved net);
+          string_of_int cross ])
+    [ 1; 8; 64; 512 ];
+  print_string (Lams_util.Ascii_table.render t);
+  print_endline
+    "\nLarger blocks keep more of the shift on-processor (fewer cross-boundary\n\
+     elements), which is exactly the trade-off cyclic(k) exposes: k = 1 maximises\n\
+     load balance, block maximises locality, cyclic(k) interpolates.";
+  print_endline "All shifts verified element-for-element."

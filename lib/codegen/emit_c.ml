@@ -1,0 +1,114 @@
+let int_array_initialiser name values =
+  Printf.sprintf "static const int %s[%d] = { %s };" name
+    (Array.length values)
+    (String.concat ", " (Array.to_list (Array.map string_of_int values)))
+
+let tables (p : Plan.t) =
+  String.concat "\n"
+    [ Printf.sprintf "enum { startmem = %d, lastmem = %d, length = %d, startoffset = %d };"
+        p.Plan.start_local p.Plan.last_local p.Plan.length p.Plan.start_offset;
+      int_array_initialiser "deltaM" p.Plan.delta_m;
+      int_array_initialiser "deltaOff"
+        (Array.map
+           (fun v -> if v = Lams_core.Fsm.unreachable_delta then 0 else v)
+           p.Plan.delta_by_offset);
+      int_array_initialiser "NextOffset" p.Plan.next_offset ]
+
+let kernel = function
+  | Shapes.Shape_a ->
+      "  int base = startmem, i = 0;\n\
+      \  while (base <= lastmem) {\n\
+      \    local[base] = value;\n\
+      \    base += deltaM[i];\n\
+      \    i = (i + 1) % length;\n\
+      \  }"
+  | Shapes.Shape_b ->
+      "  int base = startmem, i = 0;\n\
+      \  while (base <= lastmem) {\n\
+      \    local[base] = value;\n\
+      \    base += deltaM[i++];\n\
+      \    if (i == length) i = 0;\n\
+      \  }"
+  | Shapes.Shape_c ->
+      "  int base = startmem, i;\n\
+      \  while (1) {\n\
+      \    for (i = 0; i < length; i++) {\n\
+      \      local[base] = value;\n\
+      \      base += deltaM[i];\n\
+      \      if (base > lastmem) goto done;\n\
+      \    }\n\
+      \  }\n\
+      \  done: ;"
+  | Shapes.Shape_d ->
+      "  int base = startmem, i = startoffset;\n\
+      \  while (base <= lastmem) {\n\
+      \    local[base] = value;\n\
+      \    base += deltaOff[i];\n\
+      \    i = NextOffset[i];\n\
+      \  }"
+
+let full_function shape p ~name =
+  String.concat "\n"
+    [ Printf.sprintf "void %s(double *local, double value)" name;
+      "{";
+      tables p;
+      kernel shape;
+      "}";
+      "" ]
+
+let table_free_function (p : Plan.t) ~name =
+  let pr = p.Plan.problem in
+  match Lams_core.Kns.basis pr with
+  | None ->
+      (* Degenerate instance: constant gap, no tests needed. *)
+      String.concat "\n"
+        [ Printf.sprintf "void %s(double *local, double value)" name;
+          "{";
+          Printf.sprintf
+            "  /* single reachable offset: constant gap of %d cells */"
+            (pr.Lams_core.Problem.k * pr.Lams_core.Problem.s
+            / Lams_core.Problem.gcd pr);
+          Printf.sprintf "  for (int base = %d; base <= %d; base += %d)"
+            p.Plan.start_local p.Plan.last_local
+            (pr.Lams_core.Problem.k * pr.Lams_core.Problem.s
+            / Lams_core.Problem.gcd pr);
+          "    local[base] = value;";
+          "}";
+          "" ]
+  | Some b ->
+      let r = b.Lams_lattice.Basis.r and l = b.Lams_lattice.Basis.l in
+      let k = pr.Lams_core.Problem.k in
+      let m = p.Plan.m in
+      let r_gap = (r.Lams_lattice.Point.a * k) + r.Lams_lattice.Point.b in
+      let l_gap = -((l.Lams_lattice.Point.a * k) + l.Lams_lattice.Point.b) in
+      String.concat "\n"
+        [ Printf.sprintf "void %s(double *local, double value)" name;
+          "{";
+          Printf.sprintf
+            "  /* R = (%d, %d), L = (%d, %d); no gap tables stored */"
+            r.Lams_lattice.Point.b r.Lams_lattice.Point.a
+            l.Lams_lattice.Point.b l.Lams_lattice.Point.a;
+          Printf.sprintf
+            "  enum { startmem = %d, lastmem = %d, startoff = %d,"
+            p.Plan.start_local p.Plan.last_local
+            (p.Plan.start_offset + (m * k));
+          Printf.sprintf
+            "         window_lo = %d, window_hi = %d };" (m * k) ((m + 1) * k);
+          Printf.sprintf "  int base = startmem, off = startoff;";
+          "  while (base <= lastmem) {";
+          "    local[base] = value;";
+          Printf.sprintf "    if (off + %d < window_hi) {" r.Lams_lattice.Point.b;
+          Printf.sprintf "      off += %d; base += %d;   /* step R */"
+            r.Lams_lattice.Point.b r_gap;
+          Printf.sprintf "    } else if (off - %d >= window_lo) {"
+            l.Lams_lattice.Point.b;
+          Printf.sprintf "      off -= %d; base += %d;   /* step -L */"
+            l.Lams_lattice.Point.b l_gap;
+          "    } else {";
+          Printf.sprintf "      off += %d; base += %d;   /* step R - L */"
+            (r.Lams_lattice.Point.b - l.Lams_lattice.Point.b)
+            (r_gap + l_gap);
+          "    }";
+          "  }";
+          "}";
+          "" ]

@@ -1,0 +1,21 @@
+(** C source emission: renders the node code of Figure 8 exactly as a
+    compiler for an HPF-like language would emit it, with the plan's tables
+    embedded as static initialisers. Useful for inspection, documentation
+    and the [lams compile] CLI; the emitted text compiles as C99. *)
+
+val tables : Plan.t -> string
+(** The [deltaM] (and, for shape (d), [NextOffset]) static arrays plus the
+    [startmem]/[lastmem]/[length] constants. *)
+
+val kernel : Shapes.t -> string
+(** The loop body for a shape, verbatim from Figure 8 (modulo identifier
+    hygiene). *)
+
+val full_function : Shapes.t -> Plan.t -> name:string -> string
+(** A complete [void name(double *local)] definition: tables + kernel. *)
+
+val table_free_function : Plan.t -> name:string -> string
+(** The table-free variant the paper sketches at the end of §6.2: keep
+    only the vectors [R] and [L] and regenerate addresses with the two
+    Theorem 3 tests — no [deltaM]/[NextOffset] arrays at all. Constants
+    are taken from the plan's problem instance. *)

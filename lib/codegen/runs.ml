@@ -1,0 +1,33 @@
+type run = { start_local : int; length : int }
+
+let fold_runs plan ~init ~f =
+  (* One pass over the traversal, merging distance-1 neighbours. *)
+  let acc = ref init in
+  let current = ref None in
+  Shapes.visit Shapes.Shape_b plan ~f:(fun addr ->
+      match !current with
+      | Some (start, len) when addr = start + len ->
+          current := Some (start, len + 1)
+      | Some (start, len) ->
+          acc := f !acc { start_local = start; length = len };
+          current := Some (addr, 1)
+      | None -> current := Some (addr, 1));
+  (match !current with
+  | Some (start, len) -> acc := f !acc { start_local = start; length = len }
+  | None -> ());
+  !acc
+
+let of_plan plan = List.rev (fold_runs plan ~init:[] ~f:(fun acc r -> r :: acc))
+
+let count plan = fold_runs plan ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let fill_by_runs plan mem v =
+  fold_runs plan ~init:() ~f:(fun () { start_local; length } ->
+      Array.fill mem start_local length v)
+
+let average_run_length plan =
+  let runs, elems =
+    fold_runs plan ~init:(0, 0) ~f:(fun (r, e) { length; _ } ->
+        (r + 1, e + length))
+  in
+  if runs = 0 then nan else float_of_int elems /. float_of_int runs

@@ -1,0 +1,28 @@
+(** Contiguous-run extraction: the access sequence grouped into maximal
+    blocks of adjacent local addresses.
+
+    When the section stride is small relative to the block size, many
+    consecutive accesses sit at distance 1 in local memory (gap = 1 in the
+    [AM] table); a code generator can then emit one block transfer
+    ([memcpy], vector store, …) per run instead of one scalar access per
+    element. This is the "course-grained" consumption of the same tables
+    the paper constructs. *)
+
+type run = { start_local : int; length : int  (** >= 1 *) }
+
+val of_plan : Plan.t -> run list
+(** Maximal runs in traversal order. Concatenating them reproduces the
+    plan's address sequence exactly; consecutive runs are never adjacent
+    (else they would have been merged). Cost: one pass over the accesses. *)
+
+val count : Plan.t -> int
+(** Number of runs ([= List.length (of_plan plan)] without building the
+    list). *)
+
+val fill_by_runs : Plan.t -> float array -> float -> unit
+(** The block-transfer version of the Figure 8 kernel: one [Array.fill]
+    per run. Produces the same memory state as [Shapes.assign]. *)
+
+val average_run_length : Plan.t -> float
+(** Elements per run — the block-transfer payoff metric ([>= 1.]);
+    [nan] when the plan visits nothing. *)

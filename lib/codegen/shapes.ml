@@ -1,0 +1,150 @@
+type t = Shape_a | Shape_b | Shape_c | Shape_d
+
+let all = [ Shape_a; Shape_b; Shape_c; Shape_d ]
+
+let name = function
+  | Shape_a -> "8(a)"
+  | Shape_b -> "8(b)"
+  | Shape_c -> "8(c)"
+  | Shape_d -> "8(d)"
+
+let of_string str =
+  match String.lowercase_ascii (String.trim str) with
+  | "a" | "8a" | "8(a)" | "mod" -> Some Shape_a
+  | "b" | "8b" | "8(b)" | "test" -> Some Shape_b
+  | "c" | "8c" | "8(c)" | "goto" -> Some Shape_c
+  | "d" | "8d" | "8(d)" | "lookup" -> Some Shape_d
+  | _ -> None
+
+let check_mem (p : Plan.t) mem =
+  if Array.length mem < Plan.local_extent_needed p then
+    invalid_arg "Shapes: local memory shorter than the plan's extent"
+
+(* The assign_* kernels use unsafe array accesses to match the bounds-
+   check-free C the paper measures: [check_mem] plus the plan invariants
+   (gaps positive, last_local within extent, offsets within [0, k)) keep
+   every access in range, which the test suite verifies through the safe
+   [visit] path. *)
+
+(* --- Figure 8(a): base += deltaM[i]; i = (i+1) mod length --- *)
+let assign_a (p : Plan.t) (mem : float array) v =
+  let delta = p.Plan.delta_m and length = p.Plan.length in
+  let last = p.Plan.last_local in
+  let base = ref p.Plan.start_local and i = ref 0 in
+  while !base <= last do
+    Array.unsafe_set mem !base v;
+    base := !base + Array.unsafe_get delta !i;
+    i := (!i + 1) mod length
+  done
+
+(* --- Figure 8(b): i++; if (i == length) i = 0 --- *)
+let assign_b (p : Plan.t) (mem : float array) v =
+  let delta = p.Plan.delta_m and length = p.Plan.length in
+  let last = p.Plan.last_local in
+  let base = ref p.Plan.start_local and i = ref 0 in
+  while !base <= last do
+    Array.unsafe_set mem !base v;
+    base := !base + Array.unsafe_get delta !i;
+    incr i;
+    if !i = length then i := 0
+  done
+
+(* --- Figure 8(c): for over one period inside while(TRUE), goto done --- *)
+exception Done
+
+let assign_c (p : Plan.t) (mem : float array) v =
+  let delta = p.Plan.delta_m and length = p.Plan.length in
+  let last = p.Plan.last_local in
+  let base = ref p.Plan.start_local in
+  (try
+     while true do
+       for i = 0 to length - 1 do
+         Array.unsafe_set mem !base v;
+         base := !base + Array.unsafe_get delta i;
+         if !base > last then raise_notrace Done
+       done
+     done
+   with Done -> ())
+
+(* --- Figure 8(d): two-table lookup indexed by local offset --- *)
+let assign_d (p : Plan.t) (mem : float array) v =
+  let delta = p.Plan.delta_by_offset and next = p.Plan.next_offset in
+  let last = p.Plan.last_local in
+  let base = ref p.Plan.start_local and i = ref p.Plan.start_offset in
+  while !base <= last do
+    Array.unsafe_set mem !base v;
+    base := !base + Array.unsafe_get delta !i;
+    i := Array.unsafe_get next !i
+  done
+
+let assign shape p mem v =
+  check_mem p mem;
+  match shape with
+  | Shape_a -> assign_a p mem v
+  | Shape_b -> assign_b p mem v
+  | Shape_c -> assign_c p mem v
+  | Shape_d -> assign_d p mem v
+
+let visit shape (p : Plan.t) ~f =
+  let last = p.Plan.last_local in
+  match shape with
+  | Shape_a ->
+      let base = ref p.Plan.start_local and i = ref 0 in
+      while !base <= last do
+        f !base;
+        base := !base + p.Plan.delta_m.(!i);
+        i := (!i + 1) mod p.Plan.length
+      done
+  | Shape_b ->
+      let base = ref p.Plan.start_local and i = ref 0 in
+      while !base <= last do
+        f !base;
+        base := !base + p.Plan.delta_m.(!i);
+        incr i;
+        if !i = p.Plan.length then i := 0
+      done
+  | Shape_c ->
+      let base = ref p.Plan.start_local in
+      (try
+         while true do
+           for i = 0 to p.Plan.length - 1 do
+             f !base;
+             base := !base + p.Plan.delta_m.(i);
+             if !base > last then raise_notrace Done
+           done
+         done
+       with Done -> ())
+  | Shape_d ->
+      let base = ref p.Plan.start_local and i = ref p.Plan.start_offset in
+      while !base <= last do
+        f !base;
+        base := !base + p.Plan.delta_by_offset.(!i);
+        i := p.Plan.next_offset.(!i)
+      done
+
+let addresses shape p =
+  let acc = ref [] and n = ref 0 in
+  visit shape p ~f:(fun a ->
+      acc := a :: !acc;
+      incr n);
+  let out = Array.make !n 0 in
+  List.iteri (fun idx a -> out.(!n - 1 - idx) <- a) !acc;
+  out
+
+type op_stats = {
+  writes : int;
+  mods : int;
+  wrap_tests : int;
+  table_loads : int;
+}
+
+let op_stats shape p =
+  let n = Plan.access_count p in
+  match shape with
+  | Shape_a -> { writes = n; mods = n; wrap_tests = 0; table_loads = n }
+  | Shape_b -> { writes = n; mods = 0; wrap_tests = n; table_loads = n }
+  | Shape_c ->
+      (* The period-boundary test disappears into the for-loop bound; only
+         the exit compare remains per element. *)
+      { writes = n; mods = 0; wrap_tests = n; table_loads = n }
+  | Shape_d -> { writes = n; mods = 0; wrap_tests = 0; table_loads = 2 * n }

@@ -1,0 +1,51 @@
+(** The four node-code shapes of the paper's Figure 8, as executable
+    traversals over a processor's local memory.
+
+    All four visit exactly the same local addresses (the plan's share of
+    [A(l:u:s)], in increasing index order); they differ only in the
+    bookkeeping per element, which is what Table 2 measures:
+
+    - {b Shape_a}: cyclic index via [i = (i+1) mod length] — one integer
+      division per element (the paper's conceptual version).
+    - {b Shape_b}: the [mod] replaced by a compare-and-reset test (what
+      Chatterjee et al. actually implemented).
+    - {b Shape_c}: a [for] loop over one period inside an infinite loop,
+      exiting by [goto] — removes the wrap test from the dependence chain
+      and schedules better.
+    - {b Shape_d}: tables indexed by {e local offset} ([deltaM] +
+      [NextOffset]) — two table lookups, no wrap logic at all; fastest in
+      the paper. *)
+
+type t = Shape_a | Shape_b | Shape_c | Shape_d
+
+val all : t list
+val name : t -> string
+(** "8(a)" … "8(d)". *)
+
+val of_string : string -> t option
+(** Accepts "a" | "8a" | "8(a)" (case-insensitive), etc. *)
+
+val assign : t -> Plan.t -> float array -> float -> unit
+(** [assign shape plan mem v] performs the paper's measured kernel
+    [A(l:u:s) = v] on the local array. Dedicated tight loop per shape (no
+    closures) so the benchmark measures the shape, not the harness.
+    @raise Invalid_argument if [mem] is shorter than
+    [Plan.local_extent_needed plan]. *)
+
+val visit : t -> Plan.t -> f:(int -> unit) -> unit
+(** Call [f] on every visited local address, in order (verification
+    path). *)
+
+val addresses : t -> Plan.t -> int array
+(** Materialised visit order. *)
+
+type op_stats = {
+  writes : int;
+  mods : int;  (** integer [mod] operations *)
+  wrap_tests : int;  (** compare-and-reset / loop-exit tests *)
+  table_loads : int;  (** gap/next-offset table reads *)
+}
+
+val op_stats : t -> Plan.t -> op_stats
+(** Bookkeeping-operation counts for one full traversal — the ablation
+    data explaining Table 2's ordering. *)

@@ -1,0 +1,63 @@
+type t = {
+  start : int option;
+  start_local : int option;
+  length : int;
+  gaps : int array;
+}
+
+let empty = { start = None; start_local = None; length = 0; gaps = [||] }
+
+let singleton ~start ~start_local ~gap =
+  { start = Some start; start_local = Some start_local; length = 1; gaps = [| gap |] }
+
+let equal t1 t2 =
+  t1.start = t2.start && t1.start_local = t2.start_local
+  && t1.length = t2.length && t1.gaps = t2.gaps
+
+let local_addresses t ~count =
+  if count = 0 then [||]
+  else
+    match t.start_local with
+    | None -> invalid_arg "Access_table.local_addresses: empty table"
+    | Some first ->
+        let out = Array.make count first in
+        for j = 1 to count - 1 do
+          out.(j) <- out.(j - 1) + t.gaps.((j - 1) mod t.length)
+        done;
+        out
+
+let global_step_sum t = Array.fold_left ( + ) 0 t.gaps
+
+type indexed = {
+  i_start : int;
+  i_length : int;
+  i_period_sum : int;
+  i_prefix : int array;  (* i_prefix.(i) = sum of gaps.(0..i-1) *)
+}
+
+let index t =
+  match t.start_local with
+  | None -> invalid_arg "Access_table.index: empty table"
+  | Some i_start ->
+      let i_prefix = Array.make (t.length + 1) 0 in
+      for i = 0 to t.length - 1 do
+        i_prefix.(i + 1) <- i_prefix.(i) + t.gaps.(i)
+      done;
+      { i_start;
+        i_length = t.length;
+        i_period_sum = i_prefix.(t.length);
+        i_prefix }
+
+let nth_local it j =
+  if j < 0 then invalid_arg "Access_table.nth_local: negative index";
+  it.i_start
+  + (j / it.i_length * it.i_period_sum)
+  + it.i_prefix.(j mod it.i_length)
+
+let pp ppf t =
+  match t.start with
+  | None -> Format.pp_print_string ppf "<no elements>"
+  | Some g ->
+      Format.fprintf ppf "start=%d local=%d AM=[%s]" g
+        (Option.get t.start_local)
+        (String.concat "; " (Array.to_list (Array.map string_of_int t.gaps)))

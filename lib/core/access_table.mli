@@ -1,0 +1,46 @@
+(** The result every access-sequence algorithm produces: the processor's
+    starting location and the periodic table of local memory gaps
+    (the paper's [AM] table).
+
+    If [start = Some g], processor [m]'s accesses in increasing
+    global-index order are [g = g₀ < g₁ < g₂ < …] and the local addresses
+    satisfy [local(g_{j+1}) = local(g_j) + gaps.(j mod length)]. *)
+
+type t = {
+  start : int option;  (** global index of the first owned element; [None]
+                           iff the processor owns no section element *)
+  start_local : int option;  (** its packed local address *)
+  length : int;  (** the gap table's period, [0] iff [start = None] *)
+  gaps : int array;  (** the [AM] table; [Array.length gaps = length] *)
+}
+
+val empty : t
+(** The no-elements result. *)
+
+val singleton : start:int -> start_local:int -> gap:int -> t
+(** Period-1 result (the paper's lines 15–17 special case). *)
+
+val equal : t -> t -> bool
+
+val local_addresses : t -> count:int -> int array
+(** First [count] local addresses in access order.
+    @raise Invalid_argument if [count > 0] on an empty table. *)
+
+val global_step_sum : t -> int
+(** Sum of one period of gaps — must equal [k * cycle_span / row_len], the
+    local distance covered by one full period (an invariant the tests
+    exercise). *)
+
+type indexed
+(** A table augmented with gap prefix sums for O(1) random access. *)
+
+val index : t -> indexed
+(** One O(length) pass. @raise Invalid_argument on an empty table. *)
+
+val nth_local : indexed -> int -> int
+(** [nth_local it j]: local address of the [j]-th access (0-based) in
+    O(1): [start_local + (j / length) * period_sum + prefix (j mod
+    length)]. Matches [local_addresses] element-wise (tested).
+    @raise Invalid_argument if [j < 0]. *)
+
+val pp : Format.formatter -> t -> unit

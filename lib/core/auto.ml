@@ -1,0 +1,43 @@
+type strategy =
+  | Degenerate
+  | Shared of Shared_fsm.t
+  | General
+
+type t = { problem : Problem.t; strategy : strategy }
+
+let create problem =
+  let d = Problem.gcd problem in
+  let strategy =
+    if d >= problem.Problem.k then Degenerate
+    else if d = 1 then begin
+      match Shared_fsm.build problem with
+      | Some shared -> Shared shared
+      | None -> assert false (* d = 1 *)
+    end
+    else General
+  in
+  { problem; strategy }
+
+let strategy t = t.strategy
+
+let degenerate_table pr ~m =
+  (* d >= k: at most one reachable offset per window. *)
+  match (Start_finder.find pr ~m).Start_finder.start with
+  | None -> Access_table.empty
+  | Some start ->
+      let lay = Problem.layout pr in
+      Access_table.singleton ~start
+        ~start_local:(Lams_dist.Layout.local_address lay start)
+        ~gap:(pr.Problem.k * pr.Problem.s / Problem.gcd pr)
+
+let gap_table t ~m =
+  match t.strategy with
+  | Degenerate -> degenerate_table t.problem ~m
+  | Shared shared -> Shared_fsm.gap_table shared ~m
+  | General -> Kns.gap_table t.problem ~m
+
+let strategy_name t =
+  match t.strategy with
+  | Degenerate -> "degenerate (d >= k)"
+  | Shared _ -> "shared FSM (gcd = 1)"
+  | General -> "general lattice walk"

@@ -1,0 +1,35 @@
+(** Strategy dispatch: pick the cheapest correct table-construction path
+    for an instance, the way a production runtime would.
+
+    Chatterjee et al. "describe several special cases that can be handled
+    more efficiently", detected from the same quantities the general
+    algorithm computes anyway (§6.1); this module packages that dispatch:
+
+    - [d >= k] (in particular [pk | s]): every processor's table has
+      period 0 or 1 — closed forms, no basis, no walk;
+    - [gcd(s, pk) = 1]: transition tables are shared across processors —
+      build once, per-processor start only ({!Shared_fsm});
+    - otherwise: the general lattice walk ({!Kns}).
+
+    ({!Hiranandani} is {e not} in the chain: on its domain it is
+    asymptotically equal to and practically slower than the lattice walk —
+    see the ablation bench — so a dispatcher gains nothing from it.) *)
+
+type strategy =
+  | Degenerate  (** [d >= k]: periods 0/1 everywhere *)
+  | Shared of Shared_fsm.t  (** [d = 1]: tables built once *)
+  | General  (** the lattice walk per processor *)
+
+type t
+(** A dispatcher for one problem instance; reusable across processors. *)
+
+val create : Problem.t -> t
+(** Classifies once ([O(k + log)] in the [Shared] case, [O(log)]
+    otherwise). *)
+
+val strategy : t -> strategy
+
+val gap_table : t -> m:int -> Access_table.t
+(** Identical result to [Kns.gap_table] (tested), via the cheapest path. *)
+
+val strategy_name : t -> string

@@ -1,0 +1,64 @@
+open Lams_dist
+
+(* Everything here is deliberately independent of [Start_finder]: the only
+   facts used are the ownership test and the periodicity of the access
+   pattern (offsets repeat after pk/d section elements), so this module can
+   serve as ground truth for the closed-form algorithms. *)
+
+let owned_in_first_cycle (pr : Problem.t) ~m =
+  let lay = Problem.layout pr in
+  let cycle = Problem.cycle_indices pr in
+  let acc = ref [] and n = ref 0 in
+  for j = cycle - 1 downto 0 do
+    let g = pr.Problem.l + (j * pr.Problem.s) in
+    if Layout.owner lay g = m then begin
+      acc := g :: !acc;
+      incr n
+    end
+  done;
+  (!acc, !n)
+
+let owned_prefix pr ~m ~count =
+  if count < 0 then invalid_arg "Brute.owned_prefix: negative count";
+  if m < 0 || m >= pr.Problem.p then invalid_arg "Brute.owned_prefix: bad m";
+  if count = 0 then [||]
+  else begin
+    let cycle_elems, per_cycle = owned_in_first_cycle pr ~m in
+    if per_cycle = 0 then
+      invalid_arg "Brute.owned_prefix: processor owns no section element";
+    let span = Problem.cycle_span pr in
+    let base = Array.of_list cycle_elems in
+    Array.init count (fun j ->
+        base.(j mod per_cycle) + (span * (j / per_cycle)))
+  end
+
+let owned_up_to pr ~m ~u =
+  if m < 0 || m >= pr.Problem.p then invalid_arg "Brute.owned_up_to: bad m";
+  let lay = Problem.layout pr in
+  let acc = ref [] and n = ref 0 in
+  let g = ref pr.Problem.l in
+  while !g <= u do
+    if Layout.owner lay !g = m then begin
+      acc := !g :: !acc;
+      incr n
+    end;
+    g := !g + pr.Problem.s
+  done;
+  let out = Array.make !n 0 in
+  List.iteri (fun i v -> out.(!n - 1 - i) <- v) !acc;
+  out
+
+let gap_table pr ~m =
+  if m < 0 || m >= pr.Problem.p then invalid_arg "Brute.gap_table: bad m";
+  let _, length = owned_in_first_cycle pr ~m in
+  if length = 0 then Access_table.empty
+  else begin
+    let lay = Problem.layout pr in
+    let elems = owned_prefix pr ~m ~count:(length + 1) in
+    let local g = Layout.local_address lay g in
+    let gaps = Array.init length (fun j -> local elems.(j + 1) - local elems.(j)) in
+    { Access_table.start = Some elems.(0);
+      start_local = Some (local elems.(0));
+      length;
+      gaps }
+  end

@@ -1,0 +1,15 @@
+(** Brute-force reference implementation: walk [l, l+s, l+2s, …] element by
+    element, keep the ones the processor owns, and difference their local
+    addresses. [O(pk/d)] per processor — used as ground truth by the test
+    suite and the [verify] CLI, never by benchmarks. *)
+
+val gap_table : Problem.t -> m:int -> Access_table.t
+(** Same contract as [Kns.gap_table]. *)
+
+val owned_prefix : Problem.t -> m:int -> count:int -> int array
+(** First [count] owned section elements (global indices) in increasing
+    order. @raise Invalid_argument if the processor owns none and
+    [count > 0]. *)
+
+val owned_up_to : Problem.t -> m:int -> u:int -> int array
+(** All owned section elements [<= u], ascending. *)

@@ -1,0 +1,27 @@
+open Lams_dist
+
+let gap_table_with_sort ~sort pr ~m =
+  let locs = Start_finder.first_cycle_locations pr ~m in
+  let length = Array.length locs in
+  if length = 0 then Access_table.empty
+  else begin
+    sort locs;
+    let lay = Problem.layout pr in
+    let local g = Layout.local_address lay g in
+    let start = locs.(0) in
+    let gaps = Array.make length 0 in
+    for j = 0 to length - 2 do
+      gaps.(j) <- local locs.(j + 1) - local locs.(j)
+    done;
+    (* Wrap-around: from the cycle's last access to the first access of the
+       next cycle, which sits one cycle_span later in global indices and
+       hence k * s/d cells later in local memory. *)
+    let next_cycle_first = start + Problem.cycle_span pr in
+    gaps.(length - 1) <- local next_cycle_first - local locs.(length - 1);
+    { Access_table.start = Some start;
+      start_local = Some (local start);
+      length;
+      gaps }
+  end
+
+let gap_table pr ~m = gap_table_with_sort ~sort:Lams_sort.Sorting.for_baseline pr ~m

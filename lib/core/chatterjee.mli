@@ -1,0 +1,20 @@
+(** The sorting-based baseline of Chatterjee, Gilbert, Long, Schreiber &
+    Teng (PPOPP'93), as described in §2 and §6.1 and reimplemented for the
+    head-to-head comparison of Table 1.
+
+    Identical Diophantine front end to {!Kns} (the paper made the shared
+    segments identical code, and so do we — both call {!Start_finder});
+    then the initial-cycle locations are {e sorted} ([O(k log k)]
+    comparison sort below 64 elements, linear LSD radix sort at 64 and
+    above, matching the paper's implementation note) and a linear scan
+    turns sorted locations into local-memory gaps. *)
+
+val gap_table : Problem.t -> m:int -> Access_table.t
+(** Produces a result identical to [Kns.gap_table] (a property the test
+    suite checks exhaustively); only the construction cost differs.
+    @raise Invalid_argument unless [0 <= m < p]. *)
+
+val gap_table_with_sort :
+  sort:(int array -> unit) -> Problem.t -> m:int -> Access_table.t
+(** Same with a caller-chosen sorting routine (used by the ablation bench
+    comparing quicksort / merge / radix policies). *)

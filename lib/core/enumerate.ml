@@ -1,0 +1,111 @@
+open Lams_lattice
+open Lams_dist
+
+type state =
+  | Singleton of { stride_global : int; stride_local : int }
+      (** only one reachable offset: constant hop *)
+  | Walk of { basis : Basis.t; m : int }
+
+type cursor = { global : int; local : int; state : state }
+
+let start pr ~m =
+  let { Start_finder.start; length } = Start_finder.find pr ~m in
+  match start with
+  | None -> None
+  | Some g ->
+      let lay = Problem.layout pr in
+      let local = Layout.local_address lay g in
+      let state =
+        if length = 1 then
+          Singleton
+            { stride_global = Problem.cycle_span pr;
+              stride_local = pr.Problem.k * pr.Problem.s / Problem.gcd pr }
+        else begin
+          match Kns.basis pr with
+          | Some basis -> Walk { basis; m }
+          | None -> assert false (* length >= 2 implies d < k *)
+        end
+      in
+      Some { global = g; local; state }
+
+let global c = c.global
+let local c = c.local
+
+let next c =
+  match c.state with
+  | Singleton { stride_global; stride_local } ->
+      { c with
+        global = c.global + stride_global;
+        local = c.local + stride_local }
+  | Walk { basis; m } ->
+      let pk = basis.Basis.p * basis.Basis.k in
+      let offset = c.global mod pk in
+      let step = Basis.next_step basis ~proc:m ~offset in
+      let index_delta =
+        (* The step's section-index advance: (pk*a + b) / s. *)
+        ((pk * step.Point.a) + step.Point.b) / basis.Basis.s
+      in
+      { c with
+        global = c.global + (index_delta * basis.Basis.s);
+        local = c.local + Basis.gap basis step }
+
+let seq pr ~m ~u =
+  let rec from = function
+    | Some c when c.global <= u -> fun () -> Seq.Cons ((c.global, c.local), from (Some (next c)))
+    | _ -> Seq.empty
+  in
+  from (start pr ~m)
+
+let iter_bounded pr ~m ~u ~f =
+  (* Allocation-free fast path: the Theorem 3 tests inlined over mutable
+     cursors — the loop shape the paper's §6.2 envisions a compiler
+     emitting when it keeps only R and L. *)
+  match Start_finder.find pr ~m with
+  | { Start_finder.start = None; _ } -> ()
+  | { Start_finder.start = Some start; length } ->
+      let lay = Problem.layout pr in
+      let global = ref start and local = ref (Layout.local_address lay start) in
+      if length = 1 then begin
+        let dg = Problem.cycle_span pr
+        and dl = pr.Problem.k * pr.Problem.s / Problem.gcd pr in
+        while !global <= u do
+          f !global !local;
+          global := !global + dg;
+          local := !local + dl
+        done
+      end
+      else begin
+        let b =
+          match Kns.basis pr with Some b -> b | None -> assert false
+        in
+        let k = pr.Problem.k and s = pr.Problem.s in
+        let pk = Problem.row_len pr in
+        let window_lo = m * k and window_hi = (m + 1) * k in
+        let r = b.Basis.r and l_vec = b.Basis.l in
+        let rb = r.Point.b and lb = l_vec.Point.b in
+        let r_gap = Point.memory_gap ~k r
+        and l_gap = -Point.memory_gap ~k l_vec in
+        let rl_gap = r_gap + l_gap in
+        (* Global-index advance of each step: index delta times stride. *)
+        let r_idx = ((pk * r.Point.a) + rb) / s in
+        let l_idx = -(((pk * l_vec.Point.a) + lb) / s) in
+        let offset = ref (start mod pk) in
+        while !global <= u do
+          f !global !local;
+          if !offset + rb < window_hi then begin
+            offset := !offset + rb;
+            global := !global + (r_idx * s);
+            local := !local + r_gap
+          end
+          else if !offset - lb >= window_lo then begin
+            offset := !offset - lb;
+            global := !global + (l_idx * s);
+            local := !local + l_gap
+          end
+          else begin
+            offset := !offset + rb - lb;
+            global := !global + ((r_idx + l_idx) * s);
+            local := !local + rl_gap
+          end
+        done
+      end

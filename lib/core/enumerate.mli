@@ -1,0 +1,32 @@
+(** Table-free address enumeration — the memory-lean variant the paper
+    points to at the end of §6.2 (detailed in the authors' ICS'95 paper):
+    keep only the vectors [R] and [L] and regenerate each local address on
+    the fly with the two Theorem 3 tests, instead of materialising the
+    [AM]/[NextOffset] tables. Trades a small per-access cost for [O(1)]
+    table space. *)
+
+type cursor
+(** A position in processor [m]'s access sequence. Immutable. *)
+
+val start : Problem.t -> m:int -> cursor option
+(** Cursor at the processor's first owned element ([None] if it owns
+    nothing). @raise Invalid_argument unless [0 <= m < p]. *)
+
+val global : cursor -> int
+(** Global index of the current element. *)
+
+val local : cursor -> int
+(** Packed local address of the current element. *)
+
+val next : cursor -> cursor
+(** Cursor at the following owned element (always exists: the pattern is
+    periodic and unbounded). *)
+
+val seq : Problem.t -> m:int -> u:int -> (int * int) Seq.t
+(** All [(global, local)] pairs for owned elements of [A(l:u:s)], in
+    access order, generated lazily with O(1) state. *)
+
+val iter_bounded : Problem.t -> m:int -> u:int -> f:(int -> int -> unit) -> unit
+(** [iter_bounded pr ~m ~u ~f] applies [f global local] to every owned
+    element of [A(l:u:s)] — the allocation-free loop shape a compiler
+    would emit. *)

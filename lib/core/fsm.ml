@@ -1,0 +1,48 @@
+type t = {
+  start_offset : int;
+  delta : int array;
+  next_offset : int array;
+  length : int;
+}
+
+let unreachable_delta = min_int
+
+let build pr ~m =
+  let k = pr.Problem.k in
+  let delta = Array.make k unreachable_delta in
+  let next_offset = Array.make k (-1) in
+  let window_lo = m * k in
+  let found =
+    Kns.iter_gaps pr ~m ~f:(fun ~idx:_ ~row_offset ~gap ~next_row_offset ->
+        let state = row_offset - window_lo in
+        delta.(state) <- gap;
+        next_offset.(state) <- next_row_offset - window_lo)
+  in
+  match found.Start_finder.start with
+  | None -> None
+  | Some start ->
+      Some
+        { start_offset = start mod k;
+          delta;
+          next_offset;
+          length = found.Start_finder.length }
+
+let reachable t o = o >= 0 && o < Array.length t.delta && t.delta.(o) <> unreachable_delta
+
+let walk t ~steps =
+  let out = Array.make steps 0 in
+  let state = ref t.start_offset in
+  for j = 0 to steps - 1 do
+    assert (reachable t !state);
+    out.(j) <- t.delta.(!state);
+    state := t.next_offset.(!state)
+  done;
+  out
+
+let pp ppf t =
+  Format.fprintf ppf "start state %d@." t.start_offset;
+  Array.iteri
+    (fun o gap ->
+      if gap <> unreachable_delta then
+        Format.fprintf ppf "%d -> %d (gap %d)@." o t.next_offset.(o) gap)
+    t.delta

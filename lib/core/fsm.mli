@@ -1,0 +1,37 @@
+(** The finite-state-machine view of the access pattern (§2, after
+    Chatterjee et al.) and the offset-indexed tables required by node-code
+    shape 8(d).
+
+    States are the {e local offsets} [0 .. k-1] of a processor's block.
+    Reachable states carry the local-memory gap to the next access
+    ([delta]) and the successor state ([next_offset]) — the paper's
+    modified lines 36–38, which index [AM] by local offset instead of by
+    access order. Transitions depend only on [(p, k, s)]; the start state
+    additionally depends on [l] and [m]. *)
+
+type t = {
+  start_offset : int;  (** local offset of the start location, [start mod k] *)
+  delta : int array;  (** size [k]; [delta.(o)] = gap leaving state [o];
+                          [min_int] marks unreachable states *)
+  next_offset : int array;  (** size [k]; successor state; [-1] when
+                                unreachable *)
+  length : int;  (** number of reachable states *)
+}
+
+val unreachable_delta : int
+(** The sentinel stored in [delta] for unreachable states ([min_int]). *)
+
+val build : Problem.t -> m:int -> t option
+(** [None] iff the processor owns no section element.
+    @raise Invalid_argument unless [0 <= m < p]. *)
+
+val reachable : t -> int -> bool
+(** Is local offset [o] a state of the machine? *)
+
+val walk : t -> steps:int -> int array
+(** Gap sequence of [steps] transitions starting from [start_offset]
+    (test helper: must reproduce the [AM] table cyclically). *)
+
+val pp : Format.formatter -> t -> unit
+(** Transition-diagram rendering, one [state -> state (gap g)] line per
+    reachable state. *)

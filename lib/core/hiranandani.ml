@@ -1,0 +1,44 @@
+open Lams_numeric
+open Lams_dist
+
+let applicable (pr : Problem.t) =
+  pr.Problem.s mod Problem.row_len pr < pr.Problem.k
+
+let gap_table pr ~m =
+  if not (applicable pr) then
+    invalid_arg "Hiranandani.gap_table: requires s mod pk < k";
+  let { Start_finder.start; length } = Start_finder.find pr ~m in
+  match start with
+  | None -> Access_table.empty
+  | Some start ->
+      let pk = Problem.row_len pr in
+      let k = pr.Problem.k and s = pr.Problem.s in
+      let sigma = s mod pk in
+      let lay = Problem.layout pr in
+      let local g = Layout.local_address lay g in
+      let window_lo = m * k in
+      let gaps = Array.make length 0 in
+      let g = ref start in
+      for idx = 0 to length - 1 do
+        (* Offset relative to the window start, in [0, k). *)
+        let rel = (!g mod pk) - window_lo in
+        let hops =
+          if sigma = 0 then 1
+          else if rel + sigma < k then 1
+          else begin
+            (* Offsets leave the window and march by σ until wrapping past
+               the row end; the wrap necessarily lands in [0, σ) ⊆ [0, k).
+               (For p = 1 the first branch may still miss — then the wrap
+               happens on the very next hop and this ceiling is 1.) *)
+            let t = Modular.ceil_div (pk - rel) sigma in
+            if (rel + sigma) mod pk < k then 1 else t
+          end
+        in
+        let next = !g + (hops * s) in
+        gaps.(idx) <- local next - local !g;
+        g := next
+      done;
+      { Access_table.start = Some start;
+        start_local = Some (local start);
+        length;
+        gaps }

@@ -1,0 +1,17 @@
+(** The special-case linear algorithm of Hiranandani, Kennedy,
+    Mellor-Crummey & Sethi (ICS'94), valid when [s mod pk < k] (§1, §7).
+
+    Under that condition each [+s] hop advances the row-offset by
+    [σ = s mod pk < k], so a processor's window is traversed left-to-right
+    in offset order and the number of hops needed to re-enter the window
+    after leaving it is a closed form — no sorting and no lattice basis
+    required. Outside its precondition the method does not apply. *)
+
+val applicable : Problem.t -> bool
+(** [s mod (p*k) < k]. *)
+
+val gap_table : Problem.t -> m:int -> Access_table.t
+(** Produces a result identical to [Kns.gap_table] on its domain (checked
+    by the test suite).
+    @raise Invalid_argument if [not (applicable pr)] or [m] out of
+    range. *)

@@ -1,0 +1,76 @@
+open Lams_lattice
+open Lams_dist
+
+type stats = { points_visited : int; eq1 : int; eq2 : int; eq3 : int }
+
+let basis (pr : Problem.t) =
+  Basis.construct ~p:pr.Problem.p ~k:pr.Problem.k ~s:pr.Problem.s
+
+let singleton_gap (pr : Problem.t) =
+  (* Line 16: with one reachable offset, consecutive owned elements are one
+     full pattern period apart, which is k*s/d local cells. *)
+  pr.Problem.k * pr.Problem.s / Problem.gcd pr
+
+let iter_gaps pr ~m ~f =
+  let ({ Start_finder.start; length } as found) = Start_finder.find pr ~m in
+  (match start with
+  | None -> ()
+  | Some start ->
+      let pk = Problem.row_len pr in
+      if length = 1 then
+        let off = start mod pk in
+        f ~idx:0 ~row_offset:off ~gap:(singleton_gap pr) ~next_row_offset:off
+      else begin
+        let b =
+          match basis pr with
+          | Some b -> b
+          | None -> assert false (* length >= 2 implies d < k *)
+        in
+        let offset = ref (start mod pk) in
+        for idx = 0 to length - 1 do
+          let step = Basis.next_step b ~proc:m ~offset:!offset in
+          let next = !offset + step.Point.b in
+          f ~idx ~row_offset:!offset ~gap:(Basis.gap b step)
+            ~next_row_offset:next;
+          offset := next
+        done
+      end);
+  found
+
+let gap_table_with_stats pr ~m =
+  let { Start_finder.start; length } = Start_finder.find pr ~m in
+  match start with
+  | None -> (Access_table.empty, { points_visited = 0; eq1 = 0; eq2 = 0; eq3 = 0 })
+  | Some start ->
+      let lay = Problem.layout pr in
+      let start_local = Layout.local_address lay start in
+      if length = 1 then
+        ( Access_table.singleton ~start ~start_local ~gap:(singleton_gap pr),
+          { points_visited = 2; eq1 = 0; eq2 = 0; eq3 = 0 } )
+      else begin
+        let b =
+          match basis pr with Some b -> b | None -> assert false
+        in
+        let gaps = Array.make length 0 in
+        let eq1 = ref 0 and eq2 = ref 0 and eq3 = ref 0 in
+        let r = b.Basis.r and l_vec = b.Basis.l in
+        let offset = ref (start mod Problem.row_len pr) in
+        for idx = 0 to length - 1 do
+          let step = Basis.next_step b ~proc:m ~offset:!offset in
+          gaps.(idx) <- Basis.gap b step;
+          (if Point.equal step r then incr eq1
+           else if Point.equal step (Point.neg l_vec) then incr eq2
+           else incr eq3);
+          offset := !offset + step.Point.b
+        done;
+        ( { Access_table.start = Some start;
+            start_local = Some start_local;
+            length;
+            gaps },
+          { points_visited = length + 1 + !eq3;
+            eq1 = !eq1;
+            eq2 = !eq2;
+            eq3 = !eq3 } )
+      end
+
+let gap_table pr ~m = fst (gap_table_with_stats pr ~m)

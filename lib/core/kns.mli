@@ -1,0 +1,46 @@
+(** The paper's linear-time algorithm (Figure 5): Kennedy–Nedeljković–Sethi.
+
+    Complexity [O(k + min(log s, log p))]: one extended Euclid, an [O(k/d)]
+    scan for the start location, an [O(k/d)] scan for the basis vectors
+    [R] and [L], and an [O(k)] lattice walk that applies Theorem 3 — at
+    most [2k + 1] lattice points are examined (§5.1), which
+    {!gap_table_with_stats} lets tests verify.
+
+    The paper's worked example:
+    {[
+      let pr = Problem.make ~p:4 ~k:8 ~l:4 ~s:9 in
+      let t = Kns.gap_table pr ~m:1 in
+      (* t.start       = Some 13
+         t.start_local = Some 5
+         t.gaps        = [| 3; 12; 15; 12; 3; 12; 3; 12 |] *)
+    ]} *)
+
+type stats = {
+  points_visited : int;
+      (** lattice points examined by the gap walk, [<= 2k+1] *)
+  eq1 : int;  (** steps by [R] (Equation 1) *)
+  eq2 : int;  (** steps by [−L] (Equation 2) *)
+  eq3 : int;  (** steps by [R − L] (Equation 3, one wasted point each) *)
+}
+
+val gap_table : Problem.t -> m:int -> Access_table.t
+(** The [AM] table for processor [m].
+    @raise Invalid_argument unless [0 <= m < p]. *)
+
+val gap_table_with_stats : Problem.t -> m:int -> Access_table.t * stats
+
+val basis : Problem.t -> Lams_lattice.Basis.t option
+(** The [R]/[L] basis used, when it exists ([d < k]); independent of [m]
+    and [l] (§4) — exposed for reuse, tests and the table-free
+    enumerator. *)
+
+val iter_gaps :
+  Problem.t ->
+  m:int ->
+  f:(idx:int -> row_offset:int -> gap:int -> next_row_offset:int -> unit) ->
+  Start_finder.t
+(** The underlying walk: calls [f] once per gap-table entry with the
+    row-offset of the current element, the local-memory gap to the next
+    element, and the next element's row-offset. Returns the start/length
+    record. Used to build the offset-indexed tables of code shape 8(d)
+    ({!Fsm.build}) without re-deriving the walk. *)

@@ -1,0 +1,29 @@
+let increasing pr ~m ~u =
+  Enumerate.seq pr ~m ~u |> Seq.map fst |> Array.of_seq
+
+let virtual_cyclic pr ~m ~u =
+  (* One congruence class per reachable offset, ascending offset; within a
+     class indices ascend with step cycle_span. *)
+  let span = Problem.cycle_span pr in
+  let firsts = Start_finder.first_cycle_locations pr ~m in
+  let out = ref [] in
+  Array.iter
+    (fun first ->
+      let g = ref first in
+      while !g <= u do
+        out := !g :: !out;
+        g := !g + span
+      done)
+    firsts;
+  let a = Array.of_list (List.rev !out) in
+  a
+
+let same_set a b =
+  let sa = List.sort compare (Array.to_list a)
+  and sb = List.sort compare (Array.to_list b) in
+  sa = sb
+
+let is_increasing a =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i - 1) < a.(i) && go (i + 1)) in
+  n <= 1 || go 1

@@ -1,0 +1,22 @@
+(** Alternative enumeration orders from the related work (§7).
+
+    Gupta et al.'s {e virtual-cyclic} scheme assigns one virtual processor
+    per offset class: elements sharing an offset are accessed in
+    increasing index order, but the order {e across} offsets follows the
+    offsets, not the indices. That order is cheap to produce yet wrong
+    for loops that must see indices increase — which is exactly why the
+    paper's increasing-order enumeration matters. This module materialises
+    both orders so tests and ablations can compare them. *)
+
+val increasing : Problem.t -> m:int -> u:int -> int array
+(** Owned elements of [A(l:u:s)] in increasing index order (the paper's
+    order; produced by the table-free enumerator). *)
+
+val virtual_cyclic : Problem.t -> m:int -> u:int -> int array
+(** The same element {e set}, ordered by (ascending offset class,
+    ascending index) — Gupta et al.'s virtual-cyclic visit order. *)
+
+val same_set : int array -> int array -> bool
+(** Order-insensitive equality (test helper). *)
+
+val is_increasing : int array -> bool

@@ -1,0 +1,27 @@
+open Lams_numeric
+open Lams_dist
+
+type t = { p : int; k : int; l : int; s : int }
+
+let make ~p ~k ~l ~s =
+  if p < 1 then invalid_arg "Problem.make: p < 1";
+  if k < 1 then invalid_arg "Problem.make: k < 1";
+  if l < 0 then invalid_arg "Problem.make: l < 0";
+  if s < 1 then invalid_arg "Problem.make: s < 1";
+  { p; k; l; s }
+
+let of_section (lay : Layout.t) section =
+  if Section.is_empty section then
+    invalid_arg "Problem.of_section: empty section";
+  let norm = Section.normalize section in
+  make ~p:lay.Layout.p ~k:lay.Layout.k ~l:norm.Section.lo
+    ~s:norm.Section.stride
+
+let layout t = Layout.create ~p:t.p ~k:t.k
+let row_len t = t.p * t.k
+let gcd t = Euclid.gcd t.s (row_len t)
+let cycle_indices t = row_len t / gcd t
+let cycle_span t = t.s * cycle_indices t
+
+let pp ppf t =
+  Format.fprintf ppf "p=%d k=%d l=%d s=%d" t.p t.k t.l t.s

@@ -1,0 +1,39 @@
+(** A memory-access-sequence problem instance (§2): an array distributed
+    [cyclic(k)] over [p] processors, traversed through the regular section
+    with lower bound [l] and stride [s].
+
+    The upper bound [u] plays no role in the gap sequence (it only
+    determines where each processor stops), so — like the paper — problem
+    instances carry only [(p, k, l, s)]; bounded traversals take [u]
+    separately. [s] must be positive: negative-stride sections are
+    normalised by the callers ({!Problem.of_section}). *)
+
+type t = private {
+  p : int;  (** processors, [>= 1] *)
+  k : int;  (** block size, [>= 1] *)
+  l : int;  (** section lower bound, [>= 0] *)
+  s : int;  (** section stride, [>= 1] *)
+}
+
+val make : p:int -> k:int -> l:int -> s:int -> t
+(** @raise Invalid_argument on any violated bound above. *)
+
+val of_section : Lams_dist.Layout.t -> Lams_dist.Section.t -> t
+(** Normalises the section to a positive stride first.
+    @raise Invalid_argument on an empty section. *)
+
+val layout : t -> Lams_dist.Layout.t
+val row_len : t -> int
+(** [p * k]. *)
+
+val gcd : t -> int
+(** [d = gcd s (p*k)], the solvability modulus of §2. *)
+
+val cycle_indices : t -> int
+(** [p*k / d]: number of section elements in one full period of the access
+    pattern (across all processors). *)
+
+val cycle_span : t -> int
+(** [s * p*k / d]: the global-index length of one period. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t = {
+  problem : Problem.t;
+  delta : int array;
+  next_offset : int array;
+}
+
+let build pr =
+  if Problem.gcd pr <> 1 then None
+  else begin
+    (* With d = 1 every processor reaches all k states and processor 0 is
+       never empty; build the tables once from processor 0. *)
+    match Fsm.build pr ~m:0 with
+    | None -> assert false (* d = 1 means every processor owns elements *)
+    | Some fsm ->
+        assert (fsm.Fsm.length = pr.Problem.k);
+        Some
+          { problem = pr;
+            delta = fsm.Fsm.delta;
+            next_offset = fsm.Fsm.next_offset }
+  end
+
+let start t ~m =
+  match (Start_finder.find t.problem ~m).Start_finder.start with
+  | Some g -> (g, g mod t.problem.Problem.k)
+  | None -> assert false (* d = 1: every processor owns elements *)
+
+let gap_table t ~m =
+  let g, state0 = start t ~m in
+  let k = t.problem.Problem.k in
+  let gaps = Array.make k 0 in
+  let state = ref state0 in
+  for j = 0 to k - 1 do
+    gaps.(j) <- t.delta.(!state);
+    state := t.next_offset.(!state)
+  done;
+  let lay = Problem.layout t.problem in
+  { Access_table.start = Some g;
+    start_local = Some (Lams_dist.Layout.local_address lay g);
+    length = k;
+    gaps }
+
+let fsm_for t ~m =
+  let _, state0 = start t ~m in
+  { Fsm.start_offset = state0;
+    delta = t.delta;
+    next_offset = t.next_offset;
+    length = t.problem.Problem.k }

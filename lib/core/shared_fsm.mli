@@ -1,0 +1,35 @@
+(** The compile-time specialisation of §6.1: when [gcd(s, pk) = 1] the
+    local [AM] sequences of all processors are cyclic shifts of one
+    another, so the transition tables can be computed {e once} and every
+    processor only needs its starting location.
+
+    This works because the state transitions of the access FSM (§2)
+    depend only on [(p, k, s)]: the Theorem 3 tests compare the {e local}
+    offset [o = row_offset − m*k] against [k], so the [delta]/[NextOffset]
+    tables indexed by local offset are identical on every processor.
+    With [d = 1] every one of the [k] states is reachable on every
+    processor, hence the full table is shared verbatim. *)
+
+type t = private {
+  problem : Problem.t;
+  delta : int array;  (** size [k]: gap leaving each local offset *)
+  next_offset : int array;  (** size [k]: successor local offset *)
+}
+
+val build : Problem.t -> t option
+(** [None] unless [gcd (s, p*k) = 1]. Cost: one ordinary table
+    construction ([O(k + log min(s, pk))]), paid once for all
+    processors. *)
+
+val start : t -> m:int -> int * int
+(** [(global start element, start state)] for a processor — the only
+    per-processor work left. *)
+
+val gap_table : t -> m:int -> Access_table.t
+(** Processor [m]'s table, derived by walking the shared FSM from its
+    start state: no extended Euclid, no Diophantine scan, no basis
+    construction per processor. Identical to [Kns.gap_table] (tested). *)
+
+val fsm_for : t -> m:int -> Fsm.t
+(** The shared tables repackaged with processor [m]'s start state —
+    directly consumable by code shape 8(d). *)

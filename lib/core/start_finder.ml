@@ -1,0 +1,73 @@
+open Lams_numeric
+
+type t = { start : int option; length : int }
+
+(* Iterate over the reachable offsets of processor m's window. For each,
+   pass the smallest non-negative j with s*j ≡ i (mod pk) to [f]. The
+   Bézout coefficient advances j by a constant (mod pk/d) as i advances by
+   d, so the loop body is conditional-free. *)
+let scan_window (pr : Problem.t) ~m f =
+  if m < 0 || m >= pr.Problem.p then invalid_arg "Start_finder: bad processor";
+  let pk = Problem.row_len pr in
+  let s = pr.Problem.s and l = pr.Problem.l and k = pr.Problem.k in
+  let d, x, _ = Euclid.egcd s pk in
+  let period = pk / d in
+  let lo = (k * m) - l in
+  let hi = lo + k in
+  let i0 = Diophantine.first_multiple_at_least ~d lo in
+  if i0 < hi then begin
+    let x_unit = Modular.emod x period in
+    (* j for the first solvable offset. *)
+    let j = ref (Modular.emod (x * (i0 / d)) period) in
+    let i = ref i0 in
+    while !i < hi do
+      f ~offset_in_window:(!i - lo) ~j:!j;
+      j := !j + x_unit;
+      if !j >= period then j := !j - period;
+      i := !i + d
+    done
+  end
+
+let find pr ~m =
+  let best = ref max_int and count = ref 0 in
+  scan_window pr ~m (fun ~offset_in_window:_ ~j ->
+      incr count;
+      if j < !best then best := j);
+  if !count = 0 then { start = None; length = 0 }
+  else { start = Some (pr.Problem.l + (pr.Problem.s * !best)); length = !count }
+
+let first_cycle_locations pr ~m =
+  let acc = ref [] and count = ref 0 in
+  scan_window pr ~m (fun ~offset_in_window:_ ~j ->
+      incr count;
+      acc := (pr.Problem.l + (pr.Problem.s * j)) :: !acc);
+  let out = Array.make !count 0 in
+  List.iteri (fun idx loc -> out.(!count - 1 - idx) <- loc) !acc;
+  out
+
+let last_location pr ~m ~u =
+  let l = pr.Problem.l and s = pr.Problem.s in
+  if u < l then None
+  else begin
+    let jcap = (u - l) / s in
+    let period = Problem.cycle_indices pr in
+    let best = ref (-1) in
+    scan_window pr ~m (fun ~offset_in_window:_ ~j ->
+        if j <= jcap then begin
+          let jmax = j + (period * ((jcap - j) / period)) in
+          if jmax > !best then best := jmax
+        end);
+    if !best < 0 then None else Some (l + (s * !best))
+  end
+
+let count_owned pr ~m ~u =
+  let l = pr.Problem.l and s = pr.Problem.s in
+  if u < l then 0
+  else begin
+    let jcap = (u - l) / s in
+    let period = Problem.cycle_indices pr in
+    let total = ref 0 in
+    scan_window pr ~m (fun ~offset_in_window:_ ~j ->
+        if j <= jcap then total := !total + (((jcap - j) / period) + 1));
+    !total
+  end

@@ -1,0 +1,107 @@
+type mismatch = {
+  m : int;
+  algorithm : string;
+  expected : Access_table.t;
+  got : Access_table.t;
+}
+
+let table_checks pr ~m ~expected =
+  let candidates =
+    [ ("kns", fun () -> Kns.gap_table pr ~m);
+      ("chatterjee", fun () -> Chatterjee.gap_table pr ~m) ]
+    @
+    if Hiranandani.applicable pr then
+      [ ("hiranandani", fun () -> Hiranandani.gap_table pr ~m) ]
+    else []
+  in
+  List.filter_map
+    (fun (algorithm, run) ->
+      let got = run () in
+      if Access_table.equal got expected then None
+      else Some { m; algorithm; expected; got })
+    candidates
+
+(* Replay [steps] addresses out of an access table; empty table -> [||]. *)
+let addresses_of_table (t : Access_table.t) ~steps =
+  if t.Access_table.length = 0 then [||]
+  else Access_table.local_addresses t ~count:steps
+
+let enumerate_checks pr ~m ~(expected : Access_table.t) =
+  let steps = max 1 (2 * expected.Access_table.length) in
+  let want = addresses_of_table expected ~steps in
+  let got =
+    match Enumerate.start pr ~m with
+    | None -> [||]
+    | Some c ->
+        let out = Array.make steps 0 in
+        let cur = ref c in
+        for j = 0 to steps - 1 do
+          out.(j) <- Enumerate.local !cur;
+          cur := Enumerate.next !cur
+        done;
+        out
+  in
+  if want = got then []
+  else
+    [ { m;
+        algorithm = "enumerate";
+        expected;
+        got =
+          { expected with
+            Access_table.gaps =
+              Array.init
+                (max 0 (Array.length got - 1))
+                (fun j -> got.(j + 1) - got.(j)) } } ]
+
+let fsm_checks pr ~m ~(expected : Access_table.t) =
+  match Fsm.build pr ~m with
+  | None ->
+      if expected.Access_table.length = 0 then []
+      else [ { m; algorithm = "fsm"; expected; got = Access_table.empty } ]
+  | Some fsm ->
+      let steps = 2 * expected.Access_table.length in
+      let got_gaps = Fsm.walk fsm ~steps in
+      let want_gaps =
+        Array.init steps (fun j ->
+            expected.Access_table.gaps.(j mod expected.Access_table.length))
+      in
+      if got_gaps = want_gaps then []
+      else
+        [ { m;
+            algorithm = "fsm";
+            expected;
+            got = { expected with Access_table.gaps = got_gaps } } ]
+
+let check_instance pr =
+  let p = pr.Problem.p in
+  List.concat
+    (List.init p (fun m ->
+         let expected = Brute.gap_table pr ~m in
+         table_checks pr ~m ~expected
+         @ enumerate_checks pr ~m ~expected
+         @ fsm_checks pr ~m ~expected))
+
+let check_random ~seed ~trials ~max_p ~max_k ~max_s =
+  (* Tiny deterministic LCG to avoid a dependency on lams_util here. *)
+  let state = ref seed in
+  let rand bound =
+    state := Int64.(add (mul !state 6364136223846793005L) 1442695040888963407L);
+    let v = Int64.to_int (Int64.shift_right_logical !state 33) in
+    1 + (v mod bound)
+  in
+  let rec go trial =
+    if trial >= trials then None
+    else begin
+      let p = rand max_p and k = rand max_k and s = rand max_s in
+      let l = rand (4 * p * k) - 1 in
+      let pr = Problem.make ~p ~k ~l ~s in
+      match check_instance pr with
+      | [] -> go (trial + 1)
+      | mm :: _ -> Some (pr, mm)
+    end
+  in
+  go 0
+
+let pp_mismatch ppf { m; algorithm; expected; got } =
+  Format.fprintf ppf "proc %d, %s:@ expected %a@ got %a" m algorithm
+    Access_table.pp expected Access_table.pp got

@@ -1,0 +1,24 @@
+(** Cross-validation utilities shared by the test suite and the CLI's
+    [verify] subcommand: run every algorithm on the same instance and
+    diff the results against the brute-force reference. *)
+
+type mismatch = {
+  m : int;  (** processor *)
+  algorithm : string;
+  expected : Access_table.t;  (** brute-force result *)
+  got : Access_table.t;
+}
+
+val check_instance : Problem.t -> mismatch list
+(** Runs Kns, Chatterjee and (when applicable) Hiranandani on every
+    processor of the instance and returns all disagreements with
+    {!Brute.gap_table} (empty list = fully consistent). Also checks the
+    table-free enumerator against the expected address stream and the FSM
+    walk against the [AM] table. *)
+
+val check_random :
+  seed:int64 -> trials:int -> max_p:int -> max_k:int -> max_s:int ->
+  (Problem.t * mismatch) option
+(** Random instances until a mismatch is found; [None] = all passed. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

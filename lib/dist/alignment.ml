@@ -1,0 +1,34 @@
+open Lams_numeric
+
+type t = { scale : int; offset : int }
+
+let identity = { scale = 1; offset = 0 }
+
+let make ~scale ~offset =
+  if scale = 0 then invalid_arg "Alignment.make: zero scale";
+  { scale; offset }
+
+let apply t i = (t.scale * i) + t.offset
+
+let preimage t c =
+  let v = c - t.offset in
+  if Modular.emod v t.scale = 0 then Some (v / t.scale) else None
+
+let compose outer inner =
+  { scale = outer.scale * inner.scale;
+    offset = (outer.scale * inner.offset) + outer.offset }
+
+let section_image t (sec : Section.t) =
+  if Section.is_empty sec then
+    invalid_arg "Alignment.section_image: empty section";
+  Section.make ~lo:(apply t sec.Section.lo) ~hi:(apply t sec.Section.hi)
+    ~stride:(t.scale * sec.Section.stride)
+
+let is_identity t = t.scale = 1 && t.offset = 0
+let equal t1 t2 = t1.scale = t2.scale && t1.offset = t2.offset
+
+let pp ppf t =
+  if is_identity t then Format.pp_print_string ppf "i"
+  else if t.offset = 0 then Format.fprintf ppf "%d*i" t.scale
+  else if t.offset > 0 then Format.fprintf ppf "%d*i+%d" t.scale t.offset
+  else Format.fprintf ppf "%d*i%d" t.scale t.offset

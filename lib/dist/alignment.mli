@@ -1,0 +1,34 @@
+(** Affine alignments between arrays and templates (§2).
+
+    HPF aligns array element [A(i)] with template cell [a*i + b]. Identity
+    alignment is [a = 1, b = 0]. The paper shows that the memory access
+    problem under any affine alignment reduces to two applications of the
+    identity-alignment algorithm; that reduction lives in
+    [Lams_multidim.Aligned] — this module is just the affine-map algebra. *)
+
+type t = private { scale : int;  (** [a], non-zero *) offset : int  (** [b] *) }
+
+val identity : t
+val make : scale:int -> offset:int -> t
+(** @raise Invalid_argument if [scale = 0]. *)
+
+val apply : t -> int -> int
+(** Template cell of an array index. *)
+
+val preimage : t -> int -> int option
+(** [preimage t c] is the array index aligned to template cell [c], if
+    any ([c - b] must be divisible by [a]). *)
+
+val compose : t -> t -> t
+(** [compose outer inner] applies [inner] first: the map
+    [i ↦ outer (inner i)]. *)
+
+val section_image : t -> Section.t -> Section.t
+(** The template cells touched by an array section: [A(l:u:s)] maps to
+    cells [(a*l+b : a*u+b : a*s)].
+    @raise Invalid_argument on an empty section. *)
+
+val is_identity : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [3*i+1]. *)

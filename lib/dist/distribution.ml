@@ -1,0 +1,39 @@
+open Lams_numeric
+
+type t = Block | Cyclic | Block_cyclic of int
+
+let block_size t ~n ~p =
+  if n <= 0 then invalid_arg "Distribution.block_size: n <= 0";
+  if p <= 0 then invalid_arg "Distribution.block_size: p <= 0";
+  match t with
+  | Block -> Modular.ceil_div n p
+  | Cyclic -> 1
+  | Block_cyclic k ->
+      if k <= 0 then invalid_arg "Distribution.block_size: k <= 0";
+      k
+
+let to_layout t ~n ~p = Layout.create ~p ~k:(block_size t ~n ~p)
+
+let of_string str =
+  let str = String.trim (String.lowercase_ascii str) in
+  match str with
+  | "block" -> Some Block
+  | "cyclic" -> Some Cyclic
+  | _ ->
+      let n = String.length str in
+      if n > 8 && String.sub str 0 7 = "cyclic(" && str.[n - 1] = ')' then
+        match int_of_string_opt (String.sub str 7 (n - 8)) with
+        | Some k when k > 0 -> Some (Block_cyclic k)
+        | _ -> None
+      else None
+
+let pp ppf = function
+  | Block -> Format.pp_print_string ppf "block"
+  | Cyclic -> Format.pp_print_string ppf "cyclic"
+  | Block_cyclic k -> Format.fprintf ppf "cyclic(%d)" k
+
+let equal a b =
+  match (a, b) with
+  | Block, Block | Cyclic, Cyclic -> true
+  | Block_cyclic k1, Block_cyclic k2 -> k1 = k2
+  | (Block | Cyclic | Block_cyclic _), _ -> false

@@ -1,0 +1,22 @@
+(** HPF distribution formats. [block] and [cyclic] are the special cases of
+    [cyclic(k)] noted in §1: [cyclic = cyclic(1)] and
+    [block = cyclic(ceil(n/p))]. *)
+
+type t =
+  | Block  (** contiguous chunks of [ceil (n/p)] *)
+  | Cyclic  (** round-robin single elements *)
+  | Block_cyclic of int  (** [cyclic(k)] *)
+
+val block_size : t -> n:int -> p:int -> int
+(** The effective [k] for an array of [n] elements on [p] processors.
+    @raise Invalid_argument if [n <= 0], [p <= 0], or [Block_cyclic k]
+    with [k <= 0]. *)
+
+val to_layout : t -> n:int -> p:int -> Layout.t
+(** Normalise to the concrete [cyclic(k)] layout. *)
+
+val of_string : string -> t option
+(** Parses ["block"], ["cyclic"], ["cyclic(8)"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

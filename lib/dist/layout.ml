@@ -1,0 +1,55 @@
+type t = { p : int; k : int }
+
+let create ~p ~k =
+  if p <= 0 then invalid_arg "Layout.create: p <= 0";
+  if k <= 0 then invalid_arg "Layout.create: k <= 0";
+  { p; k }
+
+let row_len t = t.p * t.k
+
+let check_index g = if g < 0 then invalid_arg "Layout: negative global index"
+
+let owner t g =
+  check_index g;
+  g mod row_len t / t.k
+
+let row t g =
+  check_index g;
+  g / row_len t
+
+let row_offset t g =
+  check_index g;
+  g mod row_len t
+
+let block = row
+
+let block_offset t g =
+  check_index g;
+  g mod row_len t mod t.k
+
+let local_address t g = (row t g * t.k) + block_offset t g
+
+let local_address_on t ~proc g =
+  if owner t g = proc then Some (local_address t g) else None
+
+let global_of_local t ~proc addr =
+  if addr < 0 then invalid_arg "Layout.global_of_local: negative address";
+  ((addr / t.k) * row_len t) + (proc * t.k) + (addr mod t.k)
+
+let local_count t ~n ~proc =
+  if n < 0 then invalid_arg "Layout.local_count: n < 0";
+  let pk = row_len t in
+  let full_rows = n / pk and rest = n mod pk in
+  let partial = min t.k (max 0 (rest - (proc * t.k))) in
+  (full_rows * t.k) + partial
+
+let local_extent = local_count
+
+let owned_globals t ~n ~proc =
+  let rec go acc g =
+    if g < 0 then acc
+    else go (if owner t g = proc then g :: acc else acc) (g - 1)
+  in
+  go [] (n - 1)
+
+let pp ppf t = Format.fprintf ppf "cyclic(%d) on %d procs" t.k t.p

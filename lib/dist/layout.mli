@@ -1,0 +1,60 @@
+(** The concrete [cyclic(k)] data layout of §2 (the paper's Figure 1).
+
+    Global index space is viewed as a matrix whose rows hold [p*k]
+    elements: row [i div pk], row-offset [i mod pk]. Row-offset range
+    [\[m*k, (m+1)*k)] belongs to processor [m]. Each processor stores its
+    blocks contiguously, one [k]-wide block per layout row, so the local
+    address of an owned element is [row * k + (row_offset - m*k)]. *)
+
+type t = private { p : int;  (** processors *) k : int  (** block size *) }
+
+val create : p:int -> k:int -> t
+(** @raise Invalid_argument unless [p > 0] and [k > 0]. *)
+
+val row_len : t -> int
+(** [p * k], the layout-row length. *)
+
+val owner : t -> int -> int
+(** Processor owning a global index ([>= 0]). *)
+
+val row : t -> int -> int
+(** Layout row of a global index. *)
+
+val row_offset : t -> int -> int
+(** Offset within the layout row, in [\[0, p*k)] — the paper's "offset"
+    coordinate (x-axis of the lattice plane). *)
+
+val block : t -> int -> int
+(** Block number within the owning processor (equals {!row} here since
+    each processor gets one block per row). *)
+
+val block_offset : t -> int -> int
+(** Offset within the owning block, in [\[0, k)]. *)
+
+val local_address : t -> int -> int
+(** Packed local address of a global index {e on its owning processor}:
+    [row * k + block_offset]. *)
+
+val local_address_on : t -> proc:int -> int -> int option
+(** [local_address_on t ~proc g] is [Some (local_address t g)] when
+    [owner t g = proc], else [None]. *)
+
+val global_of_local : t -> proc:int -> int -> int
+(** Inverse of {!local_address} for a given processor.
+    @raise Invalid_argument on a negative address. *)
+
+val local_count : t -> n:int -> proc:int -> int
+(** Number of elements of a global array of size [n] stored on [proc]. *)
+
+val local_extent : t -> n:int -> proc:int -> int
+(** Size of the local allocation needed for a global array of size [n]:
+    one more than the largest local address used, i.e.
+    [local_address] of the last owned element [+ 1]; [0] if none owned.
+    (Equals {!local_count} plus the holes left by a partial last row —
+    with this packed layout there are none, so it equals
+    {!local_count}.) *)
+
+val owned_globals : t -> n:int -> proc:int -> int list
+(** All global indices owned by [proc], ascending (test helper; [O(n)]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = { dims : int array }
+
+let create dims =
+  if Array.length dims = 0 then invalid_arg "Proc_grid.create: no dimensions";
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Proc_grid.create: dimension <= 0")
+    dims;
+  { dims = Array.copy dims }
+
+let linear p = create [| p |]
+let size t = Array.fold_left ( * ) 1 t.dims
+let ndims t = Array.length t.dims
+let dim t i = t.dims.(i)
+
+let rank_of_coords t coords =
+  if Array.length coords <> Array.length t.dims then
+    invalid_arg "Proc_grid.rank_of_coords: arity mismatch";
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= t.dims.(i) then
+        invalid_arg "Proc_grid.rank_of_coords: coordinate out of range")
+    coords;
+  Array.fold_left (fun acc i -> (acc * t.dims.(i)) + coords.(i)) 0
+    (Array.init (Array.length t.dims) Fun.id)
+
+let coords_of_rank t rank =
+  if rank < 0 || rank >= size t then
+    invalid_arg "Proc_grid.coords_of_rank: rank out of range";
+  let n = Array.length t.dims in
+  let coords = Array.make n 0 in
+  let rest = ref rank in
+  for i = n - 1 downto 0 do
+    coords.(i) <- !rest mod t.dims.(i);
+    rest := !rest / t.dims.(i)
+  done;
+  coords
+
+let pp ppf t =
+  Format.fprintf ppf "procs(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int t.dims)))

@@ -1,0 +1,28 @@
+(** Multidimensional processor grids, the [PROCESSORS] arrangements onto
+    which templates are distributed. Dimensions of a multidimensional
+    distribution are independent of one another (§2), so a grid is just a
+    shape with row-major rank/coordinate conversions. *)
+
+type t = private { dims : int array }
+
+val create : int array -> t
+(** @raise Invalid_argument if empty or any dimension [<= 0]. *)
+
+val linear : int -> t
+(** One-dimensional grid of [p] processors. *)
+
+val size : t -> int
+(** Total processor count (product of dims). *)
+
+val ndims : t -> int
+val dim : t -> int -> int
+
+val rank_of_coords : t -> int array -> int
+(** Row-major linearisation. @raise Invalid_argument on shape mismatch or
+    out-of-range coordinate. *)
+
+val coords_of_rank : t -> int -> int array
+(** Inverse of {!rank_of_coords}. @raise Invalid_argument if out of
+    range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+let cell_width n = max 3 (String.length (string_of_int (max 0 (n - 1))) + 2)
+
+let render_cell ~width ~mark ~highlight g =
+  let txt = string_of_int g in
+  let deco =
+    if highlight g then "(" ^ txt ^ ")"
+    else if mark g then "[" ^ txt ^ "]"
+    else " " ^ txt ^ " "
+  in
+  let padding = width - String.length deco in
+  if padding <= 0 then deco else String.make padding ' ' ^ deco
+
+let layout (lay : Layout.t) ~n ?(mark = fun _ -> false)
+    ?(highlight = fun _ -> false) () =
+  if n <= 0 then invalid_arg "Render.layout: n <= 0";
+  let pk = Layout.row_len lay in
+  let k = lay.Layout.k in
+  let width = cell_width n in
+  let buf = Buffer.create (n * (width + 1)) in
+  (* Header naming each processor over its column group. *)
+  for m = 0 to lay.Layout.p - 1 do
+    if m > 0 then Buffer.add_string buf " |";
+    let label = Printf.sprintf "Processor %d" m in
+    let span = k * width in
+    let pad = max 0 (span - String.length label) in
+    let left = pad / 2 in
+    Buffer.add_string buf (String.make left ' ');
+    Buffer.add_string buf label;
+    Buffer.add_string buf (String.make (pad - left) ' ')
+  done;
+  Buffer.add_char buf '\n';
+  let rows = (n + pk - 1) / pk in
+  for r = 0 to rows - 1 do
+    for off = 0 to pk - 1 do
+      let g = (r * pk) + off in
+      if off > 0 && off mod k = 0 then Buffer.add_string buf " |";
+      if g < n then
+        Buffer.add_string buf (render_cell ~width ~mark ~highlight g)
+      else Buffer.add_string buf (String.make width ' ')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let local_memory (lay : Layout.t) ~n ~proc ?(mark = fun _ -> false) () =
+  if n <= 0 then invalid_arg "Render.local_memory: n <= 0";
+  if proc < 0 || proc >= lay.Layout.p then
+    invalid_arg "Render.local_memory: bad processor";
+  let k = lay.Layout.k in
+  let extent = Layout.local_extent lay ~n ~proc in
+  let width = cell_width n in
+  let buf = Buffer.create ((extent * (width + 1)) + 64) in
+  Buffer.add_string buf (Printf.sprintf "Processor %d local memory:\n" proc);
+  let rows = (extent + k - 1) / k in
+  for r = 0 to rows - 1 do
+    for c = 0 to k - 1 do
+      let addr = (r * k) + c in
+      if addr < extent then begin
+        let g = Layout.global_of_local lay ~proc addr in
+        Buffer.add_string buf
+          (render_cell ~width ~mark ~highlight:(fun _ -> false) g)
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let legend (lay : Layout.t) =
+  Printf.sprintf "cyclic(%d) on %d procs; row = %d elements" lay.Layout.k
+    lay.Layout.p (Layout.row_len lay)

@@ -1,0 +1,25 @@
+(** ASCII rendering of block-cyclic layouts in the style of the paper's
+    Figures 1, 2, 4 and 6: one line per layout row, processors separated by
+    [|], marked elements (e.g. the members of a regular section, or the
+    points visited by the algorithm) shown in brackets. *)
+
+val layout :
+  Layout.t ->
+  n:int ->
+  ?mark:(int -> bool) ->
+  ?highlight:(int -> bool) ->
+  unit ->
+  string
+(** [layout lay ~n ~mark ()] draws global indices [0 .. n-1].
+    [mark g = true] renders [g] as [\[g\]] (the paper's rectangles);
+    [highlight g = true] renders it as [(g)] (the paper's circled lower
+    bound). [highlight] wins when both apply. *)
+
+val local_memory :
+  Layout.t -> n:int -> proc:int -> ?mark:(int -> bool) -> unit -> string
+(** Draws processor [proc]'s local store, one line per local block row;
+    each cell shows the {e global} index held at that local address.
+    [mark] takes the global index. *)
+
+val legend : Layout.t -> string
+(** One-line description, e.g. "cyclic(8) on 4 procs; row = 32 elements". *)

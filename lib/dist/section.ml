@@ -1,0 +1,60 @@
+open Lams_numeric
+
+type t = { lo : int; hi : int; stride : int }
+
+let make ~lo ~hi ~stride =
+  if stride = 0 then invalid_arg "Section.make: zero stride";
+  { lo; hi; stride }
+
+let whole ~n =
+  if n <= 0 then invalid_arg "Section.whole: n <= 0";
+  { lo = 0; hi = n - 1; stride = 1 }
+
+let count t =
+  if t.stride > 0 then
+    if t.lo > t.hi then 0 else ((t.hi - t.lo) / t.stride) + 1
+  else if t.lo < t.hi then 0
+  else ((t.lo - t.hi) / -t.stride) + 1
+
+let is_empty t = count t = 0
+
+let mem t i =
+  if t.stride > 0 then
+    i >= t.lo && i <= t.hi && Modular.emod (i - t.lo) t.stride = 0
+  else i <= t.lo && i >= t.hi && Modular.emod (t.lo - i) (-t.stride) = 0
+
+let nth t j =
+  if j < 0 || j >= count t then invalid_arg "Section.nth: out of range";
+  t.lo + (j * t.stride)
+
+let last t =
+  let n = count t in
+  if n = 0 then invalid_arg "Section.last: empty section";
+  t.lo + ((n - 1) * t.stride)
+
+let normalize t =
+  let n = count t in
+  if n = 0 then { lo = 0; hi = -1; stride = 1 }
+  else if t.stride > 0 then { t with hi = last t }
+  else { lo = last t; hi = t.lo; stride = -t.stride }
+
+let reverse t =
+  let n = count t in
+  if n = 0 then { lo = 0; hi = 1; stride = -1 } (* an empty descending triplet *)
+  else { lo = last t; hi = t.lo; stride = -t.stride }
+
+let fold t ~init ~f =
+  let n = count t in
+  let rec go acc j = if j = n then acc else go (f acc (t.lo + (j * t.stride))) (j + 1) in
+  go init 0
+
+let iter t ~f = fold t ~init:() ~f:(fun () i -> f i)
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc i -> i :: acc))
+let elements t = Array.init (count t) (fun j -> t.lo + (j * t.stride))
+
+let equal_sets t1 t2 =
+  let n1 = normalize t1 and n2 = normalize t2 in
+  count n1 = count n2
+  && (count n1 = 0 || (n1.lo = n2.lo && n1.stride = n2.stride || count n1 = 1 && n1.lo = n2.lo))
+
+let pp ppf t = Format.fprintf ppf "%d:%d:%d" t.lo t.hi t.stride

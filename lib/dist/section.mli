@@ -1,0 +1,58 @@
+(** Regular array sections [A(l : u : s)] in Fortran-90 subscript-triplet
+    notation: indices [l, l+s, l+2s, …] not beyond [u].
+
+    The paper assumes [s > 0] (negative strides "can be treated
+    analogously", §2); we support them by normalisation: a section with
+    [s < 0] contains the same index set as its reversed positive-stride
+    section, and address-sequence computations are performed on the
+    normalised form. *)
+
+type t = private {
+  lo : int;  (** lower bound [l] *)
+  hi : int;  (** upper bound [u] (inclusive, as in Fortran) *)
+  stride : int;  (** non-zero [s]; may be negative *)
+}
+
+val make : lo:int -> hi:int -> stride:int -> t
+(** @raise Invalid_argument if [stride = 0]. Empty sections (e.g.
+    [lo > hi] with positive stride) are allowed. *)
+
+val whole : n:int -> t
+(** [whole ~n] = [0 : n-1 : 1]. @raise Invalid_argument if [n <= 0]. *)
+
+val count : t -> int
+(** Number of elements. *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Is a global index an element of the section? *)
+
+val nth : t -> int -> int
+(** [nth t j] is the [j]-th element in {e traversal} order ([l + j*s]).
+    @raise Invalid_argument if [j] is out of range. *)
+
+val last : t -> int
+(** The final element in traversal order. @raise Invalid_argument on an
+    empty section. *)
+
+val normalize : t -> t
+(** Same index set, positive stride. For [s > 0] trims [hi] to the last
+    actual element; for [s < 0] reverses the triplet. Identity on empty
+    sections up to representation. *)
+
+val reverse : t -> t
+(** Same index set, opposite traversal order. *)
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over elements in traversal order. *)
+
+val iter : t -> f:(int -> unit) -> unit
+val to_list : t -> int list
+val elements : t -> int array
+
+val equal_sets : t -> t -> bool
+(** Do two sections denote the same index set? (Used by tests.) *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [l:u:s]. *)

@@ -1,0 +1,92 @@
+type outcome = {
+  checked : Sema.checked;
+  runtime : Runtime.t;
+  outputs : string list;
+}
+
+type failure =
+  | Syntax of string * Ast.position
+  | Semantic of Sema.error list
+
+let compile source =
+  match Parser.parse source with
+  | exception Lexer.Lex_error (msg, pos) -> Error (Syntax (msg, pos))
+  | exception Parser.Parse_error (msg, pos) -> Error (Syntax (msg, pos))
+  | program -> begin
+      match Sema.analyze program with
+      | Ok checked -> Ok checked
+      | Error errs -> Error (Semantic errs)
+    end
+
+let compile_and_run ?shape source =
+  match compile source with
+  | Error f -> Error f
+  | Ok checked ->
+      let runtime = Runtime.run ?shape checked in
+      Ok { checked; runtime; outputs = runtime.Runtime.outputs }
+
+type divergence =
+  | Output_differs of { index : int; simulated : string; reference : string }
+  | Contents_differ of {
+      array : string;
+      index : int;
+      simulated : float;
+      reference : float;
+    }
+
+let first_divergence (checked : Sema.checked) (runtime : Runtime.t)
+    (reference : Reference.t) =
+  let rec outputs i = function
+    | [], [] -> None
+    | s :: ss, r :: rs ->
+        if s = r then outputs (i + 1) (ss, rs)
+        else Some (Output_differs { index = i; simulated = s; reference = r })
+    | s :: _, [] -> Some (Output_differs { index = i; simulated = s; reference = "<missing>" })
+    | [], r :: _ -> Some (Output_differs { index = i; simulated = "<missing>"; reference = r })
+  in
+  match outputs 0 (runtime.Runtime.outputs, reference.Reference.outputs) with
+  | Some d -> Some d
+  | None ->
+      List.find_map
+        (fun (info : Sema.array_info) ->
+          let name = info.Sema.name in
+          let sim = Runtime.gather runtime name
+          and want = Reference.gather reference name in
+          let rec scan g =
+            if g = Array.length want then None
+            else if sim.(g) <> want.(g) then
+              Some
+                (Contents_differ
+                   { array = name; index = g; simulated = sim.(g); reference = want.(g) })
+            else scan (g + 1)
+          in
+          scan 0)
+        checked.Sema.arrays
+
+let crosscheck ?shape source =
+  match compile source with
+  | Error f -> Error (`Failure f)
+  | Ok checked -> begin
+      let runtime = Runtime.run ?shape checked in
+      let reference = Reference.run checked in
+      match first_divergence checked runtime reference with
+      | Some d -> Error (`Diverged d)
+      | None -> Ok { checked; runtime; outputs = runtime.Runtime.outputs }
+    end
+
+let pp_failure ppf = function
+  | Syntax (msg, pos) ->
+      Format.fprintf ppf "syntax error at line %d, col %d: %s" pos.Ast.line
+        pos.Ast.column msg
+  | Semantic errs ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list Sema.pp_error)
+        errs
+
+let pp_divergence ppf = function
+  | Output_differs { index; simulated; reference } ->
+      Format.fprintf ppf "output %d differs: simulated %S, reference %S" index
+        simulated reference
+  | Contents_differ { array; index; simulated; reference } ->
+      Format.fprintf ppf "%s(%d) differs: simulated %g, reference %g" array
+        index simulated reference

@@ -1,0 +1,31 @@
+(** One-call pipeline: source text → parse → analyse → execute.
+
+    [compile_and_run] executes on the simulated distributed machine;
+    [crosscheck] additionally runs the sequential reference and reports
+    the first divergence (the end-to-end correctness gate used by tests
+    and the [lams run] CLI). *)
+
+type outcome = {
+  checked : Sema.checked;
+  runtime : Runtime.t;
+  outputs : string list;
+}
+
+type failure =
+  | Syntax of string * Ast.position
+  | Semantic of Sema.error list
+
+val compile : string -> (Sema.checked, failure) result
+val compile_and_run :
+  ?shape:Lams_codegen.Shapes.t -> string -> (outcome, failure) result
+
+type divergence =
+  | Output_differs of { index : int; simulated : string; reference : string }
+  | Contents_differ of { array : string; index : int; simulated : float; reference : float }
+
+val crosscheck :
+  ?shape:Lams_codegen.Shapes.t -> string ->
+  (outcome, [ `Failure of failure | `Diverged of divergence ]) result
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_divergence : Format.formatter -> divergence -> unit

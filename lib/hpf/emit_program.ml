@@ -1,0 +1,334 @@
+open Lams_dist
+open Lams_core
+open Lams_codegen
+
+type unsupported = { what : string; hint : string }
+
+let pp_unsupported ppf { what; hint } =
+  Format.fprintf ppf "cannot emit C for %s (%s)" what hint
+
+exception Bail of unsupported
+
+let bail what hint = raise (Bail { what; hint })
+
+(* The static-schedule arrays for copies are embedded in the program text;
+   keep them bounded. *)
+let max_copy_elements = 65_536
+
+type carray = {
+  name : string;
+  n : int;
+  p : int;
+  layout : Layout.t;
+  extents : int array;  (** per processor, >= 1 so the symbol exists *)
+}
+
+let resolve_arrays (checked : Sema.checked) =
+  List.map
+    (fun (info : Sema.array_info) ->
+      let plain n p dist =
+        let layout = Distribution.to_layout dist ~n ~p in
+        { name = info.Sema.name;
+          n;
+          p;
+          layout;
+          extents =
+            Array.init p (fun m -> max 1 (Layout.local_extent layout ~n ~proc:m)) }
+      in
+      match info.Sema.mapping with
+      | Sema.Grid { dists; grid } when Array.length info.Sema.sizes = 1 ->
+          plain info.Sema.sizes.(0) grid.(0) dists.(0)
+      | Sema.Grid _ ->
+          bail
+            (Printf.sprintf "multidimensional array %s" info.Sema.name)
+            "C emission supports rank-1 arrays"
+      | Sema.Aligned_1d { align; _ } when not (Alignment.is_identity align) ->
+          bail
+            (Printf.sprintf "aligned array %s" info.Sema.name)
+            "C emission supports identity mappings only"
+      | Sema.Aligned_1d { p; dist; _ } -> plain info.Sema.sizes.(0) p dist)
+    checked.Sema.arrays
+
+let find_array arrays name = List.find (fun a -> a.name = name) arrays
+
+let buf_add = Buffer.add_string
+
+(* Owner-computes read expression for a global index held in C variable
+   [g]. *)
+let emit_read_expr a ~g =
+  let pk = Layout.row_len a.layout and k = a.layout.Layout.k in
+  Printf.sprintf
+    "%s_stores[(%s %% %d) / %d][((%s / %d) * %d) + (%s %% %d) - (((%s %% %d) / %d) * %d)]"
+    a.name g pk k g pk k g pk g pk k k
+
+let section_of (r : Sema.ref_info) = r.Sema.sections.(0)
+
+let same_ref (a : Sema.ref_info) (b : Sema.ref_info) =
+  a.Sema.info.Sema.name = b.Sema.info.Sema.name
+  && section_of a = section_of b
+
+let plan_of arrays (r : Sema.ref_info) ~m =
+  let a = find_array arrays r.Sema.info.Sema.name in
+  let norm = Section.normalize (section_of r) in
+  let pr = Problem.of_section a.layout norm in
+  Plan.build pr ~m ~u:norm.Section.hi
+
+(* In-place pointwise kernel: local[base] = <rhs_expr over local[base]>,
+   walking the plan with shape 8(b). *)
+let inplace_function plan ~name ~rhs_expr =
+  String.concat "\n"
+    [ Printf.sprintf "static void %s(double *local)" name;
+      "{";
+      Emit_c.tables plan;
+      "  int base = startmem, i = 0;";
+      "  while (base <= lastmem) {";
+      Printf.sprintf "    local[base] = %s;" rhs_expr;
+      "    base += deltaM[i++];";
+      "    if (i == length) i = 0;";
+      "  }";
+      "  (void)deltaOff; (void)NextOffset;";
+      "}";
+      "" ]
+
+let op_c_text op lhs rhs =
+  match (op : Ast.binop) with
+  | Ast.Add -> Printf.sprintf "%s + %s" lhs rhs
+  | Ast.Sub -> Printf.sprintf "%s - %s" lhs rhs
+  | Ast.Mul -> Printf.sprintf "%s * %s" lhs rhs
+  | Ast.Div -> Printf.sprintf "%s / %s" lhs rhs
+
+let float_c v = Printf.sprintf "%.17g" v
+
+type emitter = {
+  decls : Buffer.t;
+  funcs : Buffer.t;
+  main : Buffer.t;
+  mutable staged : int;  (** size of the staging buffer needed *)
+}
+
+(* A staged data movement: gather src values (as transformed by
+   [gather_expr], which receives the raw source read text) into the staging
+   buffer by traversal position, barrier, then scatter into dst (as
+   combined by [scatter_expr], which receives the dst lvalue and the staged
+   read). This is the message structure of the two-phase exchange and is
+   aliasing-safe by construction. *)
+let emit_movement em arrays ~idx ~sub ~(dst : Sema.ref_info)
+    ~(src : Sema.ref_info) ~gather_expr ~scatter_expr =
+  let dst_a = find_array arrays dst.Sema.info.Sema.name
+  and src_a = find_array arrays src.Sema.info.Sema.name in
+  let dst_section = section_of dst and src_section = section_of src in
+  let count = Section.count src_section in
+  if count > max_copy_elements then
+    bail "a large copy"
+      (Printf.sprintf "static schedules are capped at %d elements"
+         max_copy_elements);
+  em.staged <- max em.staged count;
+  let sched =
+    Lams_sim.Comm_sets.build ~src_layout:src_a.layout ~src_section
+      ~dst_layout:dst_a.layout ~dst_section
+  in
+  buf_add em.main
+    (Printf.sprintf "  /* move %s(...) -> %s(...): %d transfers */\n"
+       src_a.name dst_a.name
+       (List.length sched.Lams_sim.Comm_sets.transfers));
+  let transfer_arrays =
+    List.mapi
+      (fun tnum (tr : Lams_sim.Comm_sets.transfer) ->
+        let positions =
+          List.concat_map Lams_sim.Comm_sets.positions tr.Lams_sim.Comm_sets.runs
+        in
+        let base = Printf.sprintf "stmt%d_%s_t%d" idx sub tnum in
+        let dump suffix values =
+          buf_add em.funcs
+            (Printf.sprintf "static const int %s_%s[%d] = { %s };\n" base
+               suffix (List.length values)
+               (String.concat ", " (List.map string_of_int values)))
+        in
+        dump "pos" positions;
+        dump "src"
+          (List.map
+             (fun j -> Layout.local_address src_a.layout (Section.nth src_section j))
+             positions);
+        dump "dst"
+          (List.map
+             (fun j -> Layout.local_address dst_a.layout (Section.nth dst_section j))
+             positions);
+        (base, tr, List.length positions))
+      sched.Lams_sim.Comm_sets.transfers
+  in
+  (* Gather phase (the "sends"). *)
+  List.iter
+    (fun (base, (tr : Lams_sim.Comm_sets.transfer), n) ->
+      buf_add em.main
+        (Printf.sprintf
+           "  for (int i = 0; i < %d; i++)  /* gather on proc %d */\n\
+           \    staged[%s_pos[i]] = %s;\n"
+           n tr.Lams_sim.Comm_sets.src_proc base
+           (gather_expr
+              (Printf.sprintf "%s_%d[%s_src[i]]" src_a.name
+                 tr.Lams_sim.Comm_sets.src_proc base))))
+    transfer_arrays;
+  (* Scatter phase (the "receives"). *)
+  List.iter
+    (fun (base, (tr : Lams_sim.Comm_sets.transfer), n) ->
+      let dst_lvalue =
+        Printf.sprintf "%s_%d[%s_dst[i]]" dst_a.name
+          tr.Lams_sim.Comm_sets.dst_proc base
+      in
+      buf_add em.main
+        (Printf.sprintf
+           "  for (int i = 0; i < %d; i++)  /* scatter on proc %d */\n\
+           \    %s = %s;\n"
+           n tr.Lams_sim.Comm_sets.dst_proc dst_lvalue
+           (scatter_expr dst_lvalue (Printf.sprintf "staged[%s_pos[i]]" base))))
+    transfer_arrays
+
+let plain_gather e = e
+let plain_scatter _dst staged = staged
+
+let emit (checked : Sema.checked) =
+  try
+    let arrays = resolve_arrays checked in
+    let em =
+      { decls = Buffer.create 1024;
+        funcs = Buffer.create 4096;
+        main = Buffer.create 4096;
+        staged = 0 }
+    in
+    (* --- Per-array local stores + pointer tables --- *)
+    List.iter
+      (fun a ->
+        Array.iteri
+          (fun m extent ->
+            buf_add em.decls
+              (Printf.sprintf "static double %s_%d[%d];\n" a.name m extent))
+          a.extents;
+        buf_add em.decls
+          (Printf.sprintf "static double *%s_stores[%d] = { %s };\n" a.name a.p
+             (String.concat ", "
+                (List.init a.p (fun m -> Printf.sprintf "%s_%d" a.name m)))))
+      arrays;
+    (* --- Statement helpers --- *)
+    let fill idx (lhs : Sema.ref_info) v =
+      let a = find_array arrays lhs.Sema.info.Sema.name in
+      buf_add em.main
+        (Printf.sprintf "  /* %s(%s) = %s */\n" a.name
+           (Format.asprintf "%a" Section.pp (section_of lhs))
+           (float_c v));
+      for m = 0 to a.p - 1 do
+        match plan_of arrays lhs ~m with
+        | None -> ()
+        | Some plan ->
+            let fname = Printf.sprintf "stmt%d_proc%d" idx m in
+            buf_add em.funcs
+              ("static " ^ Emit_c.full_function Shapes.Shape_b plan ~name:fname);
+            buf_add em.funcs "\n";
+            buf_add em.main
+              (Printf.sprintf "  %s(%s_%d, %s);\n" fname a.name m (float_c v))
+      done
+    in
+    let inplace idx ~sub (lhs : Sema.ref_info) rhs_expr =
+      let a = find_array arrays lhs.Sema.info.Sema.name in
+      buf_add em.main (Printf.sprintf "  /* in-place update of %s */\n" a.name);
+      for m = 0 to a.p - 1 do
+        match plan_of arrays lhs ~m with
+        | None -> ()
+        | Some plan ->
+            let fname = Printf.sprintf "stmt%d_%s_proc%d" idx sub m in
+            buf_add em.funcs (inplace_function plan ~name:fname ~rhs_expr);
+            buf_add em.main (Printf.sprintf "  %s(%s_%d);\n" fname a.name m)
+      done
+    in
+    (* --- Statements --- *)
+    List.iteri
+      (fun idx action ->
+        match action with
+        | Sema.Assign { lhs; rhs = Sema.Const v } -> fill idx lhs v
+        | Sema.Assign { lhs; rhs = Sema.Copy src } ->
+            emit_movement em arrays ~idx ~sub:"cp" ~dst:lhs ~src
+              ~gather_expr:plain_gather ~scatter_expr:plain_scatter
+        | Sema.Assign { lhs; rhs = Sema.Ref_op_const (r, op, v) } ->
+            if same_ref lhs r then
+              inplace idx ~sub:"op" lhs (op_c_text op "local[base]" (float_c v))
+            else
+              emit_movement em arrays ~idx ~sub:"opc" ~dst:lhs ~src:r
+                ~gather_expr:(fun e -> op_c_text op e (float_c v))
+                ~scatter_expr:plain_scatter
+        | Sema.Assign { lhs; rhs = Sema.Const_op_ref (v, op, r) } ->
+            if same_ref lhs r then
+              inplace idx ~sub:"op" lhs (op_c_text op (float_c v) "local[base]")
+            else
+              emit_movement em arrays ~idx ~sub:"cop" ~dst:lhs ~src:r
+                ~gather_expr:(fun e -> op_c_text op (float_c v) e)
+                ~scatter_expr:plain_scatter
+        | Sema.Assign { lhs; rhs = Sema.Ref_op_ref (r1, op, r2) } ->
+            if same_ref lhs r1 then
+              (* A = A op B: accumulate B into A through the schedule. *)
+              emit_movement em arrays ~idx ~sub:"acc" ~dst:lhs ~src:r2
+                ~gather_expr:plain_gather
+                ~scatter_expr:(fun dst staged -> op_c_text op dst staged)
+            else if same_ref lhs r2 then
+              emit_movement em arrays ~idx ~sub:"acc" ~dst:lhs ~src:r1
+                ~gather_expr:plain_gather
+                ~scatter_expr:(fun dst staged -> op_c_text op staged dst)
+            else begin
+              (* A = B op C: copy B into A, then accumulate C. *)
+              emit_movement em arrays ~idx ~sub:"s1" ~dst:lhs ~src:r1
+                ~gather_expr:plain_gather ~scatter_expr:plain_scatter;
+              emit_movement em arrays ~idx ~sub:"s2" ~dst:lhs ~src:r2
+                ~gather_expr:plain_gather
+                ~scatter_expr:(fun dst staged -> op_c_text op dst staged)
+            end
+        | Sema.Print r ->
+            let a = find_array arrays r.Sema.info.Sema.name in
+            let sec = section_of r in
+            buf_add em.main
+              (Printf.sprintf
+                 "  for (int j = 0; j < %d; j++) {\n\
+                 \    int g = %d + j * %d;\n\
+                 \    printf(\"%%s%%g\", j ? \" \" : \"\", %s);\n\
+                 \  }\n\
+                 \  printf(\"\\n\");\n"
+                 (Section.count sec) sec.Section.lo sec.Section.stride
+                 (emit_read_expr a ~g:"g"))
+        | Sema.Print_sum r ->
+            let a = find_array arrays r.Sema.info.Sema.name in
+            let sec = section_of r in
+            buf_add em.main
+              (Printf.sprintf
+                 "  {\n\
+                 \    double sum = 0.0;\n\
+                 \    for (int j = 0; j < %d; j++) {\n\
+                 \      int g = %d + j * %d;\n\
+                 \      sum += %s;\n\
+                 \    }\n\
+                 \    printf(\"%%g\\n\", sum);\n\
+                 \  }\n"
+                 (Section.count sec) sec.Section.lo sec.Section.stride
+                 (emit_read_expr a ~g:"g")))
+      checked.Sema.actions;
+    let out = Buffer.create 8192 in
+    buf_add out "/* Generated by lams compile-c: SPMD node programs for a\n";
+    buf_add out "   mini-HPF source, sequentialised per processor. */\n";
+    buf_add out "#include <stdio.h>\n\n";
+    Buffer.add_buffer out em.decls;
+    if em.staged > 0 then
+      buf_add out
+        (Printf.sprintf "\n/* message staging buffer */\nstatic double staged[%d];\n"
+           em.staged);
+    buf_add out "\n";
+    Buffer.add_buffer out em.funcs;
+    buf_add out "int main(void)\n{\n";
+    Buffer.add_buffer out em.main;
+    buf_add out "  return 0;\n}\n";
+    Ok (Buffer.contents out)
+  with Bail u -> Error u
+
+let emit_source source =
+  match Driver.compile source with
+  | Error f -> Error (`Failure f)
+  | Ok checked -> begin
+      match emit checked with
+      | Ok text -> Ok text
+      | Error u -> Error (`Unsupported u)
+    end

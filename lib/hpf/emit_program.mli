@@ -1,0 +1,36 @@
+(** Whole-program C emission: compile a checked mini-HPF program into one
+    self-contained C translation unit — the artifact an HPF compiler of the
+    paper's era ultimately produced.
+
+    The generated program declares one local store per (array, processor),
+    runs the node programs of every statement in order (sequential
+    simulation of the SPMD schedule, like the library runtime), and prints
+    the same lines as {!Runtime.run}. Constant fills and in-place pointwise
+    updates use the Figure 8 node code with embedded [deltaM] tables;
+    inter-array copies use statically computed communication schedules
+    (address/source pairs per processor pair); prints use owner-computes
+    address resolution.
+
+    Data movement is staged: every copy or cross-array expression gathers
+    source values into a per-statement staging buffer (the "message") and
+    scatters after a barrier, which makes overlapping-section statements
+    aliasing-safe exactly like the runtime's two-phase exchange.
+
+    Supported subset: every statement form of the language over rank-1
+    identity-mapped arrays — [Const] fills, copies, pointwise expressions
+    (in-place when source and destination coincide, staged otherwise,
+    including two-operand [A = B op C]), [forall] (already lowered by
+    [Sema]), [print] and [print sum]. Multidimensional and non-identity-
+    aligned arrays, and copies beyond the static-schedule cap, yield
+    [Error (Unsupported _)] — the OCaml runtime remains the reference
+    executor for the full language. *)
+
+type unsupported = { what : string; hint : string }
+
+val emit : Sema.checked -> (string, unsupported) result
+(** The complete C program text ([main] included). *)
+
+val emit_source : string -> (string, [ `Failure of Driver.failure | `Unsupported of unsupported ]) result
+(** Convenience: parse + analyse + emit from source text. *)
+
+val pp_unsupported : Format.formatter -> unsupported -> unit

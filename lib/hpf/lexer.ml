@@ -1,0 +1,176 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Lparen
+  | Rparen
+  | Colon
+  | Comma
+  | Equals
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Newline
+  | Eof
+  | Kw_real
+  | Kw_template
+  | Kw_align
+  | Kw_with
+  | Kw_distribute
+  | Kw_onto
+  | Kw_block
+  | Kw_cyclic
+  | Kw_print
+  | Kw_sum
+  | Kw_forall
+  | Kw_do
+
+type located = { token : token; pos : Ast.position }
+
+exception Lex_error of string * Ast.position
+
+let keyword_of = function
+  | "REAL" -> Some Kw_real
+  | "TEMPLATE" -> Some Kw_template
+  | "ALIGN" -> Some Kw_align
+  | "WITH" -> Some Kw_with
+  | "DISTRIBUTE" -> Some Kw_distribute
+  | "ONTO" -> Some Kw_onto
+  | "BLOCK" -> Some Kw_block
+  | "CYCLIC" -> Some Kw_cyclic
+  | "PRINT" -> Some Kw_print
+  | "SUM" -> Some Kw_sum
+  | "FORALL" -> Some Kw_forall
+  | "DO" -> Some Kw_do
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let out = ref [] in
+  let pos () = { Ast.line = !line; column = !col } in
+  let advance () =
+    if !i < n && input.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let push token p = out := { token; pos = p } :: !out in
+  let last_was_newline () =
+    match !out with
+    | { token = Newline; _ } :: _ | [] -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = input.[!i] in
+    let p = pos () in
+    if c = '!' then begin
+      while !i < n && input.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if c = '\n' then begin
+      if not (last_was_newline ()) then push Newline p;
+      advance ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        advance ()
+      done;
+      let word = String.uppercase_ascii (String.sub input start (!i - start)) in
+      match keyword_of word with
+      | Some kw -> push kw p
+      | None -> push (Ident word) p
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        advance ()
+      done;
+      let is_float =
+        !i < n && input.[!i] = '.'
+        && not (!i + 1 < n && input.[!i + 1] = '.') (* future-proof ranges *)
+      in
+      if is_float then begin
+        advance ();
+        while !i < n && is_digit input.[!i] do
+          advance ()
+        done;
+        if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+          advance ();
+          if !i < n && (input.[!i] = '+' || input.[!i] = '-') then advance ();
+          while !i < n && is_digit input.[!i] do
+            advance ()
+          done
+        end;
+        let text = String.sub input start (!i - start) in
+        match float_of_string_opt text with
+        | Some f -> push (Float f) p
+        | None -> raise (Lex_error (Printf.sprintf "malformed number %S" text, p))
+      end
+      else begin
+        let text = String.sub input start (!i - start) in
+        match int_of_string_opt text with
+        | Some v -> push (Int v) p
+        | None -> raise (Lex_error (Printf.sprintf "malformed integer %S" text, p))
+      end
+    end
+    else begin
+      let simple t =
+        push t p;
+        advance ()
+      in
+      match c with
+      | '(' -> simple Lparen
+      | ')' -> simple Rparen
+      | ':' -> simple Colon
+      | ',' -> simple Comma
+      | '=' -> simple Equals
+      | '+' -> simple Plus
+      | '-' -> simple Minus
+      | '*' -> simple Star
+      | '/' -> simple Slash
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, p))
+    end
+  done;
+  (if not (last_was_newline ()) then push Newline (pos ()));
+  push Eof (pos ());
+  List.rev !out
+
+let token_to_string = function
+  | Ident s -> s
+  | Int v -> string_of_int v
+  | Float v -> Printf.sprintf "%g" v
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Colon -> ":"
+  | Comma -> ","
+  | Equals -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Newline -> "<newline>"
+  | Eof -> "<eof>"
+  | Kw_real -> "real"
+  | Kw_template -> "template"
+  | Kw_align -> "align"
+  | Kw_with -> "with"
+  | Kw_distribute -> "distribute"
+  | Kw_onto -> "onto"
+  | Kw_block -> "block"
+  | Kw_cyclic -> "cyclic"
+  | Kw_print -> "print"
+  | Kw_sum -> "sum"
+  | Kw_forall -> "forall"
+  | Kw_do -> "do"

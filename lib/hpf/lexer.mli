@@ -1,0 +1,42 @@
+(** Hand-written lexer for the mini-HPF language. Line-oriented:
+    a [Newline] token separates statements; ["!"] starts a comment that
+    runs to end of line (Fortran style). Keywords are case-insensitive. *)
+
+type token =
+  | Ident of string  (** uppercased *)
+  | Int of int
+  | Float of float
+  | Lparen
+  | Rparen
+  | Colon
+  | Comma
+  | Equals
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Newline
+  | Eof
+  | Kw_real
+  | Kw_template
+  | Kw_align
+  | Kw_with
+  | Kw_distribute
+  | Kw_onto
+  | Kw_block
+  | Kw_cyclic
+  | Kw_print
+  | Kw_sum
+  | Kw_forall
+  | Kw_do
+
+type located = { token : token; pos : Ast.position }
+
+exception Lex_error of string * Ast.position
+
+val tokenize : string -> located list
+(** Whole-input tokenisation, ending with [Eof]. Consecutive newlines are
+    collapsed. @raise Lex_error on an unexpected character or malformed
+    number. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,384 @@
+open Lexer
+
+exception Parse_error of string * Ast.position
+
+type state = { mutable tokens : located list }
+
+let peek st =
+  match st.tokens with
+  | [] -> { token = Eof; pos = { Ast.line = 0; column = 0 } }
+  | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let fail st msg =
+  let t = peek st in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %s)" msg (token_to_string t.token), t.pos))
+
+let expect st want msg =
+  let t = next st in
+  if t.token <> want then
+    raise
+      (Parse_error
+         (Printf.sprintf "%s: expected %s, found %s" msg
+            (token_to_string want) (token_to_string t.token), t.pos))
+
+let expect_ident st msg =
+  match next st with
+  | { token = Ident name; _ } -> name
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: expected identifier, found %s" msg
+              (token_to_string t.token), t.pos))
+
+let expect_int st msg =
+  match next st with
+  | { token = Int v; _ } -> v
+  | { token = Minus; _ } -> begin
+      match next st with
+      | { token = Int v; _ } -> -v
+      | t ->
+          raise
+            (Parse_error
+               (Printf.sprintf "%s: expected integer after '-'" msg, t.pos))
+    end
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: expected integer, found %s" msg
+              (token_to_string t.token), t.pos))
+
+let parse_triplet_body st =
+  let lo = expect_int st "section lower bound" in
+  expect st Colon "section";
+  let hi = expect_int st "section upper bound" in
+  let stride =
+    if (peek st).token = Colon then begin
+      advance st;
+      expect_int st "section stride"
+    end
+    else 1
+  in
+  { Ast.t_lo = lo; t_hi = hi; t_stride = stride }
+
+let rec comma_separated st parse_item =
+  let item = parse_item st in
+  if (peek st).token = Comma then begin
+    advance st;
+    item :: comma_separated st parse_item
+  end
+  else [ item ]
+
+let parse_ref st =
+  let pos = (peek st).pos in
+  let array = expect_ident st "array reference" in
+  expect st Lparen "array reference";
+  let triplets = comma_separated st parse_triplet_body in
+  expect st Rparen "array reference";
+  { Ast.array; triplets; ref_pos = pos }
+
+(* affine ::= [INT "*"] IDENT [("+"|"-") INT] | INT *)
+let parse_affine st =
+  match (peek st).token with
+  | Int _ | Minus -> begin
+      let v = expect_int st "alignment" in
+      match (peek st).token with
+      | Star ->
+          advance st;
+          let _ = expect_ident st "alignment index variable" in
+          let offset =
+            match (peek st).token with
+            | Plus ->
+                advance st;
+                expect_int st "alignment offset"
+            | Minus ->
+                advance st;
+                -expect_int st "alignment offset"
+            | _ -> 0
+          in
+          if v = 0 then fail st "alignment scale must be non-zero";
+          { Ast.scale = v; offset }
+      | _ ->
+          (* A constant alignment collapses the array onto one cell — not
+             a meaningful mapping for a whole array. *)
+          fail st "constant alignment is not supported"
+    end
+  | Ident _ ->
+      let _ = expect_ident st "alignment index variable" in
+      let offset =
+        match (peek st).token with
+        | Plus ->
+            advance st;
+            expect_int st "alignment offset"
+        | Minus ->
+            advance st;
+            -expect_int st "alignment offset"
+        | _ -> 0
+      in
+      { Ast.scale = 1; offset }
+  | _ -> fail st "malformed alignment expression"
+
+let parse_format st =
+  match next st with
+  | { token = Kw_block; _ } -> Ast.Block
+  | { token = Kw_cyclic; _ } ->
+      if (peek st).token = Lparen then begin
+        advance st;
+        let k = expect_int st "cyclic block size" in
+        expect st Rparen "cyclic block size";
+        Ast.Cyclic_k k
+      end
+      else Ast.Cyclic
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected distribution format, found %s"
+              (token_to_string t.token), t.pos))
+
+let float_like st msg =
+  match next st with
+  | { token = Float v; _ } -> v
+  | { token = Int v; _ } -> float_of_int v
+  | { token = Minus; _ } -> begin
+      match next st with
+      | { token = Float v; _ } -> -.v
+      | { token = Int v; _ } -> float_of_int (-v)
+      | t ->
+          raise
+            (Parse_error (Printf.sprintf "%s: expected number after '-'" msg, t.pos))
+    end
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: expected number, found %s" msg
+              (token_to_string t.token), t.pos))
+
+let parse_binop st =
+  match next st with
+  | { token = Plus; _ } -> Ast.Add
+  | { token = Minus; _ } -> Ast.Sub
+  | { token = Star; _ } -> Ast.Mul
+  | { token = Slash; _ } -> Ast.Div
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected operator, found %s"
+              (token_to_string t.token), t.pos))
+
+let parse_expr st =
+  match (peek st).token with
+  | Ident _ -> begin
+      let r = parse_ref st in
+      match (peek st).token with
+      | Newline | Eof -> Ast.Ref r
+      | Plus | Minus | Star | Slash -> begin
+          let op = parse_binop st in
+          match (peek st).token with
+          | Ident _ -> Ast.Ref_op_ref (r, op, parse_ref st)
+          | _ -> Ast.Ref_op_const (r, op, float_like st "expression")
+        end
+      | _ -> fail st "malformed expression"
+    end
+  | _ -> begin
+      let v = float_like st "expression" in
+      match (peek st).token with
+      | Newline | Eof -> Ast.Const v
+      | Plus | Minus | Star | Slash ->
+          let op = parse_binop st in
+          Ast.Const_op_ref (v, op, parse_ref st)
+      | _ -> fail st "malformed expression"
+    end
+
+(* Subscript expression in a forall body: an affine form in the loop
+   variable [var]; a bare integer is the constant form (scale 0), whose
+   legality the analyser decides. *)
+let parse_forall_sub st ~var =
+  let check_var st =
+    let t = peek st in
+    let name = expect_ident st "forall subscript" in
+    if name <> var then
+      raise
+        (Parse_error
+           (Printf.sprintf "forall subscript uses %s, loop variable is %s"
+              name var, t.pos))
+  in
+  let tail_offset () =
+    match (peek st).token with
+    | Plus ->
+        advance st;
+        expect_int st "forall subscript offset"
+    | Minus ->
+        advance st;
+        -expect_int st "forall subscript offset"
+    | _ -> 0
+  in
+  match (peek st).token with
+  | Int _ | Minus -> begin
+      let v = expect_int st "forall subscript" in
+      match (peek st).token with
+      | Star ->
+          (* scale*var [+- offset] *)
+          advance st;
+          check_var st;
+          { Ast.scale = v; offset = tail_offset () }
+      | Plus | Minus -> begin
+          (* offset +- [scale*]var *)
+          let sign = if (peek st).token = Plus then 1 else -1 in
+          advance st;
+          match (peek st).token with
+          | Int _ ->
+              let m = expect_int st "forall subscript" in
+              expect st Star "forall subscript";
+              check_var st;
+              { Ast.scale = sign * m; offset = v }
+          | Ident _ ->
+              check_var st;
+              { Ast.scale = sign; offset = v }
+          | _ -> fail st "malformed forall subscript"
+        end
+      | _ -> { Ast.scale = 0; offset = v }
+    end
+  | Ident _ ->
+      check_var st;
+      { Ast.scale = 1; offset = tail_offset () }
+  | _ -> fail st "malformed forall subscript"
+
+let parse_forall_ref st ~var =
+  let pos = (peek st).pos in
+  let f_array = expect_ident st "forall reference" in
+  expect st Lparen "forall reference";
+  let f_sub = parse_forall_sub st ~var in
+  expect st Rparen "forall reference";
+  { Ast.f_array; f_sub; f_pos = pos }
+
+let parse_forall_expr st ~var =
+  match (peek st).token with
+  | Ident _ -> begin
+      let r = parse_forall_ref st ~var in
+      match (peek st).token with
+      | Newline | Eof -> Ast.F_ref r
+      | Plus | Minus | Star | Slash -> begin
+          let op = parse_binop st in
+          match (peek st).token with
+          | Ident _ -> Ast.F_ref_op_ref (r, op, parse_forall_ref st ~var)
+          | _ -> Ast.F_ref_op_const (r, op, float_like st "forall expression")
+        end
+      | _ -> fail st "malformed forall expression"
+    end
+  | _ -> begin
+      let v = float_like st "forall expression" in
+      match (peek st).token with
+      | Newline | Eof -> Ast.F_const v
+      | Plus | Minus | Star | Slash ->
+          let op = parse_binop st in
+          Ast.F_const_op_ref (v, op, parse_forall_ref st ~var)
+      | _ -> fail st "malformed forall expression"
+    end
+
+let parse_statement st =
+  let { token; pos } = peek st in
+  match token with
+  | Kw_real ->
+      advance st;
+      let name = expect_ident st "declaration" in
+      expect st Lparen "declaration";
+      let sizes =
+        comma_separated st (fun st -> expect_int st "declaration size")
+      in
+      expect st Rparen "declaration";
+      Ast.Decl { name; sizes; pos }
+  | Kw_template ->
+      advance st;
+      let name = expect_ident st "template" in
+      expect st Lparen "template";
+      let size = expect_int st "template size" in
+      expect st Rparen "template";
+      Ast.Template { name; size; pos }
+  | Kw_align ->
+      advance st;
+      let array = expect_ident st "align" in
+      expect st Lparen "align";
+      let _ = expect_ident st "align index variable" in
+      expect st Rparen "align";
+      expect st Kw_with "align";
+      let target = expect_ident st "align target" in
+      expect st Lparen "align target";
+      let map = parse_affine st in
+      expect st Rparen "align target";
+      Ast.Align { array; target; map; pos }
+  | Kw_distribute ->
+      advance st;
+      let name = expect_ident st "distribute" in
+      expect st Lparen "distribute";
+      let formats = comma_separated st parse_format in
+      expect st Rparen "distribute";
+      expect st Kw_onto "distribute";
+      let onto =
+        if (peek st).token = Lparen then begin
+          advance st;
+          let shape =
+            comma_separated st (fun st -> expect_int st "processor count")
+          in
+          expect st Rparen "processor grid";
+          shape
+        end
+        else [ expect_int st "processor count" ]
+      in
+      Ast.Distribute { name; formats; onto; pos }
+  | Kw_forall ->
+      advance st;
+      let var = expect_ident st "forall" in
+      expect st Equals "forall";
+      let range = parse_triplet_body st in
+      expect st Kw_do "forall";
+      let lhs = parse_forall_ref st ~var in
+      expect st Equals "forall assignment";
+      let rhs = parse_forall_expr st ~var in
+      Ast.Forall { var; range; lhs; rhs; pos }
+  | Kw_print ->
+      advance st;
+      if (peek st).token = Kw_sum then begin
+        advance st;
+        Ast.Print_sum { arg = parse_ref st; pos }
+      end
+      else Ast.Print { arg = parse_ref st; pos }
+  | Ident _ ->
+      let lhs = parse_ref st in
+      expect st Equals "assignment";
+      let rhs = parse_expr st in
+      Ast.Assign { lhs; rhs; pos }
+  | _ -> fail st "expected a statement"
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  let rec statements acc =
+    match (peek st).token with
+    | Eof -> List.rev acc
+    | Newline ->
+        advance st;
+        statements acc
+    | _ ->
+        let stmt = parse_statement st in
+        (match (peek st).token with
+        | Newline | Eof -> ()
+        | _ -> fail st "trailing tokens after statement");
+        statements (stmt :: acc)
+  in
+  statements []
+
+let parse_triplet text =
+  let st = { tokens = Lexer.tokenize text } in
+  let t = parse_triplet_body st in
+  (match (peek st).token with
+  | Newline | Eof -> ()
+  | _ -> fail st "trailing tokens after triplet");
+  t

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the mini-HPF language.
+
+    Grammar (one statement per line):
+    {[
+      decl       ::= "real" IDENT "(" INT ")"
+      template   ::= "template" IDENT "(" INT ")"
+      align      ::= "align" IDENT "(" IDENT ")" "with" IDENT "(" affine ")"
+      affine     ::= [INT "*"] IDENT [("+" | "-") INT] | INT
+      distribute ::= "distribute" IDENT "(" format ")" "onto" INT
+      format     ::= "block" | "cyclic" [ "(" INT ")" ]
+      assign     ::= ref "=" expr
+      print      ::= "print" ["sum"] ref
+      ref        ::= IDENT "(" triplet ")"
+      triplet    ::= int ":" int [":" int]          (ints may be negative)
+      expr       ::= FLOATLIKE | ref
+                   | ref op FLOATLIKE | FLOATLIKE op ref | ref op ref
+      op         ::= "+" | "-" | "*" | "/"
+    ]} *)
+
+exception Parse_error of string * Ast.position
+
+val parse : string -> Ast.program
+(** @raise Parse_error / [Lexer.Lex_error] on malformed input. *)
+
+val parse_triplet : string -> Ast.triplet
+(** Parse just an ["l:u:s"] triplet (CLI convenience).
+    @raise Parse_error on malformed input. *)

@@ -1,0 +1,90 @@
+open Lams_dist
+
+type t = { arrays : (string * float array) list; outputs : string list }
+
+let apply_op op a b =
+  match op with
+  | Ast.Add -> a +. b
+  | Ast.Sub -> a -. b
+  | Ast.Mul -> a *. b
+  | Ast.Div -> a /. b
+
+(* Row-major linearisation of a multi-index over the array's extents. *)
+let linear sizes idx =
+  let flat = ref 0 in
+  Array.iteri (fun d i -> flat := (!flat * sizes.(d)) + i) idx;
+  !flat
+
+(* Global flat position of traversal element j of a section reference. *)
+let element_at (r : Sema.ref_info) j =
+  let shape = Sema.ref_shape r in
+  let sizes = r.Sema.info.Sema.sizes in
+  let rank = Array.length shape in
+  let idx = Array.make rank 0 in
+  let rest = ref j in
+  for d = rank - 1 downto 0 do
+    let jd = !rest mod shape.(d) in
+    rest := !rest / shape.(d);
+    idx.(d) <- Section.nth r.Sema.sections.(d) jd
+  done;
+  linear sizes idx
+
+let fetch lookup (r : Sema.ref_info) =
+  let arr = lookup r.Sema.info.Sema.name in
+  Array.init (Sema.ref_count r) (fun j -> arr.(element_at r j))
+
+let run (checked : Sema.checked) =
+  let arrays =
+    List.map
+      (fun (info : Sema.array_info) ->
+        (info.Sema.name, Array.make (Array.fold_left ( * ) 1 info.Sema.sizes) 0.))
+      checked.Sema.arrays
+  in
+  let lookup name = List.assoc name arrays in
+  let outputs = ref [] in
+  List.iter
+    (fun action ->
+      match action with
+      | Sema.Print r ->
+          let values = fetch lookup r in
+          outputs :=
+            String.concat " "
+              (Array.to_list (Array.map (Printf.sprintf "%g") values))
+            :: !outputs
+      | Sema.Print_sum r ->
+          let values = fetch lookup r in
+          outputs :=
+            Printf.sprintf "%g" (Array.fold_left ( +. ) 0. values) :: !outputs
+      | Sema.Assign { lhs; rhs } ->
+          let dst = lookup lhs.Sema.info.Sema.name in
+          let count = Sema.ref_count lhs in
+          let values =
+            match rhs with
+            | Sema.Const v -> Array.make count v
+            | Sema.Copy r -> fetch lookup r
+            | Sema.Ref_op_const (r, op, v) ->
+                Array.map (fun x -> apply_op op x v) (fetch lookup r)
+            | Sema.Const_op_ref (v, op, r) ->
+                Array.map (fun x -> apply_op op v x) (fetch lookup r)
+            | Sema.Ref_op_ref (r1, op, r2) ->
+                let a = fetch lookup r1 and b = fetch lookup r2 in
+                Array.init count (fun j -> apply_op op a.(j) b.(j))
+          in
+          for j = 0 to count - 1 do
+            dst.(element_at lhs j) <- values.(j)
+          done)
+    checked.Sema.actions;
+  { arrays; outputs = List.rev !outputs }
+
+let find t name =
+  match List.assoc_opt name t.arrays with
+  | Some a -> a
+  | None -> raise Not_found
+
+let read t name flat =
+  let a = find t name in
+  if flat < 0 || flat >= Array.length a then
+    invalid_arg "Reference.read: index out of range";
+  a.(flat)
+
+let gather t name = Array.copy (find t name)

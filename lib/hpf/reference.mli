@@ -1,0 +1,16 @@
+(** Sequential reference executor: runs a checked program on plain global
+    [float array]s with textbook semantics — no distributions, no node
+    code, no network. The test suite requires {!Runtime.run} to produce
+    byte-identical outputs and final array contents. *)
+
+type t = {
+  arrays : (string * float array) list;
+  outputs : string list;
+}
+
+val run : Sema.checked -> t
+val read : t -> string -> int -> float
+(** @raise Not_found / Invalid_argument as in {!Runtime}. *)
+
+val gather : t -> string -> float array
+(** Copy of the final contents. @raise Not_found. *)

@@ -1,0 +1,43 @@
+(** SPMD execution of checked mini-HPF programs on the simulated machine.
+
+    Rank-1 identity-mapped arrays live in {!Lams_sim.Darray} stores; their
+    constant fills run through the Figure 8 node code and their inter-array
+    copies through the schedule-driven two-phase network exchange.
+    Multidimensional arrays live in per-grid-node stores addressed through
+    {!Lams_multidim.Md_array}; their constant fills use the per-dimension
+    traversal (multiple applications of the 1-D algorithm, §2).
+    Non-identity alignments use packed per-processor stores addressed
+    through {!Lams_multidim.Aligned}. Fortran array-statement semantics
+    hold throughout: the right-hand side is fully fetched before any
+    store. *)
+
+type value_array =
+  | Direct of Lams_sim.Darray.t
+  | Packed of {
+      desc : Lams_multidim.Aligned.t;
+      stores : Lams_sim.Local_store.t array;
+      size : int;
+    }
+  | Md of {
+      md : Lams_multidim.Md_array.t;
+      stores : Lams_sim.Local_store.t array;  (** indexed by grid rank *)
+      sizes : int array;
+    }
+
+type t = {
+  arrays : (string * value_array) list;
+  outputs : string list;  (** one entry per executed [print], in order *)
+  network : Lams_sim.Network.t option;  (** present iff any copy communicated *)
+}
+
+val run : ?shape:Lams_codegen.Shapes.t -> Sema.checked -> t
+(** Execute all actions. [shape] selects the node code used for constant
+    fills of rank-1 identity-mapped arrays (default [Shape_d]). *)
+
+val read : t -> string -> int array -> float
+(** Element read from the final state, by multi-index.
+    @raise Not_found for unknown arrays;
+    @raise Invalid_argument for rank mismatch or out-of-range indices. *)
+
+val gather : t -> string -> float array
+(** Full contents in row-major order. @raise Not_found. *)

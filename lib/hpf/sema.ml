@@ -1,0 +1,373 @@
+open Lams_dist
+
+type mapping =
+  | Grid of { dists : Distribution.t array; grid : int array }
+  | Aligned_1d of {
+      p : int;
+      dist : Distribution.t;
+      align : Alignment.t;
+      template_size : int;
+    }
+
+type array_info = { name : string; sizes : int array; mapping : mapping }
+type ref_info = { info : array_info; sections : Section.t array }
+
+type action =
+  | Assign of { lhs : ref_info; rhs : rhs }
+  | Print of ref_info
+  | Print_sum of ref_info
+
+and rhs =
+  | Const of float
+  | Copy of ref_info
+  | Ref_op_const of ref_info * Ast.binop * float
+  | Const_op_ref of float * Ast.binop * ref_info
+  | Ref_op_ref of ref_info * Ast.binop * ref_info
+
+type checked = { arrays : array_info list; actions : action list }
+type error = { msg : string; pos : Ast.position }
+
+let pp_error ppf { msg; pos } =
+  Format.fprintf ppf "line %d, col %d: %s" pos.Ast.line pos.Ast.column msg
+
+let rank info = Array.length info.sizes
+let ref_shape r = Array.map Section.count r.sections
+let ref_count r = Array.fold_left ( * ) 1 (ref_shape r)
+
+(* First pass: collect declarations and directives. *)
+type entry = {
+  e_sizes : int array;
+  e_is_template : bool;
+  mutable e_dist : (Ast.dist_format list * int list * Ast.position) option;
+  mutable e_align : (string * Ast.affine * Ast.position) option;
+}
+
+let dist_of_format = function
+  | Ast.Block -> Distribution.Block
+  | Ast.Cyclic -> Distribution.Cyclic
+  | Ast.Cyclic_k k -> Distribution.Block_cyclic k
+
+let analyze program =
+  let errors = ref [] in
+  let err pos fmt =
+    Format.kasprintf (fun msg -> errors := { msg; pos } :: !errors) fmt
+  in
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  (* --- Pass 1: declarations and directives --- *)
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Decl { name; sizes; pos } -> begin
+          if Hashtbl.mem table name then err pos "duplicate declaration of %s" name
+          else if List.exists (fun n -> n <= 0) sizes then
+            err pos "%s declared with a non-positive extent" name
+          else begin
+            Hashtbl.add table name
+              { e_sizes = Array.of_list sizes;
+                e_is_template = false;
+                e_dist = None;
+                e_align = None };
+            order := name :: !order
+          end
+        end
+      | Ast.Template { name; size; pos } -> begin
+          if Hashtbl.mem table name then err pos "duplicate declaration of %s" name
+          else if size <= 0 then
+            err pos "%s declared with non-positive size %d" name size
+          else begin
+            Hashtbl.add table name
+              { e_sizes = [| size |];
+                e_is_template = true;
+                e_dist = None;
+                e_align = None };
+            order := name :: !order
+          end
+        end
+      | Ast.Align { array; target; map; pos } -> begin
+          match Hashtbl.find_opt table array with
+          | None -> err pos "align of undeclared array %s" array
+          | Some e ->
+              if e.e_align <> None then err pos "%s aligned twice" array
+              else if Array.length e.e_sizes <> 1 then
+                err pos "align of %s: only rank-1 arrays can be aligned" array
+              else if map.Ast.scale = 0 then
+                err pos "alignment scale must be non-zero"
+              else e.e_align <- Some (target, map, pos)
+        end
+      | Ast.Distribute { name; formats; onto; pos } -> begin
+          match Hashtbl.find_opt table name with
+          | None -> err pos "distribute of undeclared name %s" name
+          | Some e ->
+              if e.e_dist <> None then err pos "%s distributed twice" name
+              else begin
+                let r = Array.length e.e_sizes in
+                if List.length formats <> r then
+                  err pos
+                    "distribute %s: %d formats for a rank-%d array" name
+                    (List.length formats) r
+                else if List.length onto <> r then
+                  err pos
+                    "distribute %s: processor grid has rank %d, array has \
+                     rank %d"
+                    name (List.length onto) r
+                else begin
+                  List.iter
+                    (fun p ->
+                      if p <= 0 then
+                        err pos "onto %d: processor count must be positive" p)
+                    onto;
+                  List.iter
+                    (function
+                      | Ast.Cyclic_k k when k <= 0 ->
+                          err pos "cyclic(%d): block size must be positive" k
+                      | Ast.Block | Ast.Cyclic | Ast.Cyclic_k _ -> ())
+                    formats;
+                  e.e_dist <- Some (formats, onto, pos)
+                end
+              end
+        end
+      | Ast.Assign _ | Ast.Forall _ | Ast.Print _ | Ast.Print_sum _ -> ())
+    program;
+  (* --- Pass 2: resolve mappings --- *)
+  let resolved : (string, array_info) Hashtbl.t = Hashtbl.create 16 in
+  let resolve name =
+    match Hashtbl.find_opt table name with
+    | None -> ()
+    | Some e when e.e_is_template -> () (* templates are not value arrays *)
+    | Some e -> begin
+        match (e.e_dist, e.e_align) with
+        | Some _, Some (_, _, pos) ->
+            err pos "%s is both distributed and aligned; pick one" name
+        | Some (formats, onto, _), None ->
+            Hashtbl.replace resolved name
+              { name;
+                sizes = e.e_sizes;
+                mapping =
+                  Grid
+                    { dists = Array.of_list (List.map dist_of_format formats);
+                      grid = Array.of_list onto } }
+        | None, Some (target, map, pos) -> begin
+            match Hashtbl.find_opt table target with
+            | None -> err pos "%s aligned with undeclared template %s" name target
+            | Some te when not te.e_is_template ->
+                err pos "%s aligned with %s, which is not a template" name target
+            | Some te -> begin
+                match te.e_dist with
+                | None -> err pos "template %s is not distributed" target
+                | Some ([ format ], [ onto ], _) ->
+                    let align =
+                      Alignment.make ~scale:map.Ast.scale ~offset:map.Ast.offset
+                    in
+                    let size = e.e_sizes.(0) in
+                    let c0 = Alignment.apply align 0
+                    and c1 = Alignment.apply align (size - 1) in
+                    let cmin = min c0 c1 and cmax = max c0 c1 in
+                    if cmin < 0 || cmax >= te.e_sizes.(0) then
+                      err pos
+                        "alignment maps %s onto template cells [%d, %d], \
+                         outside %s(%d)"
+                        name cmin cmax target te.e_sizes.(0)
+                    else
+                      Hashtbl.replace resolved name
+                        { name;
+                          sizes = e.e_sizes;
+                          mapping =
+                            Aligned_1d
+                              { p = onto;
+                                dist = dist_of_format format;
+                                align;
+                                template_size = te.e_sizes.(0) } }
+                | Some _ ->
+                    err pos "template %s must be rank-1" target
+              end
+          end
+        | None, None -> () (* only an error if the array is used *)
+      end
+  in
+  List.iter resolve (List.rev !order);
+  (* --- Pass 3: actions --- *)
+  let resolve_ref (r : Ast.section_ref) =
+    match Hashtbl.find_opt resolved r.Ast.array with
+    | None ->
+        (if Hashtbl.mem table r.Ast.array then
+           err r.Ast.ref_pos "%s has no mapping (distribute it or align it)"
+             r.Ast.array
+         else err r.Ast.ref_pos "undeclared array %s" r.Ast.array);
+        None
+    | Some info ->
+        let given = List.length r.Ast.triplets in
+        if given <> rank info then begin
+          err r.Ast.ref_pos "%s has rank %d, reference has %d subscripts"
+            r.Ast.array (rank info) given;
+          None
+        end
+        else begin
+          let ok = ref true in
+          let sections =
+            Array.of_list
+              (List.mapi
+                 (fun d { Ast.t_lo; t_hi; t_stride } ->
+                   if t_stride = 0 then begin
+                     err r.Ast.ref_pos "zero stride in subscript %d of %s"
+                       d r.Ast.array;
+                     ok := false;
+                     Section.make ~lo:0 ~hi:0 ~stride:1
+                   end
+                   else begin
+                     let section = Section.make ~lo:t_lo ~hi:t_hi ~stride:t_stride in
+                     if Section.is_empty section then begin
+                       err r.Ast.ref_pos "empty subscript %d:%d:%d of %s"
+                         t_lo t_hi t_stride r.Ast.array;
+                       ok := false;
+                       section
+                     end
+                     else begin
+                       let norm = Section.normalize section in
+                       if norm.Section.lo < 0 || norm.Section.hi >= info.sizes.(d)
+                       then begin
+                         err r.Ast.ref_pos
+                           "subscript %d:%d:%d outside dimension %d of %s(%d)"
+                           t_lo t_hi t_stride d r.Ast.array info.sizes.(d);
+                         ok := false
+                       end;
+                       section
+                     end
+                   end)
+                 r.Ast.triplets)
+          in
+          if !ok then Some { info; sections } else None
+        end
+  in
+  let same_shape pos (a : ref_info) (b : ref_info) =
+    if ref_shape a <> ref_shape b then
+      err pos "operand sections have shapes (%s) and (%s)"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int (ref_shape a))))
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int (ref_shape b))))
+  in
+  let actions = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Decl _ | Ast.Template _ | Ast.Align _ | Ast.Distribute _ -> ()
+      | Ast.Forall { var = _; range; lhs; rhs; pos } -> begin
+          (* Lower the single-statement FORALL to a section assignment:
+             subscript a*i+b over the iteration range lo:hi:s touches the
+             section (a*lo+b : a*last+b : a*s), in iteration order. *)
+          if range.Ast.t_stride = 0 then err pos "zero stride in forall range"
+          else begin
+            let iter =
+              Section.make ~lo:range.Ast.t_lo ~hi:range.Ast.t_hi
+                ~stride:range.Ast.t_stride
+            in
+            if Section.is_empty iter then err pos "empty forall range"
+            else begin
+              let resolve_fref (r : Ast.forall_ref) =
+                if r.Ast.f_sub.Ast.scale = 0 then begin
+                  err r.Ast.f_pos
+                    "forall subscript of %s must use the loop variable"
+                    r.Ast.f_array;
+                  None
+                end
+                else begin
+                  let at i = (r.Ast.f_sub.Ast.scale * i) + r.Ast.f_sub.Ast.offset in
+                  resolve_ref
+                    { Ast.array = r.Ast.f_array;
+                      triplets =
+                        [ { Ast.t_lo = at iter.Section.lo;
+                            t_hi = at (Section.last iter);
+                            t_stride = r.Ast.f_sub.Ast.scale * iter.Section.stride } ];
+                      ref_pos = r.Ast.f_pos }
+                end
+              in
+              match resolve_fref lhs with
+              | None -> ()
+              | Some l -> begin
+                  let rhs_resolved =
+                    match rhs with
+                    | Ast.F_const v -> Some (Const v)
+                    | Ast.F_ref r ->
+                        Option.map (fun ri -> Copy ri) (resolve_fref r)
+                    | Ast.F_ref_op_const (r, op, v) ->
+                        Option.map
+                          (fun ri -> Ref_op_const (ri, op, v))
+                          (resolve_fref r)
+                    | Ast.F_const_op_ref (v, op, r) ->
+                        Option.map
+                          (fun ri -> Const_op_ref (v, op, ri))
+                          (resolve_fref r)
+                    | Ast.F_ref_op_ref (r1, op, r2) -> begin
+                        match (resolve_fref r1, resolve_fref r2) with
+                        | Some a, Some b -> Some (Ref_op_ref (a, op, b))
+                        | _ -> None
+                      end
+                  in
+                  match rhs_resolved with
+                  | Some rhs -> actions := Assign { lhs = l; rhs } :: !actions
+                  | None -> ()
+                end
+            end
+          end
+        end
+      | Ast.Print { arg; _ } -> begin
+          match resolve_ref arg with
+          | Some r -> actions := Print r :: !actions
+          | None -> ()
+        end
+      | Ast.Print_sum { arg; _ } -> begin
+          match resolve_ref arg with
+          | Some r -> actions := Print_sum r :: !actions
+          | None -> ()
+        end
+      | Ast.Assign { lhs; rhs; pos } -> begin
+          match resolve_ref lhs with
+          | None -> ()
+          | Some l -> begin
+              let rhs_resolved =
+                match rhs with
+                | Ast.Const v -> Some (Const v)
+                | Ast.Ref r -> begin
+                    match resolve_ref r with
+                    | Some ri ->
+                        same_shape pos l ri;
+                        Some (Copy ri)
+                    | None -> None
+                  end
+                | Ast.Ref_op_const (r, op, v) -> begin
+                    match resolve_ref r with
+                    | Some ri ->
+                        same_shape pos l ri;
+                        Some (Ref_op_const (ri, op, v))
+                    | None -> None
+                  end
+                | Ast.Const_op_ref (v, op, r) -> begin
+                    match resolve_ref r with
+                    | Some ri ->
+                        same_shape pos l ri;
+                        Some (Const_op_ref (v, op, ri))
+                    | None -> None
+                  end
+                | Ast.Ref_op_ref (r1, op, r2) -> begin
+                    match (resolve_ref r1, resolve_ref r2) with
+                    | Some a, Some b ->
+                        same_shape pos l a;
+                        same_shape pos a b;
+                        Some (Ref_op_ref (a, op, b))
+                    | _ -> None
+                  end
+              in
+              match rhs_resolved with
+              | Some rhs -> actions := Assign { lhs = l; rhs } :: !actions
+              | None -> ()
+            end
+        end)
+    program;
+  match List.rev !errors with
+  | [] ->
+      let arrays =
+        List.filter_map (Hashtbl.find_opt resolved) (List.rev !order)
+      in
+      Ok { arrays; actions = List.rev !actions }
+  | errs -> Error errs

@@ -1,0 +1,62 @@
+(** Semantic analysis: name resolution, mapping resolution and shape
+    checking for mini-HPF programs.
+
+    A usable array must end up with exactly one {e mapping}: either a
+    direct [DISTRIBUTE] (one format per dimension, onto a processor grid
+    of the same rank), or — for rank-1 arrays — an [ALIGN] to a template
+    that is itself distributed. All section references are bounds-,
+    rank- and shape-checked. *)
+
+type mapping =
+  | Grid of {
+      dists : Lams_dist.Distribution.t array;  (** one per dimension *)
+      grid : int array;  (** processor-grid shape, same rank *)
+    }
+  | Aligned_1d of {
+      p : int;
+      dist : Lams_dist.Distribution.t;
+      align : Lams_dist.Alignment.t;  (** non-identity possible *)
+      template_size : int;
+    }
+
+type array_info = {
+  name : string;
+  sizes : int array;  (** global extent per dimension *)
+  mapping : mapping;
+}
+
+type ref_info = {
+  info : array_info;
+  sections : Lams_dist.Section.t array;  (** one per dimension *)
+}
+
+type action =
+  | Assign of { lhs : ref_info; rhs : rhs }
+  | Print of ref_info
+  | Print_sum of ref_info
+
+and rhs =
+  | Const of float
+  | Copy of ref_info
+  | Ref_op_const of ref_info * Ast.binop * float
+  | Const_op_ref of float * Ast.binop * ref_info
+  | Ref_op_ref of ref_info * Ast.binop * ref_info
+
+type checked = {
+  arrays : array_info list;  (** declaration order *)
+  actions : action list;  (** statement order *)
+}
+
+type error = { msg : string; pos : Ast.position }
+
+val analyze : Ast.program -> (checked, error list) result
+(** All detectable errors are collected (not just the first). *)
+
+val rank : array_info -> int
+val ref_shape : ref_info -> int array
+(** Per-dimension element counts of a section reference. *)
+
+val ref_count : ref_info -> int
+(** Total element count (product of {!ref_shape}). *)
+
+val pp_error : Format.formatter -> error -> unit

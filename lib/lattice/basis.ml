@@ -1,0 +1,62 @@
+open Lams_numeric
+
+type t = { p : int; k : int; s : int; d : int; r : Point.t; l : Point.t }
+
+let construct ~p ~k ~s =
+  if p <= 0 then invalid_arg "Basis.construct: p <= 0";
+  if k <= 0 then invalid_arg "Basis.construct: k <= 0";
+  if s <= 0 then invalid_arg "Basis.construct: s <= 0";
+  let pk = p * k in
+  let d, x, _ = Euclid.egcd s pk in
+  if d >= k then None
+  else begin
+    (* Scan offsets i = d, 2d, ... < k. For each, the smallest positive
+       section element with that offset is s*j where j is the smallest
+       solution of s*j ≡ i (mod pk). With x the Bézout coefficient
+       (s*x ≡ d mod pk), j steps by x_unit (mod pk/d) as i steps by d,
+       which removes the divisibility conditional from the loop (§5). *)
+    let period = pk / d in
+    let x_unit = Modular.emod x period in
+    let min_loc = ref max_int and max_loc = ref 0 in
+    let j = ref 0 in
+    let i = ref d in
+    while !i < k do
+      j := !j + x_unit;
+      if !j >= period then j := !j - period;
+      let loc = s * !j in
+      if loc < !min_loc then min_loc := loc;
+      if loc > !max_loc then max_loc := loc;
+      i := !i + d
+    done;
+    let r = Point.make ~b:(!min_loc mod pk) ~a:(!min_loc / pk) in
+    let l =
+      Point.make ~b:(!max_loc mod pk) ~a:((!max_loc / pk) - (s / d))
+    in
+    assert (0 < r.Point.b && r.Point.b < k && r.Point.a >= 0);
+    assert (0 < l.Point.b && l.Point.b < k && l.Point.a < 0);
+    Some { p; k; s; d; r; l }
+  end
+
+let lattice t = Section_lattice.create ~row_len:(t.p * t.k) ~stride:t.s
+
+let next_step t ~proc ~offset =
+  let window_lo = proc * t.k and window_hi = (proc + 1) * t.k in
+  if offset < window_lo || offset >= window_hi then
+    invalid_arg "Basis.next_step: offset outside the processor's window";
+  if offset + t.r.Point.b < window_hi then t.r
+  else if offset - t.l.Point.b >= window_lo then Point.neg t.l
+  else Point.sub t.r t.l
+
+let gap t step = Point.memory_gap ~k:t.k step
+
+let index_of_point t pt =
+  match Section_lattice.index_of (lattice t) pt with
+  | Some i -> i
+  | None -> assert false (* R and L are constructed as lattice members *)
+
+let index_of_r t = index_of_point t t.r
+let index_of_l t = index_of_point t t.l
+
+let pp ppf t =
+  Format.fprintf ppf "R=%a L=%a (p=%d k=%d s=%d d=%d)" Point.pp t.r Point.pp
+    t.l t.p t.k t.s t.d

@@ -1,0 +1,52 @@
+(** The specific lattice basis of the paper's §4: vectors [R] and [L].
+
+    [R = (b_r, a_r)] is the lattice point of the {e smallest positive}
+    section index whose offset lies in [(0, k)];
+    [L = (b_l, a_l)] is the point of the {e largest} index in the initial
+    cycle with offset in [(0, k)], taken relative to the first point of the
+    next cycle — so its section index is negative, [b_l ∈ (0, k)] and
+    [a_l < 0]. Theorem 2 proves [{R, L}] is a basis of the section lattice;
+    Theorem 3 proves the step between consecutive owned elements is always
+    [R], [−L], or [R − L]. *)
+
+type t = private {
+  p : int;  (** number of processors *)
+  k : int;  (** block size *)
+  s : int;  (** section stride *)
+  d : int;  (** [gcd s (p*k)] *)
+  r : Point.t;  (** [R]: [0 < r.b < k], [r.a >= 0] *)
+  l : Point.t;  (** [L]: [0 < l.b < k], [l.a < 0] *)
+}
+
+val construct : p:int -> k:int -> s:int -> t option
+(** Builds [R] and [L] in [O(k/d + log min(s, pk))] time by scanning the
+    solvable offsets [d, 2d, …] below [k], exactly as lines 19–30 of the
+    paper's Figure 5 (with the conditional-free refinement of §5).
+
+    Returns [None] iff [d >= k], i.e. when fewer than two offsets per
+    window are reachable, in which case every processor's gap table has
+    length [<= 1] and the callers handle it as the paper's special cases
+    (lines 12–18). @raise Invalid_argument unless [p, k, s > 0]. *)
+
+val lattice : t -> Section_lattice.t
+(** The underlying section lattice (for membership checks in tests). *)
+
+val next_step : t -> proc:int -> offset:int -> Point.t
+(** Theorem 3. [next_step t ~proc ~offset] is the lattice step from the
+    owned element at row-offset [offset] (which must satisfy
+    [proc*k <= offset < (proc+1)*k]) to the next owned element on processor
+    [proc]: [R] when [offset + r.b] stays inside the window, otherwise
+    [−L] when [offset - l.b] does not undershoot it, otherwise [R − L].
+    @raise Invalid_argument if [offset] is outside the processor's
+    window. *)
+
+val gap : t -> Point.t -> int
+(** Local-memory distance of a step: [step.a * k + step.b]. *)
+
+val index_of_r : t -> int
+(** The (positive) section index corresponding to [R]. *)
+
+val index_of_l : t -> int
+(** The (negative) section index corresponding to [L]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = { b : int; a : int }
+
+let make ~b ~a = { b; a }
+let zero = { b = 0; a = 0 }
+let add u v = { b = u.b + v.b; a = u.a + v.a }
+let sub u v = { b = u.b - v.b; a = u.a - v.a }
+let neg u = { b = -u.b; a = -u.a }
+let scale c u = { b = c * u.b; a = c * u.a }
+let equal u v = u.b = v.b && u.a = v.a
+
+let compare u v =
+  let c = Int.compare u.a v.a in
+  if c <> 0 then c else Int.compare u.b v.b
+
+let det u v = (u.b * v.a) - (v.b * u.a)
+let memory_gap ~k step = (step.a * k) + step.b
+let pp ppf { b; a } = Format.fprintf ppf "(%d, %d)" b a
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,31 @@
+(** Points of the two-dimensional integer plane used throughout the paper's
+    §3: the x-axis is the {e offset} within a row of the block-cyclic
+    layout (the paper's [b]), the y-axis is the {e row} number (the
+    paper's [a]). A step [(b, a)] between two elements owned by the same
+    processor costs [a*k + b] in local memory. *)
+
+type t = { b : int;  (** offset component (x) *) a : int  (** row component (y) *) }
+
+val make : b:int -> a:int -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic on [(a, b)] — an arbitrary total order for containers. *)
+
+val det : t -> t -> int
+(** [det u v = u.b * v.a - v.b * u.a], the (signed) area of the
+    parallelogram spanned by [u] and [v]. *)
+
+val memory_gap : k:int -> t -> int
+(** [memory_gap ~k step] is the local-memory distance [step.a * k + step.b]
+    induced by moving by [step] inside one processor's slice of a
+    [cyclic(k)] layout. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [(b, a)] in the paper's coordinate order. *)
+
+val to_string : t -> string

@@ -1,0 +1,30 @@
+let norm2 (p : Point.t) = (p.Point.b * p.Point.b) + (p.Point.a * p.Point.a)
+
+let dot (u : Point.t) (v : Point.t) =
+  (u.Point.b * v.Point.b) + (u.Point.a * v.Point.a)
+
+let is_reduced u v = norm2 u <= norm2 v && 2 * abs (dot u v) <= norm2 u
+
+(* Nearest integer to the rational dot(u,v)/norm2(u). *)
+let nearest_quotient num den =
+  (* den > 0; round half away from zero is fine for the reduction. *)
+  let twice = 2 * num in
+  if twice >= 0 then (twice + den) / (2 * den)
+  else -(((-twice) + den) / (2 * den))
+
+let gauss u v =
+  if Point.det u v = 0 then
+    invalid_arg "Reduction.gauss: vectors are linearly dependent";
+  (* Lagrange's algorithm: repeatedly subtract the rounded projection. *)
+  let rec loop u v =
+    let u, v = if norm2 u > norm2 v then (v, u) else (u, v) in
+    let q = nearest_quotient (dot u v) (norm2 u) in
+    let v' = Point.sub v (Point.scale q u) in
+    if norm2 v' >= norm2 v then (u, v) else loop u v'
+  in
+  let u, v = loop u v in
+  if norm2 u > norm2 v then (v, u) else (u, v)
+
+let shortest_vector_norm2 u v =
+  let u', _ = gauss u v in
+  norm2 u'

@@ -1,0 +1,26 @@
+(** Lagrange–Gauss basis reduction for rank-2 integer lattices.
+
+    The paper's [R]/[L] basis is chosen for {e traversal} (extremal
+    section indices with offsets inside one block), not for geometry; the
+    classical reduced basis minimises Euclidean lengths instead. This
+    module provides the textbook reduction as lattice substrate: tests use
+    it to confirm that [{R, L}] and the reduced basis generate the same
+    lattice, and it gives the shortest-vector yardstick for the geometry
+    of §3. *)
+
+val norm2 : Point.t -> int
+(** Squared Euclidean length. *)
+
+val is_reduced : Point.t -> Point.t -> bool
+(** Lagrange-reduced: [|u| <= |v|] and [2*|<u,v>| <= |u|²]. *)
+
+val gauss : Point.t -> Point.t -> Point.t * Point.t
+(** [gauss u v] reduces the basis [{u, v}] (both non-zero, linearly
+    independent). The result [(u', v')] is Lagrange-reduced, spans the
+    same lattice (an unimodular transform of the input), and [u'] attains
+    the lattice's shortest non-zero vector length.
+    @raise Invalid_argument if [u], [v] are dependent or zero. *)
+
+val shortest_vector_norm2 : Point.t -> Point.t -> int
+(** Squared length of a shortest non-zero lattice vector of the lattice
+    spanned by the (independent) arguments. *)

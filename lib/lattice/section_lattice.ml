@@ -1,0 +1,55 @@
+open Lams_numeric
+
+type t = { row_len : int; stride : int }
+
+let create ~row_len ~stride =
+  if row_len <= 0 then invalid_arg "Section_lattice.create: row_len <= 0";
+  if stride <= 0 then invalid_arg "Section_lattice.create: stride <= 0";
+  { row_len; stride }
+
+let value t (p : Point.t) = (t.row_len * p.a) + p.b
+
+let mem t p = Modular.emod (value t p) t.stride = 0
+
+let index_of t p =
+  let v = value t p in
+  if Modular.emod v t.stride = 0 then Some (v / t.stride) else None
+
+let point_of_index t i =
+  let v = i * t.stride in
+  Point.make ~b:(Modular.emod v t.row_len) ~a:(Modular.ediv v t.row_len)
+
+let covolume t = t.stride
+
+let is_basis t u v =
+  match (index_of t u, index_of t v) with
+  | Some _, Some _ -> abs (Point.det u v) = t.stride
+  | _ -> false
+
+let primitive_of_index t i =
+  if i = 0 then false
+  else begin
+    let p = point_of_index t i in
+    Euclid.gcd p.a i = 1
+  end
+
+let fold_region t ~b_lo ~b_hi ~a_lo ~a_hi ~init ~f =
+  (* Within row [a], members are the [b] with
+     b ≡ -row_len*a (mod gcd-structure): solve stride | (row_len*a + b),
+     i.e. b ≡ -row_len*a (mod stride). *)
+  let acc = ref init in
+  for a = a_lo to a_hi - 1 do
+    let residue = Modular.emod (-t.row_len * a) t.stride in
+    (* First b >= b_lo with b ≡ residue (mod stride). *)
+    let first =
+      residue + (t.stride * Modular.ceil_div (b_lo - residue) t.stride)
+    in
+    let b = ref first in
+    while !b < b_hi do
+      let p = Point.make ~b:!b ~a in
+      let i = value t p / t.stride in
+      acc := f !acc p i;
+      b := !b + t.stride
+    done
+  done;
+  !acc

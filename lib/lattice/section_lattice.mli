@@ -1,0 +1,53 @@
+(** The regular-section lattice of the paper's Theorem 1.
+
+    For a [cyclic(k)] distribution over [p] processors ([row_len = p*k]
+    elements per layout row) and a section stride [s > 0], the set
+
+    {[ Λ = { (b, a) ∈ ℤ² | row_len*a + b = i*s for some i ∈ ℤ } ]}
+
+    is an integer lattice: the translates of section elements to the origin.
+    It is independent of the section's lower bound (§3). Each lattice point
+    corresponds to exactly one section index [i = (row_len*a + b) / s]. *)
+
+type t = private { row_len : int; stride : int }
+
+val create : row_len:int -> stride:int -> t
+(** @raise Invalid_argument unless [row_len > 0] and [stride > 0]. *)
+
+val mem : t -> Point.t -> bool
+(** Lattice membership: does [row_len*a + b] land on a multiple of
+    [stride]? *)
+
+val index_of : t -> Point.t -> int option
+(** The section index [i] of a lattice point, [None] for non-members. *)
+
+val point_of_index : t -> int -> Point.t
+(** [point_of_index t i] is the canonical point of section index [i]:
+    [( (i*s) emod row_len, (i*s) ediv row_len )] — offsets in
+    [\[0, row_len)]. Its image is exactly the members with
+    [0 <= b < row_len]. *)
+
+val covolume : t -> int
+(** The lattice determinant (index of [Λ] in [ℤ²]), which equals
+    [stride]. *)
+
+val is_basis : t -> Point.t -> Point.t -> bool
+(** [is_basis t u v]: do two lattice members generate [Λ]?
+    Equivalent characterisations (both checked by the test suite):
+    [|det u v| = covolume t], and the paper's [|a₁i₂ − a₂i₁| = 1].
+    Returns [false] if either point is not a member. *)
+
+val primitive_of_index : t -> int -> bool
+(** The paper's segment condition: the segment from the origin to
+    [point_of_index t i] contains no interior lattice point iff
+    [gcd (point_of_index t i).a i = 1] — i.e. the point may belong to a
+    basis. ([i <> 0] required; [primitive_of_index t 0 = false].) *)
+
+val fold_region :
+  t -> b_lo:int -> b_hi:int -> a_lo:int -> a_hi:int ->
+  init:'acc -> f:('acc -> Point.t -> int -> 'acc) -> 'acc
+(** Fold [f acc point index] over every lattice member in the half-open box
+    [\[b_lo, b_hi) × \[a_lo, a_hi)], in row-major order (increasing [a],
+    then [b]). Used by figure rendering and brute-force tests; cost is
+    proportional to the box area divided by stride (per row it solves one
+    congruence and steps through solutions). *)

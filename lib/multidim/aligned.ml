@@ -1,0 +1,93 @@
+open Lams_dist
+open Lams_core
+
+type t = {
+  p : int;
+  k : int;
+  align : Alignment.t;
+  array_size : int;
+  image : Section.t;
+}
+
+let create ~p ~k ~align ~array_size =
+  if p <= 0 || k <= 0 then invalid_arg "Aligned.create: p, k must be positive";
+  if array_size <= 0 then invalid_arg "Aligned.create: array_size <= 0";
+  let image =
+    Section.normalize
+      (Section.make ~lo:(Alignment.apply align 0)
+         ~hi:(Alignment.apply align (array_size - 1))
+         ~stride:align.Alignment.scale)
+  in
+  if image.Section.lo < 0 then
+    invalid_arg "Aligned.create: alignment maps below template cell 0";
+  { p; k; align; array_size; image }
+
+let template_extent t = t.image.Section.hi + 1
+
+let layout t = Layout.create ~p:t.p ~k:t.k
+
+let image_problem t = Problem.of_section (layout t) t.image
+
+let cell t i = Alignment.apply t.align i
+
+let owner t i =
+  if i < 0 || i >= t.array_size then invalid_arg "Aligned.owner: index out of range";
+  Layout.owner (layout t) (cell t i)
+
+let packed_count t ~m =
+  Start_finder.count_owned (image_problem t) ~m ~u:t.image.Section.hi
+
+(* Rank of an owned image cell within processor m's packed store: the
+   number of owned image cells at or below it, minus one. *)
+let rank_of_cell t ~m c = Start_finder.count_owned (image_problem t) ~m ~u:c - 1
+
+let packed_address t ~m i =
+  if i < 0 || i >= t.array_size then
+    invalid_arg "Aligned.packed_address: index out of range";
+  let c = cell t i in
+  if Layout.owner (layout t) c <> m then None else Some (rank_of_cell t ~m c)
+
+let check_section t section =
+  if Section.is_empty section then invalid_arg "Aligned: empty section";
+  let norm = Section.normalize section in
+  if norm.Section.lo < 0 || norm.Section.hi >= t.array_size then
+    invalid_arg "Aligned: section outside the array"
+
+(* The section's template-cell image, normalised. *)
+let section_cells t section =
+  Section.normalize (Alignment.section_image t.align (Section.normalize section))
+
+let traverse t ~section ~m =
+  check_section t section;
+  let cells = section_cells t section in
+  let pr = Problem.of_section (layout t) cells in
+  Enumerate.seq pr ~m ~u:cells.Section.hi
+  |> Seq.map (fun (c, _template_local) ->
+         let i =
+           match Alignment.preimage t.align c with
+           | Some i -> i
+           | None -> assert false (* c is in the image by construction *)
+         in
+         (i, rank_of_cell t ~m c))
+
+let gap_table t ~section ~m =
+  check_section t section;
+  let cells = section_cells t section in
+  let pr = Problem.of_section (layout t) cells in
+  let { Start_finder.length; _ } = Start_finder.find pr ~m in
+  if length = 0 then Access_table.empty
+  else begin
+    (* One period of the cell-offset pattern plus the wrap element. *)
+    let elems = Brute.owned_prefix pr ~m ~count:(length + 1) in
+    let ranks = Array.map (fun c -> rank_of_cell t ~m c) elems in
+    let gaps = Array.init length (fun j -> ranks.(j + 1) - ranks.(j)) in
+    let first_index =
+      match Alignment.preimage t.align elems.(0) with
+      | Some i -> i
+      | None -> assert false
+    in
+    { Access_table.start = Some first_index;
+      start_local = Some ranks.(0);
+      length;
+      gaps }
+  end

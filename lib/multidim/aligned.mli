@@ -1,0 +1,57 @@
+(** Access sequences under non-identity affine alignments (§2).
+
+    Array element [A(i)] lives at template cell [a*i + b]; the template is
+    distributed [cyclic(k)] over [p] processors. Each processor stores
+    {e only the array elements whose template cell it owns}, packed in
+    increasing template-cell order. The paper notes the access problem for
+    any affine alignment is solved "by two applications of the access
+    sequence computation algorithm for the identity alignment": one over
+    the section's template-cell image (which elements does the processor
+    own, and in what order), and one over the array's full template-cell
+    image (where each owned element sits in the packed local store).
+
+    This module composes those two applications. The packed address of an
+    owned element is computed with the closed-form rank function
+    [F(c) = count_owned(image, u = c)] — [O(k/d)] per element, so building
+    a full gap table is [O(k²/d)]; correct and simple (the authors' ICS'95
+    paper engineers this to [O(k)], out of scope here — cross-validated
+    against brute force instead). *)
+
+type t = private {
+  p : int;
+  k : int;
+  align : Lams_dist.Alignment.t;
+  array_size : int;
+  image : Lams_dist.Section.t;  (** template cells of the whole array *)
+}
+
+val create :
+  p:int -> k:int -> align:Lams_dist.Alignment.t -> array_size:int -> t
+(** @raise Invalid_argument if any image cell would be negative (the
+    template must start at cell 0 or later) or sizes are non-positive. *)
+
+val template_extent : t -> int
+(** Template cells needed: one past the largest image cell. *)
+
+val owner : t -> int -> int
+(** Owning processor of array element [i] (through its template cell). *)
+
+val packed_count : t -> m:int -> int
+(** Number of array elements processor [m] stores. *)
+
+val packed_address : t -> m:int -> int -> int option
+(** Packed local address of array element [i] on processor [m]; [None]
+    when [m] does not own it. *)
+
+val traverse :
+  t -> section:Lams_dist.Section.t -> m:int -> (int * int) Seq.t
+(** [(array index, packed address)] for the processor's share of
+    [A(section)], in ascending template-cell order — which is ascending
+    array-index order whenever the alignment scale is positive.
+    @raise Invalid_argument if the section leaves [\[0, array_size)]. *)
+
+val gap_table :
+  t -> section:Lams_dist.Section.t -> m:int -> Lams_core.Access_table.t
+(** Packed-storage gap table: the same contract as [Kns.gap_table], but
+    gaps are distances in the packed local store. [start] is the global
+    {e array index} of the first owned section element. *)

@@ -1,0 +1,107 @@
+open Lams_numeric
+open Lams_dist
+open Lams_core
+
+type spec = { start : int array; steps : int array; count : int }
+
+let make ~start ~steps ~count =
+  if Array.length start <> Array.length steps then
+    invalid_arg "Diagonal.make: rank mismatch between start and steps";
+  if Array.exists (fun u -> u = 0) steps then
+    invalid_arg "Diagonal.make: zero step";
+  if count < 1 then invalid_arg "Diagonal.make: count < 1";
+  { start = Array.copy start; steps = Array.copy steps; count }
+
+let in_bounds (md : Md_array.t) spec =
+  Array.length spec.start = Array.length md.Md_array.dims
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun d r ->
+            let last = r + ((spec.count - 1) * spec.steps.(d)) in
+            min r last >= 0 && max r last < md.Md_array.dims.(d))
+          spec.start)
+
+type run = { first : int; period : int; count : int }
+
+let check md spec ~coords name =
+  if Array.length coords <> Array.length md.Md_array.dims then
+    invalid_arg ("Diagonal." ^ name ^ ": coords rank mismatch");
+  if not (in_bounds md spec) then
+    invalid_arg ("Diagonal." ^ name ^ ": diagonal leaves the array")
+
+(* Residue classes (mod that dimension's cycle length) of positions j for
+   which coordinate c of dimension d owns index start_d + j * step_d. *)
+let dim_classes (md : Md_array.t) spec ~d ~c =
+  let lay = md.Md_array.layouts.(d) in
+  let u = spec.steps.(d) and r = spec.start.(d) in
+  let lo = if u > 0 then r else r + ((spec.count - 1) * u) in
+  let pr =
+    Problem.make ~p:lay.Layout.p ~k:lay.Layout.k ~l:lo ~s:(abs u)
+  in
+  let period = Problem.cycle_indices pr in
+  let locs = Start_finder.first_cycle_locations pr ~m:c in
+  let residues =
+    Array.to_list locs
+    |> List.map (fun loc ->
+           let j_asc = (loc - lo) / abs u in
+           if u > 0 then j_asc
+           else Modular.emod (spec.count - 1 - j_asc) period)
+  in
+  (residues, period)
+
+let intersect_classes (r1, p1) (r2, p2) =
+  let g, x, _ = Euclid.egcd p1 p2 in
+  if (r2 - r1) mod g <> 0 then None
+  else begin
+    let lcm = p1 / g * p2 in
+    let t = (r2 - r1) / g * x mod (p2 / g) in
+    Some (Modular.emod (r1 + (p1 * t)) lcm, lcm)
+  end
+
+let owned_runs md spec ~coords =
+  check md spec ~coords "owned_runs";
+  let rank = Array.length coords in
+  (* Fold the per-dimension class unions through CRT intersection. *)
+  let rec combine d acc =
+    if d = rank then acc
+    else begin
+      let classes, period = dim_classes md spec ~d ~c:coords.(d) in
+      let acc' =
+        List.concat_map
+          (fun cls ->
+            List.filter_map
+              (fun r -> intersect_classes cls (r, period))
+              classes)
+          acc
+      in
+      combine (d + 1) acc'
+    end
+  in
+  combine 0 [ (0, 1) ]
+  |> List.filter_map (fun (residue, modulus) ->
+         if residue >= spec.count then None
+         else
+           Some
+             { first = residue;
+               period = modulus;
+               count = 1 + ((spec.count - 1 - residue) / modulus) })
+  |> List.sort (fun a b -> compare a.first b.first)
+
+let positions r = List.init r.count (fun t -> r.first + (t * r.period))
+
+let count_owned md spec ~coords =
+  List.fold_left (fun acc r -> acc + r.count) 0 (owned_runs md spec ~coords)
+
+let iter_owned md spec ~coords ~f =
+  let runs = owned_runs md spec ~coords in
+  let rank = Array.length coords in
+  let global = Array.make rank 0 in
+  (* Merge runs in increasing j: runs are disjoint but may interleave. *)
+  let all = List.concat_map positions runs |> List.sort compare in
+  List.iter
+    (fun j ->
+      for d = 0 to rank - 1 do
+        global.(d) <- spec.start.(d) + (j * spec.steps.(d))
+      done;
+      f ~j ~global ~local:(Md_array.local_address md ~coords global))
+    all

@@ -1,0 +1,45 @@
+(** Diagonal array sections — one of the paper's explicit future-work
+    items (§8: "compiling programs that access diagonal or trapezoidal
+    array sections … in the presence of cyclic(k) distributions").
+
+    A diagonal access touches [A(r0 + j*u0, r1 + j*u1)] for
+    [j = 0 … count-1] with per-step increments [u0, u1] (the main diagonal
+    is [u0 = u1 = 1]). Ownership must hold in {e both} dimensions at once:
+    each dimension's owned positions form residue classes modulo that
+    dimension's cycle length, so a grid node's positions are CRT
+    intersections of one class per dimension — arithmetic progressions,
+    found in closed form exactly as for communication sets. *)
+
+type spec = {
+  start : int array;  (** [r_d]: starting index per dimension *)
+  steps : int array;  (** [u_d]: per-position increment per dimension;
+                          each non-zero *)
+  count : int;  (** number of positions, [>= 1] *)
+}
+
+val make : start:int array -> steps:int array -> count:int -> spec
+(** @raise Invalid_argument on rank mismatch, zero step, or
+    [count < 1]. *)
+
+val in_bounds : Md_array.t -> spec -> bool
+(** Does every position stay inside the array? *)
+
+type run = { first : int; period : int; count : int }
+(** Positions [first, first+period, …], all in [\[0, spec.count)]. *)
+
+val owned_runs : Md_array.t -> spec -> coords:int array -> run list
+(** The grid node's positions along the diagonal, as disjoint sorted
+    progressions, computed without enumerating the diagonal.
+    @raise Invalid_argument on rank mismatch or out-of-bounds spec. *)
+
+val iter_owned :
+  Md_array.t -> spec -> coords:int array ->
+  f:(j:int -> global:int array -> local:int -> unit) -> unit
+(** Visit the node's diagonal positions in increasing [j], with the
+    global multi-index and node-local row-major address. The [global]
+    array is reused between calls. *)
+
+val count_owned : Md_array.t -> spec -> coords:int array -> int
+(** Closed-form count ([O(cells in one CRT table)], not [O(count)]). *)
+
+val positions : run -> int list

@@ -1,0 +1,110 @@
+open Lams_dist
+open Lams_core
+
+type t = {
+  dims : int array;
+  layouts : Layout.t array;
+  grid : Proc_grid.t;
+}
+
+let create ~dims ~dists ~grid =
+  let r = Array.length dims in
+  if r = 0 then invalid_arg "Md_array.create: rank 0";
+  if Array.length dists <> r || Proc_grid.ndims grid <> r then
+    invalid_arg "Md_array.create: rank mismatch between dims/dists/grid";
+  Array.iter (fun n -> if n <= 0 then invalid_arg "Md_array.create: extent <= 0") dims;
+  let layouts =
+    Array.init r (fun t ->
+        Distribution.to_layout dists.(t) ~n:dims.(t) ~p:(Proc_grid.dim grid t))
+  in
+  { dims; layouts; grid }
+
+let rank t = Array.length t.dims
+
+let check_rank t arr name =
+  if Array.length arr <> rank t then
+    invalid_arg ("Md_array." ^ name ^ ": rank mismatch")
+
+let owner_coords t idx =
+  check_rank t idx "owner_coords";
+  Array.mapi (fun d i -> Layout.owner t.layouts.(d) i) idx
+
+let owner_rank t idx = Proc_grid.rank_of_coords t.grid (owner_coords t idx)
+
+let local_extents t ~coords =
+  check_rank t coords "local_extents";
+  Array.mapi
+    (fun d c -> Layout.local_extent t.layouts.(d) ~n:t.dims.(d) ~proc:c)
+    coords
+
+let local_size t ~coords = Array.fold_left ( * ) 1 (local_extents t ~coords)
+
+(* Row-major weights: weight of dim d is the product of local extents of
+   dims d+1.. *)
+let weights_of extents =
+  let r = Array.length extents in
+  let w = Array.make r 1 in
+  for d = r - 2 downto 0 do
+    w.(d) <- w.(d + 1) * extents.(d + 1)
+  done;
+  w
+
+let local_address t ~coords idx =
+  check_rank t coords "local_address";
+  check_rank t idx "local_address";
+  let extents = local_extents t ~coords in
+  let w = weights_of extents in
+  let addr = ref 0 in
+  Array.iteri
+    (fun d i ->
+      if Layout.owner t.layouts.(d) i <> coords.(d) then
+        invalid_arg "Md_array.local_address: element not owned by coords";
+      addr := !addr + (Layout.local_address t.layouts.(d) i * w.(d)))
+    idx;
+  !addr
+
+let check_sections t sections =
+  check_rank t sections "sections";
+  Array.iteri
+    (fun d sec ->
+      if Section.is_empty sec then invalid_arg "Md_array: empty section";
+      let norm = Section.normalize sec in
+      if norm.Section.lo < 0 || norm.Section.hi >= t.dims.(d) then
+        invalid_arg "Md_array: section outside the array")
+    sections
+
+let traverse_owned t ~sections ~coords ~f =
+  check_rank t coords "traverse_owned";
+  check_sections t sections;
+  let r = rank t in
+  let extents = local_extents t ~coords in
+  let w = weights_of extents in
+  (* Per-dimension owned subsequences: (global, dim-local) pairs from the
+     1-D enumerator, materialised once per dimension. *)
+  let per_dim =
+    Array.init r (fun d ->
+        let norm = Section.normalize sections.(d) in
+        let pr = Problem.of_section t.layouts.(d) norm in
+        Enumerate.seq pr ~m:coords.(d) ~u:norm.Section.hi |> Array.of_seq)
+  in
+  if Array.for_all (fun a -> Array.length a > 0) per_dim then begin
+    let global = Array.make r 0 in
+    let rec nest d partial_addr =
+      if d = r then f ~global ~local:partial_addr
+      else
+        Array.iter
+          (fun (g, local_1d) ->
+            global.(d) <- g;
+            nest (d + 1) (partial_addr + (local_1d * w.(d))))
+          per_dim.(d)
+    in
+    nest 0 0
+  end
+
+let inner_gap_table t ~sections ~coords =
+  check_rank t coords "inner_gap_table";
+  check_sections t sections;
+  let d = rank t - 1 in
+  let norm = Section.normalize sections.(d) in
+  let pr = Problem.of_section t.layouts.(d) norm in
+  Kns.gap_table pr ~m:coords.(d)

@@ -1,0 +1,64 @@
+(** Multidimensional distributed arrays. Dimensions are mapped
+    independently (§2): each dimension carries its own [cyclic(k)]
+    distribution onto one axis of a processor grid, and the memory access
+    problem for a multidimensional regular section "simply reduces to
+    multiple applications of the algorithm for [the] one-dimensional
+    case". Local storage on each grid node is row-major over the per-
+    dimension local extents. *)
+
+type t = private {
+  dims : int array;  (** global extent per dimension *)
+  layouts : Lams_dist.Layout.t array;  (** per-dimension [cyclic(k)] maps *)
+  grid : Lams_dist.Proc_grid.t;
+}
+
+val create :
+  dims:int array ->
+  dists:Lams_dist.Distribution.t array ->
+  grid:Lams_dist.Proc_grid.t ->
+  t
+(** @raise Invalid_argument unless [dims], [dists] and the grid all have
+    the same rank and every extent is positive. Use a grid dimension of 1
+    for an undistributed ("[*]") array dimension. *)
+
+val rank : t -> int
+
+val owner_coords : t -> int array -> int array
+(** Grid coordinates owning a global multi-index. *)
+
+val owner_rank : t -> int array -> int
+(** Same, linearised. *)
+
+val local_extents : t -> coords:int array -> int array
+(** Per-dimension local extents on a grid node. *)
+
+val local_size : t -> coords:int array -> int
+(** Product of {!local_extents} — the node's allocation. *)
+
+val local_address : t -> coords:int array -> int array -> int
+(** Row-major local address of a global multi-index on its owning node.
+    @raise Invalid_argument if [coords] does not own the element. *)
+
+val traverse_owned :
+  t ->
+  sections:Lams_dist.Section.t array ->
+  coords:int array ->
+  f:(global:int array -> local:int -> unit) ->
+  unit
+(** Visit the grid node's share of the Cartesian section
+    [A(sec₀, sec₁, …)] in row-major order over the {e normalised}
+    (ascending) sections, last dimension innermost, calling [f] with the
+    global multi-index and the node-local row-major address. The [global]
+    array is reused across calls — copy it if you keep it. Each
+    dimension's owned subsequence comes from the 1-D machinery
+    ([Enumerate]), so the per-dimension work is the paper's
+    [O(k + log min(s, pk))].
+    @raise Invalid_argument on rank mismatch or out-of-bounds sections. *)
+
+val inner_gap_table :
+  t -> sections:Lams_dist.Section.t array -> coords:int array ->
+  Lams_core.Access_table.t
+(** The innermost dimension's [AM] table. The last dimension is
+    contiguous in the row-major local storage, so its entries are directly
+    linear-address gaps — the table a code generator would use for the
+    innermost loop while keeping the outer loops explicit. *)

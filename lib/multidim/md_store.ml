@@ -1,0 +1,89 @@
+open Lams_dist
+
+type t = { md : Md_array.t; stores : float array array }
+
+let create ~dims ~dists ~grid =
+  let md = Md_array.create ~dims ~dists ~grid in
+  let stores =
+    Array.init (Proc_grid.size grid) (fun r ->
+        Array.make
+          (Md_array.local_size md
+             ~coords:(Proc_grid.coords_of_rank grid r))
+          0.)
+  in
+  { md; stores }
+
+let rank_and_addr t idx =
+  let coords = Md_array.owner_coords t.md idx in
+  (Proc_grid.rank_of_coords t.md.Md_array.grid coords,
+   Md_array.local_address t.md ~coords idx)
+
+let get t idx =
+  let r, a = rank_and_addr t idx in
+  t.stores.(r).(a)
+
+let set t idx v =
+  let r, a = rank_and_addr t idx in
+  t.stores.(r).(a) <- v
+
+let iter_global t f =
+  let dims = t.md.Md_array.dims in
+  let rank = Array.length dims in
+  let idx = Array.make rank 0 in
+  let rec nest d =
+    if d = rank then f idx
+    else
+      for i = 0 to dims.(d) - 1 do
+        idx.(d) <- i;
+        nest (d + 1)
+      done
+  in
+  nest 0
+
+let init t ~f = iter_global t (fun idx -> set t idx (f idx))
+
+let for_each_node t f =
+  let grid = t.md.Md_array.grid in
+  for r = 0 to Proc_grid.size grid - 1 do
+    f ~rank:r ~coords:(Proc_grid.coords_of_rank grid r)
+  done
+
+let fill_section t ~sections v =
+  let normalized = Array.map Section.normalize sections in
+  for_each_node t (fun ~rank ~coords ->
+      let data = t.stores.(rank) in
+      Md_array.traverse_owned t.md ~sections:normalized ~coords
+        ~f:(fun ~global:_ ~local -> data.(local) <- v))
+
+let map_section t ~sections ~f =
+  let normalized = Array.map Section.normalize sections in
+  for_each_node t (fun ~rank ~coords ->
+      let data = t.stores.(rank) in
+      Md_array.traverse_owned t.md ~sections:normalized ~coords
+        ~f:(fun ~global:_ ~local -> data.(local) <- f data.(local)))
+
+let sum_section t ~sections =
+  let normalized = Array.map Section.normalize sections in
+  let total = ref 0. in
+  for_each_node t (fun ~rank ~coords ->
+      let data = t.stores.(rank) in
+      let partial = ref 0. in
+      Md_array.traverse_owned t.md ~sections:normalized ~coords
+        ~f:(fun ~global:_ ~local -> partial := !partial +. data.(local));
+      total := !total +. !partial);
+  !total
+
+let gather t =
+  let dims = t.md.Md_array.dims in
+  let total = Array.fold_left ( * ) 1 dims in
+  let out = Array.make total 0. in
+  let at = ref 0 in
+  iter_global t (fun idx ->
+      out.(!at) <- get t idx;
+      incr at);
+  out
+
+let local t ~rank =
+  if rank < 0 || rank >= Array.length t.stores then
+    invalid_arg "Md_store.local: rank out of range";
+  t.stores.(rank)

@@ -1,0 +1,41 @@
+(** A multidimensional distributed array with per-grid-node storage: the
+    multidimensional counterpart of [Lams_sim.Darray], packaged at the
+    multidim level so applications can build block-scattered matrices
+    (ScaLAPACK-style) without assembling the pieces by hand. *)
+
+type t = private {
+  md : Md_array.t;
+  stores : float array array;  (** indexed by grid rank *)
+}
+
+val create :
+  dims:int array ->
+  dists:Lams_dist.Distribution.t array ->
+  grid:Lams_dist.Proc_grid.t ->
+  t
+(** Zero-filled. Validation as in {!Md_array.create}. *)
+
+val init : t -> f:(int array -> float) -> unit
+(** Fill from a function of the global multi-index (front-end path). *)
+
+val get : t -> int array -> float
+(** Owner-indirected global read. @raise Invalid_argument on bad index. *)
+
+val set : t -> int array -> float -> unit
+
+val fill_section : t -> sections:Lams_dist.Section.t array -> float -> unit
+(** Owner-computes constant assignment over a Cartesian section: every
+    node traverses its share through the per-dimension 1-D machinery. *)
+
+val map_section :
+  t -> sections:Lams_dist.Section.t array -> f:(float -> float) -> unit
+(** Owner-computes pointwise in-place update of a section. *)
+
+val sum_section : t -> sections:Lams_dist.Section.t array -> float
+(** Per-node partial sums over the owned share, combined globally. *)
+
+val gather : t -> float array
+(** Row-major global contents. *)
+
+val local : t -> rank:int -> float array
+(** A node's raw store. @raise Invalid_argument if out of range. *)

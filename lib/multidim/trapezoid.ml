@@ -1,0 +1,106 @@
+open Lams_dist
+open Lams_core
+
+type bound = { scale : int; offset : int }
+
+let bound ~scale ~offset = { scale; offset }
+let const offset = { scale = 0; offset }
+let eval b i = (b.scale * i) + b.offset
+
+type spec = {
+  rows : Section.t;
+  col_lo : bound;
+  col_hi : bound;
+  col_stride : int;
+}
+
+let make ~rows ~col_lo ~col_hi ?(col_stride = 1) () =
+  if col_stride <= 0 then invalid_arg "Trapezoid.make: col_stride <= 0";
+  if Section.is_empty rows then invalid_arg "Trapezoid.make: empty row range";
+  { rows; col_lo; col_hi; col_stride }
+
+let lower_triangle ~n =
+  make ~rows:(Section.whole ~n) ~col_lo:(const 0)
+    ~col_hi:(bound ~scale:1 ~offset:0) ()
+
+let upper_triangle ~n =
+  make ~rows:(Section.whole ~n)
+    ~col_lo:(bound ~scale:1 ~offset:0)
+    ~col_hi:(const (n - 1))
+    ()
+
+let row_columns spec i =
+  let lo = eval spec.col_lo i and hi = eval spec.col_hi i in
+  if lo > hi then None else Some (Section.make ~lo ~hi ~stride:spec.col_stride)
+
+let check_rank (md : Md_array.t) name =
+  if Array.length md.Md_array.dims <> 2 then
+    invalid_arg ("Trapezoid." ^ name ^ ": rank-2 array required")
+
+let in_bounds (md : Md_array.t) spec =
+  Array.length md.Md_array.dims = 2
+  && Section.fold spec.rows ~init:true ~f:(fun ok i ->
+         ok
+         && i >= 0
+         && i < md.Md_array.dims.(0)
+         &&
+         match row_columns spec i with
+         | None -> true
+         | Some cols ->
+             let norm = Section.normalize cols in
+             norm.Section.lo >= 0 && norm.Section.hi < md.Md_array.dims.(1))
+
+let total_cells spec =
+  Section.fold spec.rows ~init:0 ~f:(fun acc i ->
+      acc
+      + match row_columns spec i with None -> 0 | Some c -> Section.count c)
+
+let check md spec ~coords name =
+  check_rank md name;
+  if Array.length coords <> 2 then
+    invalid_arg ("Trapezoid." ^ name ^ ": coords rank mismatch");
+  if not (in_bounds md spec) then
+    invalid_arg ("Trapezoid." ^ name ^ ": region leaves the array")
+
+(* Owned rows of dimension 0, ascending. *)
+let owned_rows (md : Md_array.t) spec ~coords =
+  let rows = Section.normalize spec.rows in
+  let pr0 = Problem.of_section md.Md_array.layouts.(0) rows in
+  Enumerate.seq pr0 ~m:coords.(0) ~u:rows.Section.hi |> Seq.map fst
+
+let iter_owned md spec ~coords ~f =
+  check md spec ~coords "iter_owned";
+  let lay1 = md.Md_array.layouts.(1) in
+  (* Row-major local storage: a row's cells start at local0 * extent1. *)
+  let w = Layout.local_extent lay1 ~n:md.Md_array.dims.(1) ~proc:coords.(1) in
+  let lay0 = md.Md_array.layouts.(0) in
+  Seq.iter
+    (fun row ->
+      match row_columns spec row with
+      | None -> ()
+      | Some cols ->
+          let cols = Section.normalize cols in
+          if not (Section.is_empty cols) then begin
+            let pr1 = Problem.of_section lay1 cols in
+            let row_base = Layout.local_address lay0 row * w in
+            Enumerate.iter_bounded pr1 ~m:coords.(1) ~u:cols.Section.hi
+              ~f:(fun col local1 -> f ~row ~col ~local:(row_base + local1))
+          end)
+    (owned_rows md spec ~coords)
+
+let count_owned md spec ~coords =
+  check md spec ~coords "count_owned";
+  let lay1 = md.Md_array.layouts.(1) in
+  Seq.fold_left
+    (fun acc row ->
+      match row_columns spec row with
+      | None -> acc
+      | Some cols ->
+          let cols = Section.normalize cols in
+          if Section.is_empty cols then acc
+          else begin
+            let pr1 = Problem.of_section lay1 cols in
+            acc + Start_finder.count_owned pr1 ~m:coords.(1) ~u:cols.Section.hi
+          end)
+    0
+    (owned_rows md spec ~coords)

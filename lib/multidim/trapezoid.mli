@@ -1,0 +1,60 @@
+(** Trapezoidal (including triangular) array sections — the paper's other
+    future-work shape (§8).
+
+    The region is a set of matrix rows with affinely-varying column
+    bounds: for each row [i] of [rows], columns run from
+    [col_lo(i) = a_lo*i + b_lo] to [col_hi(i) = a_hi*i + b_hi] (inclusive)
+    with stride [col_stride]. A lower-triangular sweep is
+    [rows = 0:n-1, col_lo = 0, col_hi = i]; a trapezoid tilts both bounds.
+    Rows with an empty column range contribute nothing.
+
+    Per grid node, the owned rows come from one application of the 1-D
+    machinery on dimension 0; each owned row's owned columns come from one
+    application on dimension 1 — the "multiple applications" recipe of
+    §2, just with per-row parameters. *)
+
+type bound = { scale : int; offset : int }
+(** [i ↦ scale*i + offset]; unlike [Alignment], [scale = 0] (a constant
+    bound) is allowed. *)
+
+val bound : scale:int -> offset:int -> bound
+val const : int -> bound
+
+type spec = {
+  rows : Lams_dist.Section.t;  (** dimension-0 indices *)
+  col_lo : bound;  (** i ↦ first column *)
+  col_hi : bound;  (** i ↦ last column (inclusive) *)
+  col_stride : int;  (** positive *)
+}
+
+val make :
+  rows:Lams_dist.Section.t ->
+  col_lo:bound -> col_hi:bound -> ?col_stride:int -> unit -> spec
+(** @raise Invalid_argument if [col_stride <= 0] or [rows] is empty. *)
+
+val lower_triangle : n:int -> spec
+(** Rows [0..n-1], columns [0..i]. *)
+
+val upper_triangle : n:int -> spec
+(** Rows [0..n-1], columns [i..n-1]. *)
+
+val row_columns : spec -> int -> Lams_dist.Section.t option
+(** The column section of one row; [None] when empty. *)
+
+val in_bounds : Md_array.t -> spec -> bool
+(** Every (row, column) cell inside the (rank-2) array. *)
+
+val total_cells : spec -> int
+(** Number of cells in the region. *)
+
+val iter_owned :
+  Md_array.t -> spec -> coords:int array ->
+  f:(row:int -> col:int -> local:int -> unit) -> unit
+(** Visit the node's cells in row-major order (rows ascending after
+    normalisation, columns ascending).
+    @raise Invalid_argument unless the array has rank 2, [coords]
+    matches, and the spec is in bounds. *)
+
+val count_owned : Md_array.t -> spec -> coords:int array -> int
+(** Cells the node owns; closed-form per row ([O(rows · k₁/d₁)] total,
+    independent of column count). *)

@@ -1,0 +1,45 @@
+type solution = { x0 : int; period : int }
+
+let solve_with_bezout ~d ~x ~a:_ ~m c =
+  if m <= 0 then invalid_arg "Diophantine.solve_with_bezout: modulus <= 0";
+  if d <= 0 then invalid_arg "Diophantine.solve_with_bezout: gcd <= 0";
+  if c mod d <> 0 then None
+  else begin
+    let period = m / d in
+    (* a*x ≡ d (mod m), so a*(x*(c/d)) ≡ c (mod m). *)
+    let x0 = Modular.emod (x * (c / d)) period in
+    Some { x0; period }
+  end
+
+let solve ~a ~m c =
+  if m <= 0 then invalid_arg "Diophantine.solve: modulus <= 0";
+  let d, x, _ = Euclid.egcd a m in
+  if d = 0 then (if Modular.emod c m = 0 then Some { x0 = 0; period = 1 } else None)
+  else solve_with_bezout ~d ~x ~a ~m c
+
+let smallest_at_least sol lo =
+  sol.x0 + (sol.period * Modular.ceil_div (lo - sol.x0) sol.period)
+
+let largest_at_most sol hi =
+  if hi < 0 then None
+  else begin
+    let x = sol.x0 + (sol.period * Modular.floor_div (hi - sol.x0) sol.period) in
+    if x < 0 then None else Some x
+  end
+
+let solve_linear ~a ~b ~c =
+  if a = 0 && b = 0 then (if c = 0 then Some (0, 0) else None)
+  else begin
+    let d, x, y = Euclid.egcd a b in
+    if c mod d <> 0 then None else Some (x * (c / d), y * (c / d))
+  end
+
+let first_multiple_at_least ~d n = d * Modular.ceil_div n d
+
+let count_multiples ~d ~lo ~hi =
+  if d <= 0 then invalid_arg "Diophantine.count_multiples: d <= 0";
+  if hi <= lo then 0
+  else begin
+    let first = first_multiple_at_least ~d lo in
+    if first >= hi then 0 else 1 + ((hi - 1 - first) / d)
+  end

@@ -1,0 +1,27 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+(* Classical extended Euclid on non-negative inputs; sign-fixed wrapper
+   below. Invariant: returns (d, x, y) with a*x + b*y = d = gcd a b. *)
+let rec egcd_nonneg a b =
+  if b = 0 then (a, 1, 0)
+  else begin
+    let d, x, y = egcd_nonneg b (a mod b) in
+    (d, y, x - (a / b * y))
+  end
+
+let egcd a b =
+  let d, x, y = egcd_nonneg (abs a) (abs b) in
+  let x = if a < 0 then -x else x in
+  let y = if b < 0 then -y else y in
+  (d, x, y)
+
+let modular_inverse a m =
+  if m <= 0 then invalid_arg "Euclid.modular_inverse: modulus must be positive";
+  let d, x, _ = egcd a m in
+  if d <> 1 then None else Some (Modular.emod x m)
+
+let steps a b =
+  let rec go n a b = if b = 0 then n else go (n + 1) b (a mod b) in
+  go 0 (abs a) (abs b)

@@ -1,0 +1,28 @@
+(** Greatest common divisors and the extended Euclid's algorithm.
+
+    Line 3 of the paper's Figure 5:
+    [(d, x, y) = EXTENDED-EUCLID(s, pk)] with [s*x + pk*y = d = gcd(s, pk)].
+    Runs in [O(log min(s, pk))] time, the only super-linear-in-nothing term
+    of the access-sequence algorithm. *)
+
+val gcd : int -> int -> int
+(** [gcd a b >= 0]; [gcd 0 0 = 0]. Accepts negative arguments. *)
+
+val lcm : int -> int -> int
+(** Least common multiple, [>= 0]; [lcm x 0 = 0]. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (d, x, y)] with [a*x + b*y = d = gcd a b] and [d >= 0]
+    (except [egcd 0 0 = (0, 0, 0)]). The Bézout pair returned is the one
+    produced by the classical recursion — small in magnitude:
+    [|x| <= max 1 (|b|/(2d))] and [|y| <= max 1 (|a|/(2d))] for nonzero
+    inputs. *)
+
+val modular_inverse : int -> int -> int option
+(** [modular_inverse a m] is [Some x] with [a*x ≡ 1 (mod m)],
+    [0 <= x < m], when [gcd a m = 1]; [None] otherwise.
+    @raise Invalid_argument if [m <= 0]. *)
+
+val steps : int -> int -> int
+(** Number of recursive steps the Euclid recursion performs on [(a, b)] —
+    exposed for the complexity-measurement tests (logarithmic bound). *)

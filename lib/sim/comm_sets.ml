@@ -1,0 +1,106 @@
+open Lams_numeric
+open Lams_dist
+open Lams_core
+
+type progression = { first : int; period : int; count : int }
+
+type transfer = {
+  src_proc : int;
+  dst_proc : int;
+  runs : progression list;
+  elements : int;
+}
+
+type t = { transfers : transfer list; total : int }
+
+(* Residue classes (mod the cycle length) of traversal positions owned by
+   processor [proc]. Handles negative strides by reflecting the classes of
+   the normalised section: position j of the original corresponds to
+   position (total-1-j) of the normalised one. *)
+let owner_classes (lay : Layout.t) (section : Section.t) ~proc =
+  let total = Section.count section in
+  let norm = Section.normalize section in
+  let pr = Problem.of_section lay norm in
+  let period = Problem.cycle_indices pr in
+  let locs = Start_finder.first_cycle_locations pr ~m:proc in
+  let residues =
+    Array.to_list locs
+    |> List.map (fun loc ->
+           let j_norm = (loc - norm.Section.lo) / norm.Section.stride in
+           if section.Section.stride > 0 then j_norm
+           else Modular.emod (total - 1 - j_norm) period)
+  in
+  (residues, period)
+
+(* CRT intersection of j ≡ r1 (mod p1) with j ≡ r2 (mod p2):
+   the class j ≡ r (mod lcm), or None when incompatible. *)
+let intersect_classes (r1, p1) (r2, p2) =
+  let g, x, _ = Euclid.egcd p1 p2 in
+  if (r2 - r1) mod g <> 0 then None
+  else begin
+    let lcm = p1 / g * p2 in
+    let t = (r2 - r1) / g * x mod (p2 / g) in
+    Some (Modular.emod (r1 + (p1 * t)) lcm, lcm)
+  end
+
+let clip_to_range (residue, modulus) ~total =
+  if residue >= total then None
+  else Some { first = residue; period = modulus; count = 1 + ((total - 1 - residue) / modulus) }
+
+let build ~src_layout ~src_section ~dst_layout ~dst_section =
+  let total = Section.count src_section in
+  if total = 0 then invalid_arg "Comm_sets.build: empty section";
+  if Section.count dst_section <> total then
+    invalid_arg "Comm_sets.build: section element counts differ";
+  let check_bounds sec =
+    let norm = Section.normalize sec in
+    if norm.Section.lo < 0 then
+      invalid_arg "Comm_sets.build: negative indices in section"
+  in
+  check_bounds src_section;
+  check_bounds dst_section;
+  let transfers = ref [] in
+  for src_proc = src_layout.Layout.p - 1 downto 0 do
+    let src_classes, src_period = owner_classes src_layout src_section ~proc:src_proc in
+    for dst_proc = dst_layout.Layout.p - 1 downto 0 do
+      let dst_classes, dst_period = owner_classes dst_layout dst_section ~proc:dst_proc in
+      let runs =
+        List.concat_map
+          (fun r1 ->
+            List.filter_map
+              (fun r2 ->
+                Option.bind
+                  (intersect_classes (r1, src_period) (r2, dst_period))
+                  (clip_to_range ~total))
+              dst_classes)
+          src_classes
+        |> List.sort (fun a b -> compare a.first b.first)
+      in
+      let elements = List.fold_left (fun acc r -> acc + r.count) 0 runs in
+      if elements > 0 then
+        transfers := { src_proc; dst_proc; runs; elements } :: !transfers
+    done
+  done;
+  { transfers = !transfers; total }
+
+let positions r = List.init r.count (fun t -> r.first + (t * r.period))
+
+let find t ~src_proc ~dst_proc =
+  List.find_opt
+    (fun tr -> tr.src_proc = src_proc && tr.dst_proc = dst_proc)
+    t.transfers
+
+let cross_processor_elements t =
+  List.fold_left
+    (fun acc tr -> if tr.src_proc <> tr.dst_proc then acc + tr.elements else acc)
+    0 t.transfers
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d elements, %d active pairs@," t.total
+    (List.length t.transfers);
+  List.iter
+    (fun tr ->
+      Format.fprintf ppf "  %d -> %d: %d elements in %d runs@," tr.src_proc
+        tr.dst_proc tr.elements (List.length tr.runs))
+    t.transfers;
+  Format.fprintf ppf "@]"

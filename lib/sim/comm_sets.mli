@@ -1,0 +1,54 @@
+(** Closed-form communication sets for array assignments
+    [DST(dst_section) = SRC(src_section)] between block-cyclic arrays —
+    the companion problem to local address generation (§7; Chatterjee et
+    al. compute these sets alongside local addresses, Stichnoth et al.
+    and Gupta et al. give alternative schemes).
+
+    Element [j] of the assignment reads [SRC(src.lo + j*src.stride)] and
+    writes [DST(dst.lo + j*dst.stride)]. On each side, the traversal
+    positions owned by one processor form a union of residue classes
+    modulo that side's cycle length [p*k / gcd(|s|, p*k)]; the positions a
+    processor pair [(q, r)] exchanges are therefore the CRT intersections
+    of a source class with a destination class — a union of arithmetic
+    progressions, computed here without enumerating a single element. *)
+
+type progression = {
+  first : int;  (** smallest traversal position in the run *)
+  period : int;
+  count : int;  (** number of positions; all lie in [\[0, total)] *)
+}
+
+type transfer = {
+  src_proc : int;
+  dst_proc : int;
+  runs : progression list;  (** disjoint; sorted by [first] *)
+  elements : int;  (** total positions across [runs] *)
+}
+
+type t = {
+  transfers : transfer list;
+      (** only pairs that exchange at least one element *)
+  total : int;  (** section element count *)
+}
+
+val build :
+  src_layout:Lams_dist.Layout.t ->
+  src_section:Lams_dist.Section.t ->
+  dst_layout:Lams_dist.Layout.t ->
+  dst_section:Lams_dist.Section.t ->
+  t
+(** @raise Invalid_argument if the sections are empty, have different
+    element counts, or contain negative indices. Cost is
+    [O(k_src/d_src · k_dst/d_dst)] pairs of classes overall — independent
+    of the section length. *)
+
+val positions : progression -> int list
+(** Materialise a run (test/debug helper). *)
+
+val find : t -> src_proc:int -> dst_proc:int -> transfer option
+
+val cross_processor_elements : t -> int
+(** Elements whose source and destination owners differ — the actual
+    network traffic an SPMD runtime must move. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+open Lams_dist
+
+type t = {
+  name : string;
+  n : int;
+  layout : Layout.t;
+  stores : Local_store.t array;
+}
+
+let create ~name ~n ~p ~dist =
+  if n <= 0 then invalid_arg "Darray.create: n <= 0";
+  let layout = Distribution.to_layout dist ~n ~p in
+  let stores =
+    Array.init p (fun m -> Local_store.create (Layout.local_extent layout ~n ~proc:m))
+  in
+  { name; n; layout; stores }
+
+let layout t = t.layout
+let size t = t.n
+let procs t = Array.length t.stores
+
+let local t m =
+  if m < 0 || m >= Array.length t.stores then
+    invalid_arg "Darray.local: rank out of range";
+  t.stores.(m)
+
+let check_global t g name =
+  if g < 0 || g >= t.n then invalid_arg ("Darray." ^ name ^ ": index out of range")
+
+let get t g =
+  check_global t g "get";
+  let m = Layout.owner t.layout g in
+  Local_store.get t.stores.(m) (Layout.local_address t.layout g)
+
+let set t g v =
+  check_global t g "set";
+  let m = Layout.owner t.layout g in
+  Local_store.set t.stores.(m) (Layout.local_address t.layout g) v
+
+let of_array ~name ~p ~dist values =
+  let t = create ~name ~n:(Array.length values) ~p ~dist in
+  Array.iteri (fun g v -> set t g v) values;
+  t
+
+let gather t = Array.init t.n (fun g -> get t g)
+
+let equal_contents t1 t2 = t1.n = t2.n && gather t1 = gather t2

@@ -1,0 +1,38 @@
+(** A distributed array: global index space [\[0, n)] mapped onto [p]
+    local stores by a [cyclic(k)] layout. The global accessors are the
+    "front-end" view (used by sequential references and tests); SPMD node
+    code works on the per-processor {!local} stores directly. *)
+
+type t = private {
+  name : string;
+  n : int;
+  layout : Lams_dist.Layout.t;
+  stores : Local_store.t array;
+}
+
+val create :
+  name:string -> n:int -> p:int -> dist:Lams_dist.Distribution.t -> t
+(** Zero-filled. @raise Invalid_argument if [n <= 0] or [p <= 0]. *)
+
+val of_array :
+  name:string -> p:int -> dist:Lams_dist.Distribution.t -> float array -> t
+(** Distribute existing global contents. *)
+
+val layout : t -> Lams_dist.Layout.t
+val size : t -> int
+val procs : t -> int
+val local : t -> int -> Local_store.t
+(** Processor [m]'s store. @raise Invalid_argument out of range. *)
+
+val get : t -> int -> float
+(** Global read (owner-indirected). @raise Invalid_argument out of
+    [\[0, n)]. *)
+
+val set : t -> int -> float -> unit
+(** Global write. *)
+
+val gather : t -> float array
+(** Assemble the full global contents (order [n]). *)
+
+val equal_contents : t -> t -> bool
+(** Same [n] and same gathered values (layouts may differ). *)

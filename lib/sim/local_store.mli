@@ -1,0 +1,27 @@
+(** One processor's local memory: a flat [float] store with optional
+    access accounting. The raw array is exposed so the Figure 8 node-code
+    kernels can run on it without indirection — exactly the memory a
+    compiler-generated SPMD node program would own. *)
+
+type t
+
+val create : int -> t
+(** Zero-initialised store of the given extent. @raise Invalid_argument on
+    a negative size. *)
+
+val extent : t -> int
+val data : t -> float array
+(** The backing array (shared, not a copy). *)
+
+val get : t -> int -> float
+(** Counted read. @raise Invalid_argument out of bounds. *)
+
+val set : t -> int -> float -> unit
+(** Counted write. @raise Invalid_argument out of bounds. *)
+
+val reads : t -> int
+(** Number of {!get} calls (kernels using {!data} bypass counting). *)
+
+val writes : t -> int
+val reset_counters : t -> unit
+val fill : t -> float -> unit

@@ -1,0 +1,99 @@
+open Lams_dist
+open Lams_multidim
+
+type transfer = {
+  src_coords : int array;
+  dst_coords : int array;
+  dim_runs : Comm_sets.progression list array;
+  elements : int;
+}
+
+type t = {
+  transfers : transfer list;
+  total : int;
+  shape : int array;
+}
+
+let build ~src ~src_sections ~dst ~dst_sections =
+  let rank = Array.length src.Md_array.dims in
+  if
+    Array.length src_sections <> rank
+    || Array.length dst.Md_array.dims <> Array.length dst_sections
+    || Array.length dst_sections <> rank
+  then invalid_arg "Md_comm.build: rank mismatch";
+  let shape = Array.map Section.count src_sections in
+  Array.iteri
+    (fun d n ->
+      if Section.count dst_sections.(d) <> n then
+        invalid_arg "Md_comm.build: per-dimension element counts differ")
+    shape;
+  (* One 1-D schedule per dimension. *)
+  let per_dim =
+    Array.init rank (fun d ->
+        Comm_sets.build
+          ~src_layout:src.Md_array.layouts.(d)
+          ~src_section:src_sections.(d)
+          ~dst_layout:dst.Md_array.layouts.(d)
+          ~dst_section:dst_sections.(d))
+  in
+  (* Cartesian product of per-dimension transfers. *)
+  let rec combine d acc =
+    if d = rank then [ List.rev acc ]
+    else
+      List.concat_map
+        (fun (tr : Comm_sets.transfer) -> combine (d + 1) (tr :: acc))
+        per_dim.(d).Comm_sets.transfers
+  in
+  let transfers =
+    combine 0 []
+    |> List.map (fun per_dim_transfers ->
+           let arr = Array.of_list per_dim_transfers in
+           { src_coords = Array.map (fun (tr : Comm_sets.transfer) -> tr.Comm_sets.src_proc) arr;
+             dst_coords = Array.map (fun (tr : Comm_sets.transfer) -> tr.Comm_sets.dst_proc) arr;
+             dim_runs = Array.map (fun (tr : Comm_sets.transfer) -> tr.Comm_sets.runs) arr;
+             elements =
+               Array.fold_left
+                 (fun acc (tr : Comm_sets.transfer) -> acc * tr.Comm_sets.elements)
+                 1 arr })
+  in
+  { transfers;
+    total = Array.fold_left ( * ) 1 shape;
+    shape }
+
+let iter_positions transfer ~f =
+  let rank = Array.length transfer.dim_runs in
+  let pos = Array.make rank 0 in
+  let rec nest d =
+    if d = rank then f pos
+    else
+      List.iter
+        (fun run ->
+          List.iter
+            (fun j ->
+              pos.(d) <- j;
+              nest (d + 1))
+            (Comm_sets.positions run))
+        transfer.dim_runs.(d)
+  in
+  nest 0
+
+let cross_node_elements t =
+  List.fold_left
+    (fun acc tr ->
+      if tr.src_coords <> tr.dst_coords then acc + tr.elements else acc)
+    0 t.transfers
+
+let pp ppf t =
+  let coords c =
+    "("
+    ^ String.concat "," (Array.to_list (Array.map string_of_int c))
+    ^ ")"
+  in
+  Format.fprintf ppf "@[<v>%d elements, %d active node pairs@," t.total
+    (List.length t.transfers);
+  List.iter
+    (fun tr ->
+      Format.fprintf ppf "  %s -> %s: %d elements@," (coords tr.src_coords)
+        (coords tr.dst_coords) tr.elements)
+    t.transfers;
+  Format.fprintf ppf "@]"

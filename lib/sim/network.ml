@@ -1,0 +1,48 @@
+type message = {
+  src : int;
+  tag : int;
+  addresses : int array;
+  payload : float array;
+}
+
+type t = {
+  p : int;
+  mailboxes : message Queue.t array;
+  mutable sent : int;
+  mutable moved : int;
+}
+
+let create ~p =
+  if p <= 0 then invalid_arg "Network.create: p <= 0";
+  { p; mailboxes = Array.init p (fun _ -> Queue.create ()); sent = 0; moved = 0 }
+
+let procs t = t.p
+
+let check_rank t r name =
+  if r < 0 || r >= t.p then invalid_arg ("Network." ^ name ^ ": rank out of range")
+
+let send t ~src ~dst ~tag ~addresses ~payload =
+  check_rank t src "send";
+  check_rank t dst "send";
+  if Array.length addresses <> Array.length payload then
+    invalid_arg "Network.send: addresses/payload length mismatch";
+  Queue.push { src; tag; addresses; payload } t.mailboxes.(dst);
+  t.sent <- t.sent + 1;
+  t.moved <- t.moved + Array.length payload
+
+let receive_all t ~dst =
+  check_rank t dst "receive_all";
+  let q = t.mailboxes.(dst) in
+  let rec drain acc =
+    match Queue.take_opt q with
+    | None -> List.rev acc
+    | Some m -> drain (m :: acc)
+  in
+  drain []
+
+let pending t ~dst =
+  check_rank t dst "pending";
+  Queue.length t.mailboxes.(dst)
+
+let messages_sent t = t.sent
+let elements_moved t = t.moved

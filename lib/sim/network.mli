@@ -1,0 +1,35 @@
+(** A deterministic message-passing fabric between simulated processors:
+    point-to-point mailboxes with per-link traffic accounting. Stands in
+    for the iPSC/860 interconnect when array statements move data between
+    differently-mapped arrays. *)
+
+type message = {
+  src : int;
+  tag : int;
+  addresses : int array;  (** destination-local addresses *)
+  payload : float array;  (** same length as [addresses] *)
+}
+
+type t
+
+val create : p:int -> t
+(** @raise Invalid_argument if [p <= 0]. *)
+
+val procs : t -> int
+
+val send : t -> src:int -> dst:int -> tag:int -> addresses:int array ->
+  payload:float array -> unit
+(** Enqueue. @raise Invalid_argument on rank out of range or length
+    mismatch between addresses and payload. *)
+
+val receive_all : t -> dst:int -> message list
+(** Drain processor [dst]'s mailbox in arrival order. *)
+
+val pending : t -> dst:int -> int
+(** Messages waiting for [dst]. *)
+
+val messages_sent : t -> int
+(** Total messages enqueued since creation. *)
+
+val elements_moved : t -> int
+(** Total payload elements enqueued since creation. *)

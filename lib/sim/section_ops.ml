@@ -1,0 +1,180 @@
+open Lams_dist
+open Lams_core
+open Lams_codegen
+
+let check_section (a : Darray.t) sec =
+  if Section.is_empty sec then invalid_arg "Section_ops: empty section";
+  let norm = Section.normalize sec in
+  if norm.Section.lo < 0 || norm.Section.hi >= Darray.size a then
+    invalid_arg "Section_ops: section outside the array"
+
+let plan_for (a : Darray.t) sec ~m =
+  let norm = Section.normalize sec in
+  let pr = Problem.of_section (Darray.layout a) norm in
+  Plan.build pr ~m ~u:norm.Section.hi
+
+let fill ?(shape = Shapes.Shape_d) ?(parallel = false) a sec v =
+  check_section a sec;
+  let body m =
+    match plan_for a sec ~m with
+    | None -> ()
+    | Some plan -> Shapes.assign shape plan (Local_store.data (Darray.local a m)) v
+  in
+  if parallel then Spmd.run_parallel ~p:(Darray.procs a) body
+  else Spmd.run ~p:(Darray.procs a) ~f:body
+
+let fill_timed ?(shape = Shapes.Shape_d) a sec v =
+  check_section a sec;
+  (* Plans are built outside the timed region: Table 2 times the node code
+     only (table construction is Table 1's subject). *)
+  let plans = Array.init (Darray.procs a) (fun m -> plan_for a sec ~m) in
+  Spmd.run_timed ~p:(Darray.procs a) ~f:(fun m ->
+      match plans.(m) with
+      | None -> ()
+      | Some plan -> Shapes.assign shape plan (Local_store.data (Darray.local a m)) v)
+
+let map_section a sec ~f =
+  check_section a sec;
+  let norm = Section.normalize sec in
+  let pr = Problem.of_section (Darray.layout a) norm in
+  Spmd.run ~p:(Darray.procs a) ~f:(fun m ->
+      let store = Darray.local a m in
+      Enumerate.iter_bounded pr ~m ~u:norm.Section.hi ~f:(fun _g local ->
+          Local_store.set store local (f (Local_store.get store local))))
+
+let sum a sec =
+  check_section a sec;
+  let norm = Section.normalize sec in
+  let pr = Problem.of_section (Darray.layout a) norm in
+  let partials =
+    Spmd.run_collect ~p:(Darray.procs a) ~f:(fun m ->
+        let store = Darray.local a m in
+        let acc = ref 0. in
+        Enumerate.iter_bounded pr ~m ~u:norm.Section.hi ~f:(fun _g local ->
+            acc := !acc +. Local_store.get store local);
+        !acc)
+  in
+  Array.fold_left ( +. ) 0. partials
+
+(* Traversal position of a global index within an (unnormalised) section. *)
+let position_in (sec : Section.t) g =
+  if sec.Section.stride > 0 then (g - sec.Section.lo) / sec.Section.stride
+  else (sec.Section.lo - g) / -sec.Section.stride
+
+let copy_network ?net ~p () =
+  match net with
+  | None -> Network.create ~p
+  | Some n ->
+      if Network.procs n < p then
+        invalid_arg "Section_ops.copy: network smaller than the machine";
+      n
+
+let copy ?net ~src ~src_section ~dst ~dst_section () =
+  check_section src src_section;
+  check_section dst dst_section;
+  if Section.count src_section <> Section.count dst_section then
+    invalid_arg "Section_ops.copy: section element counts differ";
+  let p_src = Darray.procs src and p_dst = Darray.procs dst in
+  let p = max p_src p_dst in
+  let net = copy_network ?net ~p () in
+  let src_norm = Section.normalize src_section in
+  let src_pr = Problem.of_section (Darray.layout src) src_norm in
+  let dst_lay = Darray.layout dst in
+  (* Phase 1: every source owner walks its owned elements, routes each
+     value to the destination owner's local address. *)
+  let send_phase m =
+    if m < p_src then begin
+      let store = Darray.local src m in
+      let buckets = Array.make p_dst ([] : (int * float) list) in
+      Enumerate.iter_bounded src_pr ~m ~u:src_norm.Section.hi
+        ~f:(fun g local ->
+          let j = position_in src_section g in
+          let g_dst = Section.nth dst_section j in
+          let owner = Layout.owner dst_lay g_dst in
+          let addr = Layout.local_address dst_lay g_dst in
+          buckets.(owner) <- (addr, Local_store.get store local) :: buckets.(owner));
+      Array.iteri
+        (fun owner items ->
+          match items with
+          | [] -> ()
+          | _ ->
+              let n = List.length items in
+              let addresses = Array.make n 0 and payload = Array.make n 0. in
+              List.iteri
+                (fun idx (addr, v) ->
+                  addresses.(idx) <- addr;
+                  payload.(idx) <- v)
+                items;
+              Network.send net ~src:m ~dst:owner ~tag:0 ~addresses ~payload)
+        buckets
+    end
+  in
+  (* Phase 2: destination owners drain their mailboxes. *)
+  let recv_phase m =
+    if m < p_dst then begin
+      let store = Darray.local dst m in
+      List.iter
+        (fun (msg : Network.message) ->
+          Array.iteri
+            (fun idx addr -> Local_store.set store addr msg.Network.payload.(idx))
+            msg.Network.addresses)
+        (Network.receive_all net ~dst:m)
+    end
+  in
+  Spmd.barrier_phases ~p ~phases:[ send_phase; recv_phase ];
+  net
+
+let copy_scheduled ?net ~src ~src_section ~dst ~dst_section () =
+  check_section src src_section;
+  check_section dst dst_section;
+  if Section.count src_section <> Section.count dst_section then
+    invalid_arg "Section_ops.copy: section element counts differ";
+  let p_src = Darray.procs src and p_dst = Darray.procs dst in
+  let p = max p_src p_dst in
+  let net = copy_network ?net ~p () in
+  let src_lay = Darray.layout src and dst_lay = Darray.layout dst in
+  let schedule =
+    Comm_sets.build ~src_layout:src_lay ~src_section ~dst_layout:dst_lay
+      ~dst_section
+  in
+  (* Phase 1: each sender walks its transfers' progressions; no ownership
+     tests are needed — the schedule already encodes them. *)
+  let send_phase m =
+    if m < p_src then
+      List.iter
+        (fun (tr : Comm_sets.transfer) ->
+          if tr.Comm_sets.src_proc = m then begin
+            let store = Darray.local src m in
+            let n = tr.Comm_sets.elements in
+            let addresses = Array.make n 0 and payload = Array.make n 0. in
+            let idx = ref 0 in
+            List.iter
+              (fun run ->
+                List.iter
+                  (fun j ->
+                    let g_src = Section.nth src_section j
+                    and g_dst = Section.nth dst_section j in
+                    addresses.(!idx) <- Layout.local_address dst_lay g_dst;
+                    payload.(!idx) <-
+                      Local_store.get store (Layout.local_address src_lay g_src);
+                    incr idx)
+                  (Comm_sets.positions run))
+              tr.Comm_sets.runs;
+            Network.send net ~src:m ~dst:tr.Comm_sets.dst_proc ~tag:1
+              ~addresses ~payload
+          end)
+        schedule.Comm_sets.transfers
+  in
+  let recv_phase m =
+    if m < p_dst then begin
+      let store = Darray.local dst m in
+      List.iter
+        (fun (msg : Network.message) ->
+          Array.iteri
+            (fun idx addr -> Local_store.set store addr msg.Network.payload.(idx))
+            msg.Network.addresses)
+        (Network.receive_all net ~dst:m)
+    end
+  in
+  Spmd.barrier_phases ~p ~phases:[ send_phase; recv_phase ];
+  net

@@ -1,0 +1,60 @@
+open Lams_util
+
+type timing = {
+  per_proc_us : float array;
+  max_us : float;
+  total_us : float;
+}
+
+let check_p p = if p <= 0 then invalid_arg "Spmd: p <= 0"
+
+let run ~p ~f =
+  check_p p;
+  for m = 0 to p - 1 do
+    f m
+  done
+
+let run_timed ~p ~f =
+  check_p p;
+  let per_proc_us =
+    Array.init p (fun m ->
+        let (), us = Timer.time_us (fun () -> f m) in
+        us)
+  in
+  { per_proc_us;
+    max_us = Array.fold_left max 0. per_proc_us;
+    total_us = Array.fold_left ( +. ) 0. per_proc_us }
+
+let run_parallel ?domains ~p f =
+  check_p p;
+  let workers =
+    let d =
+      match domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min d p)
+  in
+  if workers = 1 then run ~p ~f
+  else begin
+    (* Static block partition of ranks over domains. *)
+    let chunk = (p + workers - 1) / workers in
+    let spawned =
+      List.init workers (fun w ->
+          let lo = w * chunk in
+          let hi = min p (lo + chunk) - 1 in
+          Domain.spawn (fun () ->
+              for m = lo to hi do
+                f m
+              done))
+    in
+    List.iter Domain.join spawned
+  end
+
+let run_collect ~p ~f =
+  check_p p;
+  Array.init p f
+
+let barrier_phases ~p ~phases =
+  check_p p;
+  List.iter (fun phase -> run ~p ~f:phase) phases

@@ -1,0 +1,36 @@
+(** The SPMD execution model: the same node program runs on every
+    processor, parameterised by its rank. On the real iPSC/860 the nodes
+    run concurrently and the paper reports the {e maximum} time over all
+    32 processors; we run the node programs sequentially on the host and
+    report per-rank wall-clock times, so the same maximum statistic is
+    available without requiring 32 physical CPUs (see DESIGN.md,
+    Substitutions). *)
+
+type timing = {
+  per_proc_us : float array;  (** elapsed microseconds per rank *)
+  max_us : float;  (** the paper's reported statistic *)
+  total_us : float;
+}
+
+val run : p:int -> f:(int -> unit) -> unit
+(** [run ~p ~f] executes [f m] for every rank [m] in [0 .. p-1].
+    @raise Invalid_argument if [p <= 0]. *)
+
+val run_parallel : ?domains:int -> p:int -> (int -> unit) -> unit
+(** Like {!run}, but ranks execute concurrently on OCaml 5 domains
+    ([domains] defaults to [Domain.recommended_domain_count], clamped to
+    [p]). Correct only when [f m] touches rank-disjoint state — which
+    holds for the node programs here, since each rank owns its local
+    store. Timing is not reported (per-rank wall-clock is meaningless
+    under oversubscription); use {!run_timed} for the paper's metric. *)
+
+val run_timed : p:int -> f:(int -> unit) -> timing
+(** Same, timing each rank's execution. *)
+
+val run_collect : p:int -> f:(int -> 'a) -> 'a array
+(** Gather each rank's result. *)
+
+val barrier_phases : p:int -> phases:(int -> unit) list -> unit
+(** Run a list of phases with an (implicit) global barrier between them:
+    phase [i] runs on every rank before phase [i+1] starts on any rank —
+    the send/receive structure of a data-exchange step. *)

@@ -1,0 +1,138 @@
+let swap (a : int array) i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+let insertion_range a lo hi =
+  for i = lo + 1 to hi do
+    let key = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > key do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- key
+  done
+
+let insertion a = insertion_range a 0 (Array.length a - 1)
+
+let quicksort_cutoff = 16
+
+let quicksort a =
+  (* Three-way partition (Dutch national flag) keeps the sort linear on the
+     all-equal segments that arise when many offsets share a location. *)
+  let rec sort lo hi =
+    if hi - lo >= quicksort_cutoff then begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* Median-of-three into a.(mid). *)
+      if a.(lo) > a.(mid) then swap a lo mid;
+      if a.(mid) > a.(hi) then begin
+        swap a mid hi;
+        if a.(lo) > a.(mid) then swap a lo mid
+      end;
+      let pivot = a.(mid) in
+      let lt = ref lo and gt = ref hi and i = ref lo in
+      while !i <= !gt do
+        let v = a.(!i) in
+        if v < pivot then begin
+          swap a !lt !i;
+          incr lt;
+          incr i
+        end
+        else if v > pivot then begin
+          swap a !i !gt;
+          decr gt
+        end
+        else incr i
+      done;
+      sort lo (!lt - 1);
+      sort (!gt + 1) hi
+    end
+    else insertion_range a lo hi
+  in
+  let n = Array.length a in
+  if n > 1 then sort 0 (n - 1)
+
+let merge a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let buf = Array.make n 0 in
+    let merge_runs src dst lo mid hi =
+      let i = ref lo and j = ref mid and t = ref lo in
+      while !t < hi do
+        if !i < mid && (!j >= hi || src.(!i) <= src.(!j)) then begin
+          dst.(!t) <- src.(!i);
+          incr i
+        end
+        else begin
+          dst.(!t) <- src.(!j);
+          incr j
+        end;
+        incr t
+      done
+    in
+    let src = ref a and dst = ref buf in
+    let width = ref 1 in
+    while !width < n do
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min n (!lo + !width) in
+        let hi = min n (!lo + (2 * !width)) in
+        merge_runs !src !dst !lo mid hi;
+        lo := hi
+      done;
+      let t = !src in
+      src := !dst;
+      dst := t;
+      width := !width * 2
+    done;
+    if !src != a then Array.blit !src 0 a 0 n
+  end
+
+let radix_lsd ?(bits_per_pass = 8) a =
+  if bits_per_pass < 1 || bits_per_pass > 24 then
+    invalid_arg "Sorting.radix_lsd: bits_per_pass outside [1, 24]";
+  let n = Array.length a in
+  if n > 1 then begin
+    let maxv = Array.fold_left max 0 a in
+    Array.iter
+      (fun v -> if v < 0 then invalid_arg "Sorting.radix_lsd: negative key")
+      a;
+    let buckets = 1 lsl bits_per_pass in
+    let mask = buckets - 1 in
+    let count = Array.make buckets 0 in
+    let buf = Array.make n 0 in
+    let src = ref a and dst = ref buf in
+    let shift = ref 0 in
+    while maxv lsr !shift > 0 do
+      Array.fill count 0 buckets 0;
+      let s = !src and d = !dst in
+      for i = 0 to n - 1 do
+        let b = (s.(i) lsr !shift) land mask in
+        count.(b) <- count.(b) + 1
+      done;
+      let total = ref 0 in
+      for b = 0 to buckets - 1 do
+        let c = count.(b) in
+        count.(b) <- !total;
+        total := !total + c
+      done;
+      for i = 0 to n - 1 do
+        let b = (s.(i) lsr !shift) land mask in
+        d.(count.(b)) <- s.(i);
+        count.(b) <- count.(b) + 1
+      done;
+      let t = !src in
+      src := !dst;
+      dst := t;
+      shift := !shift + bits_per_pass
+    done;
+    if !src != a then Array.blit !src 0 a 0 n
+  end
+
+let for_baseline a = if Array.length a >= 64 then radix_lsd a else quicksort a
+
+let is_sorted a =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i - 1) <= a.(i) && go (i + 1)) in
+  n <= 1 || go 1

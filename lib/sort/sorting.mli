@@ -1,0 +1,37 @@
+(** Integer sorting routines, implemented from scratch as the substrate for
+    the Chatterjee et al. baseline (§6.1).
+
+    The paper's baseline implementation sorts the initial cycle of memory
+    accesses with "the most efficient sorting routines available": a
+    comparison sort for small [k] and a linear-time LSD radix sort for
+    [k >= 64]. We reproduce that policy in {!for_baseline}. *)
+
+val insertion : int array -> unit
+(** In-place insertion sort; [O(n²)] worst case, excellent below ~32
+    elements. *)
+
+val quicksort : int array -> unit
+(** In-place three-way (fat-pivot) quicksort with median-of-three pivot
+    selection and insertion sort below a small cutoff. [O(n log n)]
+    expected, robust on already-sorted and constant inputs — both occur in
+    the paper's workloads ([s = pk+1] gives a sorted initial cycle,
+    [s = pk−1] a reverse-sorted one). *)
+
+val merge : int array -> unit
+(** Stable bottom-up merge sort with a scratch buffer; [O(n log n)]
+    worst case. *)
+
+val radix_lsd : ?bits_per_pass:int -> int array -> unit
+(** LSD radix sort over non-negative ints: [O(n * (w / bits_per_pass))]
+    with counting passes of [2^bits_per_pass] buckets (default 8 bits).
+    Only the passes needed to cover the maximum value are run, so small
+    key ranges sort in few passes.
+    @raise Invalid_argument if the array contains a negative value or
+    [bits_per_pass] is outside [\[1, 24\]]. *)
+
+val for_baseline : int array -> unit
+(** The paper's policy: radix sort when [Array.length >= 64], quicksort
+    otherwise. Keys must be non-negative (section element indices are). *)
+
+val is_sorted : int array -> bool
+(** Non-decreasing order check (test helper). *)

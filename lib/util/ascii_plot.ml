@@ -1,0 +1,91 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+let plot ?(width = 72) ?(height = 20) ?(log_x = false) ?(log_y = false)
+    ?(x_label = "") ?(y_label = "") ~title series =
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then invalid_arg "Ascii_plot.plot: no data points";
+  let tx v =
+    if log_x then begin
+      if v <= 0. then invalid_arg "Ascii_plot.plot: log_x over non-positive x";
+      log v
+    end
+    else v
+  and ty v =
+    if log_y then begin
+      if v <= 0. then invalid_arg "Ascii_plot.plot: log_y over non-positive y";
+      log v
+    end
+    else v
+  in
+  let xs = List.map (fun (x, _) -> tx x) all
+  and ys = List.map (fun (_, y) -> ty y) all in
+  let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+  let xmin = fmin xs and xmax = fmax xs in
+  let ymin = fmin ys and ymax = fmax ys in
+  let xspan = if xmax > xmin then xmax -. xmin else 1. in
+  let yspan = if ymax > ymin then ymax -. ymin else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  let place s =
+    List.iter
+      (fun (x, y) ->
+        let cx =
+          int_of_float ((tx x -. xmin) /. xspan *. float_of_int (width - 1))
+        and cy =
+          int_of_float ((ty y -. ymin) /. yspan *. float_of_int (height - 1))
+        in
+        let cy = height - 1 - cy in
+        grid.(cy).(cx) <- s.marker)
+      s.points
+  in
+  List.iter place series;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  if y_label <> "" then begin
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n'
+  end;
+  let untx v = if log_x then exp v else v
+  and unty v = if log_y then exp v else v in
+  let ylab row =
+    (* Tick label on first, middle and last rows. *)
+    let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+    let v = unty (ymin +. (frac *. yspan)) in
+    if row = 0 || row = height - 1 || row = height / 2 then
+      Printf.sprintf "%10.1f |" v
+    else String.make 10 ' ' ^ " |"
+  in
+  Array.iteri
+    (fun row line ->
+      Buffer.add_string buf (ylab row);
+      Buffer.add_string buf (String.init width (fun i -> line.(i)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let xticks =
+    [ (0., xmin); (0.5, xmin +. (0.5 *. xspan)); (1.0, xmax) ]
+    |> List.map (fun (frac, v) ->
+           (int_of_float (frac *. float_of_int (width - 1)), untx v))
+  in
+  let axis = Bytes.make (width + 12) ' ' in
+  List.iter
+    (fun (col, v) ->
+      let s = Printf.sprintf "%g" v in
+      let at = min (12 + col) (Bytes.length axis - String.length s) in
+      Bytes.blit_string s 0 axis at (String.length s))
+    xticks;
+  Buffer.add_string buf (Bytes.to_string axis);
+  Buffer.add_char buf '\n';
+  if x_label <> "" then begin
+    Buffer.add_string buf (String.make 12 ' ');
+    Buffer.add_string buf x_label;
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.marker s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Minimal ASCII line plots, used to render the reproduction of the paper's
+    Figure 7 (construction time vs. block size for both algorithms) directly
+    in the terminal. *)
+
+type series = {
+  label : string;
+  marker : char;  (** glyph plotted at each data point *)
+  points : (float * float) list;  (** (x, y), need not be sorted *)
+}
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** [plot ~title series] renders the series on one shared canvas with axis
+    tick labels and a legend. Default canvas is 72x20 characters. Log scales
+    require strictly positive data on that axis.
+    @raise Invalid_argument if no series contains a point, or if a log
+    scale is requested over non-positive values. *)

@@ -1,0 +1,84 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  align : align list;
+  mutable rows : row list;  (* reversed *)
+  mutable ncols : int;
+}
+
+let create ?(align = []) headers =
+  { headers; align; rows = []; ncols = List.length headers }
+
+let add_row t cells =
+  t.ncols <- max t.ncols (List.length cells);
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_alignment t col =
+  let rec nth_or_last i = function
+    | [] -> Right
+    | [ a ] -> a
+    | a :: rest -> if i = 0 then a else nth_or_last (i - 1) rest
+  in
+  nth_or_last col t.align
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.ncols 0 in
+  let note cells =
+    List.iteri
+      (fun i c -> if i < t.ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  note t.headers;
+  List.iter (function Cells c -> note c | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line align_of cells =
+    let cells = Array.of_list cells in
+    Buffer.add_char buf '|';
+    Array.iteri
+      (fun i w ->
+        let c = if i < Array.length cells then cells.(i) else "" in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad (align_of i) w c);
+        Buffer.add_string buf " |")
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line (fun _ -> Center) t.headers;
+  rule ();
+  List.iter
+    (function
+      | Cells c -> line (column_alignment t) c
+      | Separator -> rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

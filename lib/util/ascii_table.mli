@@ -1,0 +1,25 @@
+(** Column-aligned plain-text tables, used to print the reproduction of the
+    paper's Table 1 and Table 2 in the benchmark harness. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?align:align list -> string list -> t
+(** [create headers] starts a table. [align] gives per-column alignment
+    (defaults to [Right] for every column); a short list is padded with its
+    last element, an empty list means all [Right]. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows extend the table width. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII ([+--+] style). *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp ppf t] prints [render t]. *)

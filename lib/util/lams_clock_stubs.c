@@ -1,0 +1,11 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+/* Monotonic nanosecond clock for the benchmark harness. */
+CAMLprim value lams_clock_gettime_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

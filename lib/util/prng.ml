@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+(* SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA'14). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let split g =
+  let seed = next_int64 g in
+  { state = mix seed }
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

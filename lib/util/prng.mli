@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (SplitMix64) used by the test and
+    benchmark harnesses so that every workload is reproducible from a seed.
+    We avoid [Stdlib.Random] to guarantee identical streams across OCaml
+    releases. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Distinct seeds give independent
+    streams for all practical purposes. *)
+
+val copy : t -> t
+(** [copy g] duplicates the state; the copy evolves independently. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val split : t -> t
+(** [split g] derives a statistically independent child generator and
+    advances [g]. Useful to give each simulated processor its own stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on [||]. *)

@@ -1,0 +1,292 @@
+open Lams_dist
+
+(* --- Section --- *)
+
+let test_section_basics () =
+  let s = Section.make ~lo:0 ~hi:319 ~stride:9 in
+  Tutil.check_int "count" 36 (Section.count s);
+  Tutil.check_int "nth 0" 0 (Section.nth s 0);
+  Tutil.check_int "nth 12" 108 (Section.nth s 12);
+  Tutil.check_int "last" 315 (Section.last s);
+  Tutil.check_bool "mem 108" true (Section.mem s 108);
+  Tutil.check_bool "mem 109" false (Section.mem s 109);
+  Tutil.check_bool "mem 316" false (Section.mem s 316)
+
+let test_section_negative_stride () =
+  let s = Section.make ~lo:20 ~hi:2 ~stride:(-3) in
+  Tutil.check_int "count" 7 (Section.count s);
+  Tutil.check_int_list "elements" [ 20; 17; 14; 11; 8; 5; 2 ]
+    (Section.to_list s);
+  Tutil.check_bool "mem 5" true (Section.mem s 5);
+  Tutil.check_bool "mem 4" false (Section.mem s 4);
+  let n = Section.normalize s in
+  Tutil.check_int "normalized lo" 2 n.Section.lo;
+  Tutil.check_int "normalized hi" 20 n.Section.hi;
+  Tutil.check_int "normalized stride" 3 n.Section.stride;
+  Tutil.check_bool "same set" true (Section.equal_sets s n)
+
+let test_section_empty () =
+  let s = Section.make ~lo:10 ~hi:5 ~stride:2 in
+  Tutil.check_bool "empty" true (Section.is_empty s);
+  Tutil.check_int "count" 0 (Section.count s);
+  Tutil.check_int_list "elements" [] (Section.to_list s);
+  Alcotest.check_raises "last of empty"
+    (Invalid_argument "Section.last: empty section") (fun () ->
+      ignore (Section.last s));
+  Alcotest.check_raises "zero stride"
+    (Invalid_argument "Section.make: zero stride") (fun () ->
+      ignore (Section.make ~lo:0 ~hi:5 ~stride:0))
+
+let prop_section_reverse =
+  Tutil.qtest "reverse preserves the index set"
+    QCheck2.Gen.(
+      tup3 (int_range 0 100) (int_range 0 100)
+        (oneof [ int_range (-10) (-1); int_range 1 10 ]))
+    (fun (lo, hi, stride) ->
+      let s = Section.make ~lo ~hi ~stride in
+      List.sort compare (Section.to_list s)
+      = List.sort compare (Section.to_list (Section.reverse s)))
+
+let prop_section_nth_mem =
+  Tutil.qtest "every nth element is a member"
+    QCheck2.Gen.(
+      tup3 (int_range 0 50) (int_range 1 20) (int_range 1 10))
+    (fun (lo, n, stride) ->
+      let s = Section.make ~lo ~hi:(lo + (n * stride)) ~stride in
+      List.for_all (fun j -> Section.mem s (Section.nth s j))
+        (List.init (Section.count s) Fun.id))
+
+(* --- Layout (Figure 1 golden facts) --- *)
+
+let fig1 = Layout.create ~p:4 ~k:8
+
+let test_layout_figure1 () =
+  (* §2: "array element A(108) has offset 4 in block 3 of processor 1". *)
+  Tutil.check_int "owner of 108" 1 (Layout.owner fig1 108);
+  Tutil.check_int "block of 108" 3 (Layout.block fig1 108);
+  Tutil.check_int "block offset of 108" 4 (Layout.block_offset fig1 108);
+  (* §3: element 108 is at coordinates (12, 3): row-offset 12, row 3. *)
+  Tutil.check_int "row of 108" 3 (Layout.row fig1 108);
+  Tutil.check_int "row offset of 108" 12 (Layout.row_offset fig1 108);
+  Tutil.check_int "local address of 108" 28 (Layout.local_address fig1 108);
+  Tutil.check_int "row length" 32 (Layout.row_len fig1)
+
+let test_layout_roundtrip_known () =
+  Alcotest.(check (option int)) "on owner" (Some 28)
+    (Layout.local_address_on fig1 ~proc:1 108);
+  Alcotest.(check (option int)) "not on others" None
+    (Layout.local_address_on fig1 ~proc:2 108);
+  Tutil.check_int "global_of_local" 108
+    (Layout.global_of_local fig1 ~proc:1 28)
+
+let test_local_count () =
+  (* 320 elements over 4 procs, cyclic(8): 80 each. *)
+  for m = 0 to 3 do
+    Tutil.check_int
+      (Printf.sprintf "count m=%d" m)
+      80
+      (Layout.local_count fig1 ~n:320 ~proc:m)
+  done;
+  (* Uneven tail: n = 20 = 8 + 8 + 4: proc 0 gets 8, proc 1 8, proc 2 4. *)
+  let l2 = Layout.create ~p:4 ~k:8 in
+  List.iter
+    (fun (m, want) ->
+      Tutil.check_int
+        (Printf.sprintf "uneven m=%d" m)
+        want
+        (Layout.local_count l2 ~n:20 ~proc:m))
+    [ (0, 8); (1, 8); (2, 4); (3, 0) ]
+
+let prop_layout_roundtrip =
+  Tutil.qtest "global -> local -> global roundtrip"
+    QCheck2.Gen.(tup3 (int_range 1 12) (int_range 1 24) (int_range 0 5000))
+    (fun (p, k, g) ->
+      let lay = Layout.create ~p ~k in
+      let m = Layout.owner lay g in
+      Layout.global_of_local lay ~proc:m (Layout.local_address lay g) = g)
+
+let prop_layout_owner_partition =
+  Tutil.qtest "owned_globals partitions [0, n)"
+    QCheck2.Gen.(tup3 (int_range 1 8) (int_range 1 12) (int_range 0 300))
+    (fun (p, k, n) ->
+      let lay = Layout.create ~p ~k in
+      let all =
+        List.concat (List.init p (fun m -> Layout.owned_globals lay ~n ~proc:m))
+      in
+      List.sort compare all = List.init n Fun.id)
+
+let prop_local_count_matches =
+  Tutil.qtest "local_count = |owned_globals|"
+    QCheck2.Gen.(tup4 (int_range 1 8) (int_range 1 12) (int_range 0 300) (int_range 0 7))
+    (fun (p, k, n, m) ->
+      let m = m mod p in
+      let lay = Layout.create ~p ~k in
+      Layout.local_count lay ~n ~proc:m
+      = List.length (Layout.owned_globals lay ~n ~proc:m))
+
+let prop_local_addresses_dense =
+  Tutil.qtest "local addresses are 0..count-1"
+    QCheck2.Gen.(tup4 (int_range 1 8) (int_range 1 12) (int_range 1 300) (int_range 0 7))
+    (fun (p, k, n, m) ->
+      let m = m mod p in
+      let lay = Layout.create ~p ~k in
+      let addrs =
+        List.map (Layout.local_address lay) (Layout.owned_globals lay ~n ~proc:m)
+      in
+      List.sort compare addrs = List.init (List.length addrs) Fun.id)
+
+(* --- Distribution --- *)
+
+let test_distribution () =
+  Tutil.check_int "block k" 25
+    (Distribution.block_size Distribution.Block ~n:100 ~p:4);
+  Tutil.check_int "block k uneven" 26
+    (Distribution.block_size Distribution.Block ~n:101 ~p:4);
+  Tutil.check_int "cyclic k" 1
+    (Distribution.block_size Distribution.Cyclic ~n:100 ~p:4);
+  Tutil.check_int "cyclic(8)" 8
+    (Distribution.block_size (Distribution.Block_cyclic 8) ~n:100 ~p:4)
+
+let test_distribution_parse () =
+  let check s want =
+    match (Distribution.of_string s, want) with
+    | Some d, Some w -> Tutil.check_bool s true (Distribution.equal d w)
+    | None, None -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "parse %S" s)
+  in
+  check "block" (Some Distribution.Block);
+  check "cyclic" (Some Distribution.Cyclic);
+  check "CYCLIC(8)" (Some (Distribution.Block_cyclic 8));
+  check " cyclic(16) " (Some (Distribution.Block_cyclic 16));
+  check "cyclic(0)" None;
+  check "cyclic(-3)" None;
+  check "scatter" None;
+  check "cyclic()" None
+
+(* --- Alignment --- *)
+
+let test_alignment () =
+  let al = Alignment.make ~scale:2 ~offset:1 in
+  Tutil.check_int "apply" 9 (Alignment.apply al 4);
+  Alcotest.(check (option int)) "preimage hit" (Some 4) (Alignment.preimage al 9);
+  Alcotest.(check (option int)) "preimage miss" None (Alignment.preimage al 8);
+  Tutil.check_bool "identity" true (Alignment.is_identity Alignment.identity);
+  let sec = Section.make ~lo:0 ~hi:10 ~stride:2 in
+  let img = Alignment.section_image al sec in
+  Tutil.check_int_list "image" [ 1; 5; 9; 13; 17; 21 ] (Section.to_list img)
+
+let prop_alignment_compose =
+  Tutil.qtest "compose applies inner first"
+    QCheck2.Gen.(
+      tup5
+        (oneof [ int_range (-5) (-1); int_range 1 5 ])
+        (int_range (-10) 10)
+        (oneof [ int_range (-5) (-1); int_range 1 5 ])
+        (int_range (-10) 10) (int_range (-100) 100))
+    (fun (a1, b1, a2, b2, i) ->
+      let outer = Alignment.make ~scale:a1 ~offset:b1
+      and inner = Alignment.make ~scale:a2 ~offset:b2 in
+      Alignment.apply (Alignment.compose outer inner) i
+      = Alignment.apply outer (Alignment.apply inner i))
+
+let prop_alignment_section_image =
+  Tutil.qtest "section image = pointwise image"
+    QCheck2.Gen.(
+      tup4
+        (oneof [ int_range (-4) (-1); int_range 1 4 ])
+        (int_range (-20) 20) (int_range 0 30) (int_range 1 6))
+    (fun (scale, offset, lo, stride) ->
+      let al = Alignment.make ~scale ~offset in
+      let sec = Section.make ~lo ~hi:(lo + (stride * 9)) ~stride in
+      let img = Alignment.section_image al sec in
+      Section.to_list img
+      = List.map (Alignment.apply al) (Section.to_list sec))
+
+(* --- Proc_grid --- *)
+
+let test_proc_grid () =
+  let g = Proc_grid.create [| 3; 4 |] in
+  Tutil.check_int "size" 12 (Proc_grid.size g);
+  Tutil.check_int "ndims" 2 (Proc_grid.ndims g);
+  Tutil.check_int "rank of (2,3)" 11 (Proc_grid.rank_of_coords g [| 2; 3 |]);
+  Tutil.check_int_array "coords of 11" [| 2; 3 |] (Proc_grid.coords_of_rank g 11);
+  Tutil.check_int "rank of (1,2)" 6 (Proc_grid.rank_of_coords g [| 1; 2 |])
+
+let prop_grid_roundtrip =
+  Tutil.qtest "rank/coords roundtrip"
+    QCheck2.Gen.(
+      tup2
+        (array_size (int_range 1 3) (int_range 1 5))
+        (int_range 0 1000))
+    (fun (dims, r) ->
+      if Array.length dims = 0 then true
+      else begin
+        let g = Proc_grid.create dims in
+        let r = r mod Proc_grid.size g in
+        Proc_grid.rank_of_coords g (Proc_grid.coords_of_rank g r) = r
+      end)
+
+(* --- Render --- *)
+
+let test_render_golden () =
+  (* Pin the exact Figure-1-style rendering for a small instance so the
+     format stays stable. *)
+  let lay = Layout.create ~p:2 ~k:3 in
+  let sec = Section.make ~lo:0 ~hi:11 ~stride:5 in
+  let got =
+    Render.layout lay ~n:12 ~mark:(fun g -> Section.mem sec g)
+      ~highlight:(fun g -> g = 0) ()
+  in
+  let want =
+    "Processor 0  |Processor 1 \n\
+    \ (0)  1   2  |  3   4  [5]\n\
+    \  6   7   8  |  9 [10] 11 \n"
+  in
+  Alcotest.(check string) "figure" want got;
+  Alcotest.(check string) "legend" "cyclic(3) on 2 procs; row = 6 elements"
+    (Render.legend lay)
+
+let test_render_smoke () =
+  let s =
+    Render.layout fig1 ~n:64
+      ~mark:(fun g -> g mod 9 = 0)
+      ~highlight:(fun g -> g = 0)
+      ()
+  in
+  Tutil.check_bool "mentions processors" true
+    (String.length s > 0
+    && String.length (List.hd (String.split_on_char '\n' s)) > 0);
+  Tutil.check_bool "marks element 9" true
+    (let re = "[9]" in
+     let rec contains i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || contains (i + 1))
+     in
+     contains 0);
+  let lm = Render.local_memory fig1 ~n:64 ~proc:1 () in
+  Tutil.check_bool "local memory non-empty" true (String.length lm > 0)
+
+let suite =
+  [ Alcotest.test_case "section basics" `Quick test_section_basics;
+    Alcotest.test_case "section negative stride" `Quick
+      test_section_negative_stride;
+    Alcotest.test_case "section empty / errors" `Quick test_section_empty;
+    Alcotest.test_case "layout Figure 1 facts" `Quick test_layout_figure1;
+    Alcotest.test_case "layout roundtrip known" `Quick
+      test_layout_roundtrip_known;
+    Alcotest.test_case "local counts" `Quick test_local_count;
+    Alcotest.test_case "distribution block sizes" `Quick test_distribution;
+    Alcotest.test_case "distribution parsing" `Quick test_distribution_parse;
+    Alcotest.test_case "alignment basics" `Quick test_alignment;
+    Alcotest.test_case "processor grid" `Quick test_proc_grid;
+    Alcotest.test_case "layout rendering" `Quick test_render_smoke;
+    Alcotest.test_case "layout rendering golden" `Quick test_render_golden;
+    prop_section_reverse;
+    prop_section_nth_mem;
+    prop_layout_roundtrip;
+    prop_layout_owner_partition;
+    prop_local_count_matches;
+    prop_local_addresses_dense;
+    prop_alignment_compose;
+    prop_alignment_section_image;
+    prop_grid_roundtrip ]

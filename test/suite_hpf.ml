@@ -1,0 +1,761 @@
+open Lams_hpf
+
+(* --- Lexer --- *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "real A(320) ! comment\nA(0:9:2) = 1.5" in
+  let kinds = List.map (fun { Lexer.token; _ } -> token) toks in
+  Alcotest.(check bool) "tokens" true
+    (kinds
+    = [ Lexer.Kw_real; Lexer.Ident "A"; Lexer.Lparen; Lexer.Int 320;
+        Lexer.Rparen; Lexer.Newline; Lexer.Ident "A"; Lexer.Lparen;
+        Lexer.Int 0; Lexer.Colon; Lexer.Int 9; Lexer.Colon; Lexer.Int 2;
+        Lexer.Rparen; Lexer.Equals; Lexer.Float 1.5; Lexer.Newline; Lexer.Eof ])
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "real A(1)\n  align" in
+  let align = List.find (fun { Lexer.token; _ } -> token = Lexer.Kw_align) toks in
+  Tutil.check_int "line" 2 align.Lexer.pos.Ast.line;
+  Tutil.check_int "col" 3 align.Lexer.pos.Ast.column
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "real A(1) @" with
+  | exception Lexer.Lex_error (_, pos) -> Tutil.check_int "col" 11 pos.Ast.column
+  | _ -> Alcotest.fail "expected lex error")
+
+(* --- Parser --- *)
+
+let paper_program =
+  "! the paper's running example\n\
+   real A(320)\n\
+   distribute A (cyclic(8)) onto 4\n\
+   A(4:319:9) = 100.0\n\
+   print sum A(4:319:9)\n"
+
+let test_parser_paper_program () =
+  let prog = Parser.parse paper_program in
+  Tutil.check_int "statements" 4 (List.length prog);
+  match prog with
+  | [ Ast.Decl { name = "A"; sizes = [ 320 ]; _ };
+      Ast.Distribute { name = "A"; formats = [ Ast.Cyclic_k 8 ]; onto = [ 4 ]; _ };
+      Ast.Assign
+        { lhs = { array = "A"; triplets = [ { t_lo = 4; t_hi = 319; t_stride = 9 } ]; _ };
+          rhs = Ast.Const 100.;
+          _ };
+      Ast.Print_sum _ ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parser_align_forms () =
+  let prog =
+    Parser.parse
+      "real B(10)\ntemplate T(40)\nalign B(i) with T(2*i+1)\n\
+       real C(10)\nalign C(j) with T(j-3)\n\
+       real D(10)\nalign D(i) with T(i)\n"
+  in
+  let aligns =
+    List.filter_map
+      (function Ast.Align { array; map; _ } -> Some (array, map) | _ -> None)
+      prog
+  in
+  Alcotest.(check bool) "maps" true
+    (aligns
+    = [ ("B", { Ast.scale = 2; offset = 1 });
+        ("C", { Ast.scale = 1; offset = -3 });
+        ("D", { Ast.scale = 1; offset = 0 }) ])
+
+let test_parser_exprs () =
+  let prog =
+    Parser.parse
+      "real A(9)\nreal B(9)\ndistribute A (block) onto 2\n\
+       distribute B (cyclic) onto 2\n\
+       A(0:8) = B(0:8) + 1.0\nA(0:8) = 2.0 * B(0:8)\nA(0:8) = A(0:8) / 4\n\
+       A(0:8:1) = B(8:0:-1)\nA(0:8) = A(0:8) - B(0:8)\n"
+  in
+  let rhss =
+    List.filter_map
+      (function Ast.Assign { rhs; _ } -> Some rhs | _ -> None)
+      prog
+  in
+  Tutil.check_int "5 assigns" 5 (List.length rhss);
+  match rhss with
+  | [ Ast.Ref_op_const (_, Ast.Add, 1.0);
+      Ast.Const_op_ref (2.0, Ast.Mul, _);
+      Ast.Ref_op_const (_, Ast.Div, 4.0);
+      Ast.Ref { triplets = [ { t_lo = 8; t_hi = 0; t_stride = -1 } ]; _ };
+      Ast.Ref_op_ref (_, Ast.Sub, _) ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected expression parses"
+
+let expect_syntax_error src =
+  match Parser.parse src with
+  | exception Parser.Parse_error _ -> ()
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail ("expected syntax error in: " ^ src)
+
+let test_parser_errors () =
+  List.iter expect_syntax_error
+    [ "real A"; "real A(320"; "A(0:9) ="; "distribute A (scatter) onto 4";
+      "align A(i) with"; "A(1:2:3:4) = 1.0"; "real A(320) junk";
+      "A(0:9) = B(0:9) +"; "distribute A (cyclic(8)) 4" ]
+
+let test_parse_triplet_cli () =
+  let t = Parser.parse_triplet "4:319:9" in
+  Alcotest.(check bool) "triplet" true
+    (t = { Ast.t_lo = 4; t_hi = 319; t_stride = 9 });
+  let t2 = Parser.parse_triplet "0:99" in
+  Tutil.check_int "default stride" 1 t2.Ast.t_stride
+
+(* --- Sema --- *)
+
+let analyze_ok src =
+  match Sema.analyze (Parser.parse src) with
+  | Ok checked -> checked
+  | Error errs ->
+      Alcotest.failf "unexpected sema errors: %s"
+        (String.concat "; "
+           (List.map (fun e -> Format.asprintf "%a" Sema.pp_error e) errs))
+
+let analyze_err src =
+  match Sema.analyze (Parser.parse src) with
+  | Ok _ -> Alcotest.fail ("expected sema error in: " ^ src)
+  | Error errs -> errs
+
+let test_sema_accepts_paper () =
+  let checked = analyze_ok paper_program in
+  Tutil.check_int "arrays" 1 (List.length checked.Sema.arrays);
+  Tutil.check_int "actions" 2 (List.length checked.Sema.actions);
+  let info = List.hd checked.Sema.arrays in
+  (match info.Sema.mapping with
+  | Sema.Grid { grid; _ } -> Tutil.check_int "p" 4 grid.(0)
+  | Sema.Aligned_1d _ -> Alcotest.fail "expected a direct distribution")
+
+let test_sema_alignment_resolution () =
+  let checked =
+    analyze_ok
+      "real B(100)\ntemplate T(400)\nalign B(i) with T(3*i+2)\n\
+       distribute T (cyclic(5)) onto 4\nB(0:99:7) = 1.0\n"
+  in
+  let info = List.hd checked.Sema.arrays in
+  (match info.Sema.mapping with
+  | Sema.Aligned_1d { template_size; align; _ } ->
+      Tutil.check_int "template size" 400 template_size;
+      Alcotest.(check bool) "alignment" false
+        (Lams_dist.Alignment.is_identity align)
+  | Sema.Grid _ -> Alcotest.fail "expected an aligned mapping")
+
+let test_sema_rejections () =
+  let cases =
+    [ ("real A(320)\nA(0:9) = 1.0\n", "no mapping");
+      ("A(0:9) = 1.0\n", "undeclared");
+      ("real A(10)\nreal A(10)\n", "duplicate");
+      ("real A(10)\ndistribute A (block) onto 2\nA(0:20) = 1.0\n", "outside");
+      ("real A(10)\ndistribute A (block) onto 0\nA(0:9) = 1.0\n", "onto 0");
+      ("real A(10)\ndistribute A (cyclic(0)) onto 2\nA(0:9) = 1.0\n", "cyclic(0)");
+      ("real A(10)\ndistribute A (block) onto 2\nA(0:9:0) = 1.0\n", "zero stride");
+      ("real A(10)\ndistribute A (block) onto 2\nA(9:0) = 1.0\n", "empty");
+      ("real A(10)\nreal B(10)\ndistribute A (block) onto 2\n\
+        distribute B (block) onto 2\nA(0:9) = B(0:8)\n",
+       "shape mismatch");
+      ("real A(10)\ntemplate T(5)\nalign A(i) with T(i)\n\
+        distribute T (block) onto 2\nA(0:9) = 1.0\n",
+       "alignment outside template");
+      ("real A(10)\nalign A(i) with T(i)\nA(0:9) = 1.0\n", "unknown template");
+      ("real A(10)\ntemplate T(100)\nalign A(i) with T(i)\nA(0:9) = 1.0\n",
+       "template not distributed");
+      ("real A(10)\ndistribute A (block) onto 2\ntemplate T(50)\n\
+        distribute T (block) onto 2\nalign A(i) with T(i)\nA(0:9) = 1.0\n",
+       "both distributed and aligned") ]
+  in
+  List.iter (fun (src, why) -> ignore (analyze_err src : Sema.error list) |> fun () -> ignore why) cases
+
+let test_sema_collects_multiple_errors () =
+  let errs = analyze_err "real A(10)\nA(0:20) = 1.0\nB(0:5) = 2.0\n" in
+  Tutil.check_bool "at least two" true (List.length errs >= 2)
+
+(* --- Runtime vs Reference --- *)
+
+let crosscheck_ok src =
+  match Driver.crosscheck src with
+  | Ok outcome -> outcome
+  | Error (`Failure f) ->
+      Alcotest.failf "compile failure: %a" Driver.pp_failure f
+  | Error (`Diverged d) ->
+      Alcotest.failf "diverged: %a" Driver.pp_divergence d
+
+let test_run_paper_program () =
+  let outcome = crosscheck_ok paper_program in
+  (* 36 elements of value 100 -> sum 3600. *)
+  Alcotest.(check (list string)) "outputs" [ "3600" ] outcome.Driver.outputs
+
+let test_run_copy_with_redistribution () =
+  let outcome =
+    crosscheck_ok
+      "real A(60)\nreal B(100)\n\
+       distribute A (cyclic) onto 4\ndistribute B (cyclic(5)) onto 3\n\
+       B(0:99:1) = 2.0\nB(0:99:2) = 7.0\nA(0:59:3) = B(0:95:5)\n\
+       print A(0:59:3)\nprint sum B(0:99:1)\n"
+  in
+  Tutil.check_int "two outputs" 2 (List.length outcome.Driver.outputs);
+  (* B(0:95:5) values: index 5j: even indices -> 7, odd*5 -> odd j gives index
+     ending in 5 -> odd -> 2? index 5j is even iff j even. So values
+     alternate 7,2,7,2,... 20 of them. *)
+  Alcotest.(check string) "copied values"
+    (String.concat " "
+       (List.init 20 (fun j -> if j mod 2 = 0 then "7" else "2")))
+    (List.hd outcome.Driver.outputs);
+  Tutil.check_bool "network was used" true
+    (outcome.Driver.runtime.Runtime.network <> None)
+
+let test_run_aliasing_shift () =
+  (* Overlapping source and destination: Fortran semantics require the rhs
+     to be read before any write. *)
+  let outcome =
+    crosscheck_ok
+      "real A(12)\ndistribute A (cyclic(2)) onto 3\n\
+       A(0:11:1) = 5.0\nA(0:5:1) = 9.0\nA(1:11:2) = A(0:10:2) + 1.0\n\
+       print A(0:11:1)\n"
+  in
+  ignore outcome
+
+let test_run_reversal () =
+  let outcome =
+    crosscheck_ok
+      "real A(10)\nreal B(10)\n\
+       distribute A (cyclic) onto 2\ndistribute B (block) onto 5\n\
+       B(0:9:1) = 0.0\nB(0:9:3) = 3.0\nA(9:0:-1) = B(0:9:1)\nprint A(0:9:1)\n"
+  in
+  (* B = [3 0 0 3 0 0 3 0 0 3]; A reversed = [3 0 0 3 0 0 3 0 0 3]
+     (palindrome!) — fine, semantics checked by crosscheck anyway. *)
+  Alcotest.(check string) "reversed" "3 0 0 3 0 0 3 0 0 3"
+    (List.hd outcome.Driver.outputs)
+
+let test_run_aligned_array () =
+  let outcome =
+    crosscheck_ok
+      "real B(100)\ntemplate T(400)\nalign B(i) with T(3*i+2)\n\
+       distribute T (cyclic(8)) onto 4\n\
+       B(0:99:1) = 1.0\nB(4:99:9) = 100.0\nprint sum B(0:99:1)\n\
+       print B(0:30:1)\n"
+  in
+  (* 100 ones, 11 of them (4,13,...,94) overwritten by 100: 89 + 1100. *)
+  Alcotest.(check string) "sum" "1189" (List.nth outcome.Driver.outputs 0)
+
+let test_run_all_shapes_agree () =
+  List.iter
+    (fun shape ->
+      let outcome =
+        match Driver.crosscheck ~shape paper_program with
+        | Ok o -> o
+        | Error _ -> Alcotest.fail "must succeed"
+      in
+      Alcotest.(check (list string)) "outputs" [ "3600" ] outcome.Driver.outputs)
+    Lams_codegen.Shapes.all
+
+(* --- Printer round trip --- *)
+
+let test_pp_roundtrip () =
+  (* pp_statement output re-parses to the same statement (modulo
+     positions), so the printer is a faithful surface form. *)
+  let src =
+    "real A(320)\nreal M(16, 12)\ntemplate T(400)\n\
+     align A(i) with T(2*i+1)\n\
+     distribute T (cyclic(8)) onto 4\n\
+     distribute M (cyclic(2), block) onto (2, 2)\n\
+     A(4:319:9) = 100.0\nA(0:9:1) = A(0:9:1) * 0.5\n\
+     M(0:15:2, 1:11:3) = 5.0\n\
+     forall i = 0:20:2 do A(3*i+1) = 8.0\n\
+     print A(0:9:1)\nprint sum M(0:15:1, 0:11:1)\n"
+  in
+  let strip_positions stmts =
+    List.map (fun s -> Format.asprintf "%a" Ast.pp_statement s) stmts
+  in
+  let once = Parser.parse src in
+  let printed =
+    String.concat "\n" (strip_positions once) ^ "\n"
+  in
+  let twice = Parser.parse printed in
+  Alcotest.(check (list string)) "round trip" (strip_positions once)
+    (strip_positions twice)
+
+(* --- C backend --- *)
+
+let c_backend_programs =
+  [ ( "fills",
+      "real A(320)\ndistribute A (cyclic(8)) onto 4\n\
+       A(0:319:1) = 0.0\nA(4:319:9) = 100.0\n\
+       print sum A(0:319:1)\nprint A(0:31:1)\n" );
+    ( "copy + in-place",
+      "real A(120)\nreal B(90)\n\
+       distribute A (cyclic(4)) onto 3\ndistribute B (block) onto 5\n\
+       A(0:119:1) = 1.0\nA(0:119:7) = 6.0\n\
+       B(0:89:1) = 0.0\nB(89:2:-3) = A(0:87:3)\n\
+       B(0:89:2) = B(0:89:2) * 0.5\nB(1:89:2) = 2.0 + B(1:89:2)\n\
+       print B(0:29:1)\nprint sum B(0:89:1)\nprint sum A(0:119:1)\n" );
+    ( "forall lowered",
+      "real A(64)\ndistribute A (cyclic(2)) onto 4\n\
+       A(0:63:1) = 3.0\nforall i = 0:20 do A(3*i+1) = 8.0\n\
+       A(1:61:3) = A(1:61:3) / 2.0\nprint A(0:63:1)\n" );
+    ( "cross-array expressions",
+      "real A(60)\nreal B(60)\nreal C(60)\n\
+       distribute A (cyclic(3)) onto 4\ndistribute B (block) onto 3\n\
+       distribute C (cyclic) onto 5\n\
+       B(0:59:1) = 2.0\nC(0:59:1) = 10.0\nC(0:59:4) = 50.0\n\
+       A(0:59:1) = B(0:59:1) * 3.0\n\
+       A(0:59:2) = 1.0 - B(59:1:-2)\n\
+       A(0:59:1) = A(0:59:1) + C(0:59:1)\n\
+       A(0:29:1) = B(0:29:1) - C(30:59:1)\n\
+       print sum A(0:59:1)\nprint A(0:19:1)\n" );
+    ( "overlapping in-array shift",
+      "real A(40)\ndistribute A (cyclic(4)) onto 2\n\
+       A(0:39:1) = 1.0\nA(0:39:5) = 9.0\n\
+       A(1:39:1) = A(0:38:1)      ! overlapping shift, staging required\n\
+       A(0:19:1) = A(0:19:1) + A(20:39:1)\n\
+       print A(0:39:1)\nprint sum A(0:39:1)\n" ) ]
+
+let test_c_backend_matches_runtime () =
+  if Sys.command "cc --version > /dev/null 2>&1" <> 0 then ()
+  else
+    List.iter
+      (fun (label, src) ->
+        match (Driver.compile_and_run src, Emit_program.emit_source src) with
+        | Ok outcome, Ok c_text ->
+            let dir = Filename.temp_dir "lams_prog" "" in
+            let c_file = Filename.concat dir "prog.c"
+            and exe = Filename.concat dir "prog.exe" in
+            Out_channel.with_open_text c_file (fun oc ->
+                output_string oc c_text);
+            Tutil.check_int (label ^ ": cc") 0
+              (Sys.command (Printf.sprintf "cc -O2 -o %s %s" exe c_file));
+            let ic = Unix.open_process_in exe in
+            let rec lines acc =
+              match input_line ic with
+              | l -> lines (l :: acc)
+              | exception End_of_file ->
+                  ignore (Unix.close_process_in ic);
+                  List.rev acc
+            in
+            Alcotest.(check (list string))
+              (label ^ ": outputs")
+              outcome.Driver.outputs (lines [])
+        | Error f, _ ->
+            Alcotest.failf "%s: runtime failed: %a" label Driver.pp_failure f
+        | _, Error (`Failure f) ->
+            Alcotest.failf "%s: emission compile failed: %a" label
+              Driver.pp_failure f
+        | _, Error (`Unsupported u) ->
+            Alcotest.failf "%s: unexpectedly unsupported: %a" label
+              Emit_program.pp_unsupported u)
+      c_backend_programs
+
+(* Deterministic fuzz over the C backend: generated programs with fills,
+   copies, cross-array expressions and prints, each compiled with cc and
+   byte-compared against the runtime. *)
+let test_c_backend_fuzz () =
+  if Sys.command "cc --version > /dev/null 2>&1" <> 0 then ()
+  else begin
+    let rng = Lams_util.Prng.create 20260704L in
+    for case = 1 to 6 do
+      let p1 = Lams_util.Prng.int_in rng 1 5
+      and p2 = Lams_util.Prng.int_in rng 1 5
+      and k1 = Lams_util.Prng.int_in rng 1 8
+      and k2 = Lams_util.Prng.int_in rng 1 8
+      and n = Lams_util.Prng.int_in rng 30 120 in
+      let sec () =
+        let s = Lams_util.Prng.int_in rng 1 6 in
+        let lo = Lams_util.Prng.int_in rng 0 (n / 4) in
+        let count = Lams_util.Prng.int_in rng 2 ((n - lo) / s) in
+        let hi = lo + ((count - 1) * s) in
+        if Lams_util.Prng.bool rng then Printf.sprintf "%d:%d:%d" lo hi s
+        else Printf.sprintf "%d:%d:-%d" hi lo s
+      in
+      let equal_count_pair () =
+        let s1 = Lams_util.Prng.int_in rng 1 5
+        and s2 = Lams_util.Prng.int_in rng 1 5 in
+        let max_count = min ((n - 1) / s1) ((n - 1) / s2) in
+        let count = Lams_util.Prng.int_in rng 2 (max 2 max_count) in
+        let count = min count max_count in
+        ( Printf.sprintf "0:%d:%d" ((count - 1) * s1) s1,
+          Printf.sprintf "0:%d:%d" ((count - 1) * s2) s2 )
+      in
+      let sa, sb = equal_count_pair () in
+      let sa2, sb2 = equal_count_pair () in
+      let src =
+        Printf.sprintf
+          "real A(%d)\nreal B(%d)\n\
+           distribute A (cyclic(%d)) onto %d\ndistribute B (cyclic(%d)) onto %d\n\
+           A(0:%d:1) = 1.5\nB(0:%d:1) = 4.0\n\
+           A(%s) = 2.0\nB(%s) = A(%s) * 3.0\n\
+           A(%s) = A(%s) + B(%s)\n\
+           print sum A(0:%d:1)\nprint sum B(0:%d:1)\nprint A(%s)\n"
+          n n k1 p1 k2 p2 (n - 1) (n - 1) (sec ()) sb sa sa2 sa2 sb2 (n - 1)
+          (n - 1) (sec ())
+      in
+      match (Driver.crosscheck src, Emit_program.emit_source src) with
+      | Ok outcome, Ok c_text ->
+          let dir = Filename.temp_dir "lams_fuzz" "" in
+          let c_file = Filename.concat dir "prog.c"
+          and exe = Filename.concat dir "prog.exe" in
+          Out_channel.with_open_text c_file (fun oc -> output_string oc c_text);
+          Tutil.check_int
+            (Printf.sprintf "case %d: cc" case)
+            0
+            (Sys.command (Printf.sprintf "cc -O1 -o %s %s" exe c_file));
+          let ic = Unix.open_process_in exe in
+          let rec lines acc =
+            match input_line ic with
+            | l -> lines (l :: acc)
+            | exception End_of_file ->
+                ignore (Unix.close_process_in ic);
+                List.rev acc
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "case %d: outputs (src=\n%s)" case src)
+            outcome.Driver.outputs (lines [])
+      | Error (`Failure f), _ ->
+          Alcotest.failf "case %d runtime: %a (src=\n%s)" case Driver.pp_failure
+            f src
+      | Error (`Diverged d), _ ->
+          Alcotest.failf "case %d diverged: %a" case Driver.pp_divergence d
+      | _, Error (`Failure f) ->
+          Alcotest.failf "case %d emit: %a" case Driver.pp_failure f
+      | _, Error (`Unsupported u) ->
+          Alcotest.failf "case %d unsupported: %a" case
+            Emit_program.pp_unsupported u
+    done
+  end
+
+let test_c_backend_unsupported () =
+  let expect_unsupported src =
+    match Emit_program.emit_source src with
+    | Error (`Unsupported _) -> ()
+    | Ok _ -> Alcotest.fail "expected Unsupported"
+    | Error (`Failure f) -> Alcotest.failf "compile failure: %a" Driver.pp_failure f
+  in
+  (* 2-D array. *)
+  expect_unsupported
+    "real M(8, 8)\ndistribute M (block, block) onto (2, 2)\n\
+     M(0:7:1, 0:7:1) = 1.0\n";
+  (* Non-identity alignment. *)
+  expect_unsupported
+    "real B(10)\ntemplate T(40)\nalign B(i) with T(2*i+1)\n\
+     distribute T (block) onto 2\nB(0:9:1) = 1.0\n";
+  (* Copy beyond the static-schedule cap. *)
+  expect_unsupported
+    "real A(100000)\nreal B(100000)\ndistribute A (block) onto 2\n\
+     distribute B (block) onto 2\nA(0:99999:1) = 0.0\n\
+     A(0:99999:1) = B(0:99999:1)\n"
+
+(* --- Forall --- *)
+
+let test_parse_forall () =
+  let prog =
+    Parser.parse "real A(100)\ndistribute A (cyclic(4)) onto 4\n\
+                  forall i = 0:49:1 do A(2*i+1) = 3.5\n"
+  in
+  match prog with
+  | [ _; _;
+      Ast.Forall
+        { var = "I";
+          range = { t_lo = 0; t_hi = 49; t_stride = 1 };
+          lhs = { f_array = "A"; f_sub = { scale = 2; offset = 1 }; _ };
+          rhs = Ast.F_const 3.5;
+          _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected forall parse"
+
+let test_parse_forall_errors () =
+  (* Subscript must use the declared loop variable. *)
+  List.iter expect_syntax_error
+    [ "forall i = 0:9 do A(j) = 1.0\n";
+      "forall i = 0:9 do A(2*j+1) = 1.0\n";
+      "forall i = 0:9 A(i) = 1.0\n";
+      "forall i = 0:9 do A(i) =\n" ]
+
+let test_sema_forall_lowering () =
+  let checked =
+    analyze_ok
+      "real A(100)\nreal B(100)\ndistribute A (cyclic(4)) onto 4\n\
+       distribute B (block) onto 2\n\
+       forall i = 0:24:1 do A(2*i+1) = B(96-3*i) + 0.5\n"
+  in
+  match checked.Sema.actions with
+  | [ Sema.Assign { lhs; rhs = Sema.Ref_op_const (r, Ast.Add, 0.5) } ] ->
+      let lsec = lhs.Sema.sections.(0) and rsec = r.Sema.sections.(0) in
+      Tutil.check_int "lhs lo" 1 lsec.Lams_dist.Section.lo;
+      Tutil.check_int "lhs stride" 2 lsec.Lams_dist.Section.stride;
+      Tutil.check_int "lhs hi" 49 lsec.Lams_dist.Section.hi;
+      Tutil.check_int "rhs lo" 96 rsec.Lams_dist.Section.lo;
+      Tutil.check_int "rhs stride" (-3) rsec.Lams_dist.Section.stride;
+      Tutil.check_int "rhs hi" 24 rsec.Lams_dist.Section.hi
+  | _ -> Alcotest.fail "unexpected lowering"
+
+let test_sema_forall_errors () =
+  (* Constant subscript (no loop variable). *)
+  ignore
+    (analyze_err
+       "real A(10)\ndistribute A (block) onto 2\nforall i = 0:9 do A(3) = 1.0\n");
+  (* Out of bounds image. *)
+  ignore
+    (analyze_err
+       "real A(10)\ndistribute A (block) onto 2\nforall i = 0:9 do A(2*i) = 1.0\n");
+  (* Rank-2 array. *)
+  ignore
+    (analyze_err
+       "real M(8, 8)\ndistribute M (block, block) onto (2, 2)\n\
+        forall i = 0:7 do M(i) = 1.0\n");
+  (* Empty range. *)
+  ignore
+    (analyze_err
+       "real A(10)\ndistribute A (block) onto 2\nforall i = 9:0 do A(i) = 1.0\n")
+
+let test_run_forall () =
+  let outcome =
+    crosscheck_ok
+      "real A(40)\nreal B(40)\n\
+       distribute A (cyclic(3)) onto 4\ndistribute B (cyclic) onto 2\n\
+       B(0:39:1) = 2.0\nforall i = 0:19:1 do B(2*i) = 7.0\n\
+       forall i = 0:9:1 do A(3*i+2) = B(39-2*i) * 10.0\n\
+       print A(2:29:3)\nprint sum B(0:39:1)\n"
+  in
+  (* B(39-2i) for i=0..9: odd indices -> 2.0; so A(3i+2) = 20. *)
+  Alcotest.(check string) "forall result" "20 20 20 20 20 20 20 20 20 20"
+    (List.hd outcome.Driver.outputs)
+
+let prop_random_forall =
+  Tutil.qtest ~count:60 "random forall programs crosscheck"
+    QCheck2.Gen.(
+      let* p = int_range 1 5 in
+      let* k = int_range 1 7 in
+      let* count = int_range 1 20 in
+      let* a = oneof [ int_range (-4) (-1); int_range 1 4 ] in
+      let* s_iter = int_range 1 3 in
+      let* v = int_range 1 50 in
+      return (p, k, count, a, s_iter, v))
+    ~print:(fun (p, k, count, a, s_iter, v) ->
+      Printf.sprintf "p=%d k=%d count=%d a=%d s=%d v=%d" p k count a s_iter v)
+    (fun (p, k, count, a, s_iter, v) ->
+      (* Choose the offset so the image stays inside [0, n). *)
+      let last_i = (count - 1) * s_iter in
+      let b = if a > 0 then 0 else -a * last_i in
+      let n = (abs a * last_i) + b + 1 in
+      let src =
+        Printf.sprintf
+          "real A(%d)\ndistribute A (cyclic(%d)) onto %d\n\
+           A(0:%d:1) = 1.0\nforall i = 0:%d:%d do A(%d*i+%d) = %d.0\n\
+           print sum A(0:%d:1)\n"
+          n k p (n - 1) last_i s_iter a b v (n - 1)
+      in
+      match Driver.crosscheck src with Ok _ -> true | Error _ -> false)
+
+(* --- Multidimensional programs --- *)
+
+let test_parse_2d () =
+  let prog =
+    Parser.parse
+      "real M(64, 64)\ndistribute M (cyclic(4), block) onto (2, 2)\n\
+       M(0:63:2, 1:63:3) = 5.0\n"
+  in
+  match prog with
+  | [ Ast.Decl { sizes = [ 64; 64 ]; _ };
+      Ast.Distribute { formats = [ Ast.Cyclic_k 4; Ast.Block ]; onto = [ 2; 2 ]; _ };
+      Ast.Assign
+        { lhs =
+            { triplets =
+                [ { t_lo = 0; t_hi = 63; t_stride = 2 };
+                  { t_lo = 1; t_hi = 63; t_stride = 3 } ];
+              _ };
+          rhs = Ast.Const 5.;
+          _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected 2-D parse"
+
+let test_sema_2d_rank_checks () =
+  (* Wrong subscript arity. *)
+  ignore
+    (analyze_err
+       "real M(8, 8)\ndistribute M (block, block) onto (2, 2)\nM(0:7) = 1.0\n");
+  (* Wrong format arity. *)
+  ignore
+    (analyze_err "real M(8, 8)\ndistribute M (block) onto (2, 2)\nM(0:7, 0:7) = 1.0\n");
+  (* Grid rank mismatch. *)
+  ignore
+    (analyze_err
+       "real M(8, 8)\ndistribute M (block, block) onto 4\nM(0:7, 0:7) = 1.0\n");
+  (* Shape mismatch between 2-D operands. *)
+  ignore
+    (analyze_err
+       "real M(8, 8)\nreal N(8, 8)\ndistribute M (block, block) onto (2, 2)\n\
+        distribute N (block, block) onto (2, 2)\nM(0:7, 0:7) = N(0:7, 0:6)\n");
+  (* Aligning a 2-D array is rejected. *)
+  ignore
+    (analyze_err
+       "real M(8, 8)\ntemplate T(100)\nalign M(i) with T(i)\n\
+        distribute T (block) onto 2\nM(0:7, 0:7) = 1.0\n")
+
+let test_run_2d_fill_and_sum () =
+  let outcome =
+    crosscheck_ok
+      "real M(16, 12)\ndistribute M (cyclic(2), cyclic(3)) onto (2, 2)\n\
+       M(0:15:1, 0:11:1) = 1.0\nM(0:15:2, 1:11:3) = 10.0\n\
+       print sum M(0:15:1, 0:11:1)\nprint M(0:3:1, 0:3:1)\n"
+  in
+  (* 192 ones; 8*4 = 32 of them overwritten by 10: 160 + 320 = 480. *)
+  Alcotest.(check string) "sum" "480" (List.hd outcome.Driver.outputs)
+
+let test_run_2d_band_copy () =
+  (* Copy a row band into a column band: exercises the general
+     materialise/store path with different per-dimension strides. *)
+  let outcome =
+    crosscheck_ok
+      "real M(10, 10)\nreal N(10, 10)\n\
+       distribute M (cyclic(2), cyclic(2)) onto (2, 2)\n\
+       distribute N (block, cyclic) onto (2, 2)\n\
+       N(0:9:1, 0:9:1) = 3.0\nN(2:2:1, 0:9:2) = 7.0\n\
+       M(4:4:1, 0:9:1) = N(2:2:1, 9:0:-1)\n\
+       print M(4:4:1, 0:9:1)\nprint sum M(0:9:1, 0:9:1)\n"
+  in
+  (* N row 2 is [7 3 7 3 7 3 7 3 7 3]; reversed it is [3 7 3 7 3 7 3 7 3 7]. *)
+  Alcotest.(check string) "row" "3 7 3 7 3 7 3 7 3 7"
+    (List.hd outcome.Driver.outputs)
+
+let test_run_2d_elementwise_ops () =
+  ignore
+    (crosscheck_ok
+       "real M(12, 9)\nreal N(12, 9)\n\
+        distribute M (cyclic(2), block) onto (3, 1)\n\
+        distribute N (cyclic, cyclic(2)) onto (2, 2)\n\
+        M(0:11:1, 0:8:1) = 2.0\nN(0:11:1, 0:8:1) = 5.0\n\
+        M(0:11:2, 0:8:2) = N(0:11:2, 0:8:2) * 3.0\n\
+        M(1:11:2, 1:8:2) = M(1:11:2, 1:8:2) + N(1:11:2, 1:8:2)\n\
+        print sum M(0:11:1, 0:8:1)\n")
+
+let test_runtime_2d_read () =
+  match Driver.compile_and_run
+          "real M(6, 4)\ndistribute M (cyclic(2), cyclic) onto (2, 2)\n\
+           M(0:5:1, 0:3:1) = 1.0\nM(2:4:2, 1:3:2) = 9.0\n"
+  with
+  | Error _ -> Alcotest.fail "must run"
+  | Ok o ->
+      Alcotest.(check (float 0.)) "M(2,1)" 9. (Runtime.read o.Driver.runtime "M" [| 2; 1 |]);
+      Alcotest.(check (float 0.)) "M(2,2)" 1. (Runtime.read o.Driver.runtime "M" [| 2; 2 |]);
+      Alcotest.(check (float 0.)) "M(4,3)" 9. (Runtime.read o.Driver.runtime "M" [| 4; 3 |]);
+      Alcotest.check_raises "rank mismatch" (Invalid_argument "Runtime: rank mismatch")
+        (fun () -> ignore (Runtime.read o.Driver.runtime "M" [| 2 |]))
+
+let prop_random_2d_programs =
+  Tutil.qtest ~count:60 "random 2-D fill programs crosscheck"
+    QCheck2.Gen.(
+      let* p0 = int_range 1 3 and* p1 = int_range 1 3 in
+      let* k0 = int_range 1 5 and* k1 = int_range 1 5 in
+      let* n0 = int_range 4 20 and* n1 = int_range 4 20 in
+      let* s0 = int_range 1 5 and* s1 = int_range 1 5 in
+      let* v = int_range 1 50 in
+      return (p0, p1, k0, k1, n0, n1, s0, s1, v))
+    ~print:(fun (p0, p1, k0, k1, n0, n1, s0, s1, v) ->
+      Printf.sprintf "grid=(%d,%d) k=(%d,%d) n=(%d,%d) s=(%d,%d) v=%d" p0 p1 k0
+        k1 n0 n1 s0 s1 v)
+    (fun (p0, p1, k0, k1, n0, n1, s0, s1, v) ->
+      let src =
+        Printf.sprintf
+          "real M(%d, %d)\ndistribute M (cyclic(%d), cyclic(%d)) onto (%d, %d)\n\
+           M(0:%d:1, 0:%d:1) = 1.0\nM(1:%d:%d, 0:%d:%d) = %d.0\n\
+           print sum M(0:%d:1, 0:%d:1)\n"
+          n0 n1 k0 k1 p0 p1 (n0 - 1) (n1 - 1) (n0 - 1) s0 (n1 - 1) s1 v
+          (n0 - 1) (n1 - 1)
+      in
+      match Driver.crosscheck src with Ok _ -> true | Error _ -> false)
+
+let prop_random_fill_programs =
+  Tutil.qtest ~count:100 "random fill/print programs crosscheck"
+    QCheck2.Gen.(
+      let* p = int_range 1 6 in
+      let* k = int_range 1 9 in
+      let* n = int_range 10 200 in
+      let* s1 = int_range 1 11 in
+      let* s2 = int_range 1 11 in
+      let* v1 = int_range 1 99 in
+      let* v2 = int_range 1 99 in
+      return (p, k, n, s1, s2, v1, v2))
+    ~print:(fun (p, k, n, s1, s2, v1, v2) ->
+      Printf.sprintf "p=%d k=%d n=%d s1=%d s2=%d v1=%d v2=%d" p k n s1 s2 v1 v2)
+    (fun (p, k, n, s1, s2, v1, v2) ->
+      let src =
+        Printf.sprintf
+          "real A(%d)\ndistribute A (cyclic(%d)) onto %d\n\
+           A(0:%d:%d) = %d.0\nA(1:%d:%d) = %d.0\nprint sum A(0:%d:1)\n"
+          n k p (n - 1) s1 v1 (n - 1) s2 v2 (n - 1)
+      in
+      match Driver.crosscheck src with Ok _ -> true | Error _ -> false)
+
+let prop_random_copy_programs =
+  Tutil.qtest ~count:60 "random copy programs crosscheck"
+    QCheck2.Gen.(
+      let* p1 = int_range 1 4 and* p2 = int_range 1 4 in
+      let* k1 = int_range 1 6 and* k2 = int_range 1 6 in
+      let* count = int_range 1 15 in
+      let* s1 = int_range 1 4 and* s2 = int_range 1 4 in
+      return (p1, k1, p2, k2, count, s1, s2))
+    (fun (p1, k1, p2, k2, count, s1, s2) ->
+      let n1 = 1 + (s1 * count) and n2 = 1 + (s2 * count) in
+      let src =
+        Printf.sprintf
+          "real A(%d)\nreal B(%d)\n\
+           distribute A (cyclic(%d)) onto %d\ndistribute B (cyclic(%d)) onto %d\n\
+           B(0:%d:1) = 3.0\nB(0:%d:%d) = 8.0\n\
+           A(0:%d:%d) = B(0:%d:%d)\nprint A(0:%d:1)\n"
+          n1 n2 k1 p1 k2 p2 (n2 - 1) (n2 - 1) s2
+          (s1 * (count - 1)) s1 (s2 * (count - 1)) s2 (n1 - 1)
+      in
+      match Driver.crosscheck src with Ok _ -> true | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse the paper program" `Quick
+      test_parser_paper_program;
+    Alcotest.test_case "parse alignment forms" `Quick test_parser_align_forms;
+    Alcotest.test_case "parse expressions" `Quick test_parser_exprs;
+    Alcotest.test_case "parse errors" `Quick test_parser_errors;
+    Alcotest.test_case "parse bare triplets" `Quick test_parse_triplet_cli;
+    Alcotest.test_case "sema accepts the paper program" `Quick
+      test_sema_accepts_paper;
+    Alcotest.test_case "sema resolves alignment" `Quick
+      test_sema_alignment_resolution;
+    Alcotest.test_case "sema rejections" `Quick test_sema_rejections;
+    Alcotest.test_case "sema collects multiple errors" `Quick
+      test_sema_collects_multiple_errors;
+    Alcotest.test_case "run the paper program" `Quick test_run_paper_program;
+    Alcotest.test_case "run copy with redistribution" `Quick
+      test_run_copy_with_redistribution;
+    Alcotest.test_case "run aliasing shift" `Quick test_run_aliasing_shift;
+    Alcotest.test_case "run reversal" `Quick test_run_reversal;
+    Alcotest.test_case "run aligned array" `Quick test_run_aligned_array;
+    Alcotest.test_case "all node-code shapes agree end-to-end" `Quick
+      test_run_all_shapes_agree;
+    Alcotest.test_case "printer round trip" `Quick test_pp_roundtrip;
+    Alcotest.test_case "C backend matches the runtime" `Quick
+      test_c_backend_matches_runtime;
+    Alcotest.test_case "C backend unsupported forms" `Quick
+      test_c_backend_unsupported;
+    Alcotest.test_case "C backend fuzz (6 random programs)" `Quick
+      test_c_backend_fuzz;
+    Alcotest.test_case "parse forall" `Quick test_parse_forall;
+    Alcotest.test_case "forall parse errors" `Quick test_parse_forall_errors;
+    Alcotest.test_case "forall lowering" `Quick test_sema_forall_lowering;
+    Alcotest.test_case "forall sema errors" `Quick test_sema_forall_errors;
+    Alcotest.test_case "run forall programs" `Quick test_run_forall;
+    prop_random_forall;
+    Alcotest.test_case "parse 2-D declarations and sections" `Quick
+      test_parse_2d;
+    Alcotest.test_case "sema 2-D rank checks" `Quick test_sema_2d_rank_checks;
+    Alcotest.test_case "run 2-D fill and sum" `Quick test_run_2d_fill_and_sum;
+    Alcotest.test_case "run 2-D band copy with reversal" `Quick
+      test_run_2d_band_copy;
+    Alcotest.test_case "run 2-D elementwise ops" `Quick
+      test_run_2d_elementwise_ops;
+    Alcotest.test_case "2-D runtime reads" `Quick test_runtime_2d_read;
+    prop_random_2d_programs;
+    prop_random_fill_programs;
+    prop_random_copy_programs ]

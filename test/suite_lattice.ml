@@ -1,0 +1,272 @@
+open Lams_lattice
+
+let point b a = Point.make ~b ~a
+
+let test_point_algebra () =
+  let u = point 3 3 and v = point (-1) 2 in
+  Alcotest.(check bool) "add" true (Point.equal (Point.add u v) (point 2 5));
+  Alcotest.(check bool) "sub" true (Point.equal (Point.sub u v) (point 4 1));
+  Alcotest.(check bool) "neg" true (Point.equal (Point.neg u) (point (-3) (-3)));
+  Alcotest.(check bool)
+    "scale" true
+    (Point.equal (Point.scale 2 v) (point (-2) 4));
+  Tutil.check_int "det fig2" 9 (Point.det u v);
+  Tutil.check_int "memory gap" 27 (Point.memory_gap ~k:8 u)
+
+let lat_32_9 = Section_lattice.create ~row_len:32 ~stride:9
+
+let test_membership_figure2 () =
+  (* Figure 2's line segments: (3,3) has 32*3+3 = 99 = 11*9; (-1,2) has
+     32*2-1 = 63 = 7*9. *)
+  Alcotest.(check bool) "(3,3) in lattice" true
+    (Section_lattice.mem lat_32_9 (point 3 3));
+  Alcotest.(check bool) "(-1,2) in lattice" true
+    (Section_lattice.mem lat_32_9 (point (-1) 2));
+  Alcotest.(check bool) "(1,1) not in lattice" false
+    (Section_lattice.mem lat_32_9 (point 1 1));
+  Alcotest.(check (option int)) "index of (3,3)" (Some 11)
+    (Section_lattice.index_of lat_32_9 (point 3 3));
+  Alcotest.(check (option int)) "index of (-1,2)" (Some 7)
+    (Section_lattice.index_of lat_32_9 (point (-1) 2))
+
+let test_point_of_index () =
+  (* The paper's running example: element index 108 has coordinates
+     (12, 3) as an absolute element; as section index i with l = 0, s = 9:
+     i = 12 gives 108. *)
+  let p = Section_lattice.point_of_index lat_32_9 12 in
+  Alcotest.(check bool) "i=12 -> (12,3)" true (Point.equal p (point 12 3));
+  let q = Section_lattice.point_of_index lat_32_9 (-1) in
+  (* -9 = 32*(-1) + 23. *)
+  Alcotest.(check bool) "i=-1 -> (23,-1)" true (Point.equal q (point 23 (-1)))
+
+let test_is_basis_figure2 () =
+  (* 3*7 - 2*11 = -1 — the paper's unimodularity check for Figure 2. *)
+  Alcotest.(check bool) "fig2 basis" true
+    (Section_lattice.is_basis lat_32_9 (point 3 3) (point (-1) 2));
+  (* R and L of Figures 3-4. *)
+  Alcotest.(check bool) "R,L basis" true
+    (Section_lattice.is_basis lat_32_9 (point 4 1) (point 5 (-1)));
+  (* Two parallel vectors are never a basis. *)
+  Alcotest.(check bool) "parallel not basis" false
+    (Section_lattice.is_basis lat_32_9 (point 3 3) (point 6 6));
+  Alcotest.(check bool) "covolume = stride" true
+    (Section_lattice.covolume lat_32_9 = 9)
+
+let test_basis_paper_example () =
+  match Basis.construct ~p:4 ~k:8 ~s:9 with
+  | None -> Alcotest.fail "basis must exist for p=4 k=8 s=9"
+  | Some b ->
+      Alcotest.(check bool) "R = (4,1)" true (Point.equal b.Basis.r (point 4 1));
+      Alcotest.(check bool) "L = (5,-1)" true
+        (Point.equal b.Basis.l (point 5 (-1)));
+      Tutil.check_int "index of R (36/9)" 4 (Basis.index_of_r b);
+      Tutil.check_int "index of L (-27/9)" (-3) (Basis.index_of_l b);
+      Tutil.check_int "gap of R" 12 (Basis.gap b b.Basis.r);
+      Tutil.check_int "gap of -L" 3 (Basis.gap b (Point.neg b.Basis.l))
+
+let test_basis_none_when_d_ge_k () =
+  (* pk | s: d = pk >= k. *)
+  Alcotest.(check bool) "s = pk" true (Basis.construct ~p:4 ~k:8 ~s:32 = None);
+  Alcotest.(check bool) "s = 2pk" true (Basis.construct ~p:4 ~k:8 ~s:64 = None);
+  (* d = gcd(24, 32) = 8 = k. *)
+  Alcotest.(check bool) "d = k" true (Basis.construct ~p:4 ~k:8 ~s:24 = None);
+  (* k = 1: no offsets strictly inside (0, 1). *)
+  Alcotest.(check bool) "k = 1" true (Basis.construct ~p:4 ~k:1 ~s:3 = None)
+
+let test_next_step_example () =
+  (* §5's worked trace for p=4, k=8, s=9, m=1 starting at offset 13:
+     visited offsets 13 8 12 11 15 10 14 9 then back to 13. *)
+  match Basis.construct ~p:4 ~k:8 ~s:9 with
+  | None -> Alcotest.fail "basis must exist"
+  | Some b ->
+      let expected = [ 13; 8; 12; 11; 15; 10; 14; 9; 13 ] in
+      let rec walk acc offset n =
+        if n = 0 then List.rev acc
+        else begin
+          let step = Basis.next_step b ~proc:1 ~offset in
+          let next = offset + step.Point.b in
+          walk (next :: acc) next (n - 1)
+        end
+      in
+      Tutil.check_int_list "offset walk" expected (13 :: walk [] 13 8);
+      Alcotest.check_raises "offset outside window"
+        (Invalid_argument "Basis.next_step: offset outside the processor's window")
+        (fun () -> ignore (Basis.next_step b ~proc:1 ~offset:7))
+
+let test_fold_region () =
+  (* All lattice points with offsets [0, 32) and rows [0, 9) are exactly
+     the canonical points of indices 0..31 (one full cycle for s=9,
+     rows 0..8). *)
+  let pts =
+    Section_lattice.fold_region lat_32_9 ~b_lo:0 ~b_hi:32 ~a_lo:0 ~a_hi:9
+      ~init:[] ~f:(fun acc p i -> (p, i) :: acc)
+  in
+  Tutil.check_int "count" 32 (List.length pts);
+  List.iter
+    (fun (p, i) ->
+      Alcotest.(check bool) "member" true (Section_lattice.mem lat_32_9 p);
+      Alcotest.(check bool) "canonical" true
+        (Point.equal p (Section_lattice.point_of_index lat_32_9 i)))
+    pts
+
+let gen_lat =
+  QCheck2.Gen.(
+    let* p, k, s = Tutil.gen_pks in
+    return (p * k, s))
+
+let prop_point_index_roundtrip =
+  Tutil.qtest "point_of_index/index_of roundtrip"
+    QCheck2.Gen.(tup2 gen_lat (int_range (-500) 500))
+    (fun ((row_len, s), i) ->
+      let lat = Section_lattice.create ~row_len ~stride:s in
+      Section_lattice.index_of lat (Section_lattice.point_of_index lat i)
+      = Some i)
+
+let prop_lattice_closed_under_sub =
+  Tutil.qtest "lattice closed under subtraction (Theorem 1)"
+    QCheck2.Gen.(tup3 gen_lat (int_range (-300) 300) (int_range (-300) 300))
+    (fun ((row_len, s), i1, i2) ->
+      let lat = Section_lattice.create ~row_len ~stride:s in
+      let p1 = Section_lattice.point_of_index lat i1
+      and p2 = Section_lattice.point_of_index lat i2 in
+      Section_lattice.mem lat (Point.sub p1 p2))
+
+let prop_rl_basis =
+  Tutil.qtest "constructed R,L form a basis with |det| = s"
+    Tutil.gen_pks
+    (fun (p, k, s) ->
+      match Basis.construct ~p ~k ~s with
+      | None -> Lams_numeric.Euclid.gcd s (p * k) >= k
+      | Some b ->
+          let lat = Basis.lattice b in
+          Section_lattice.is_basis lat b.Basis.r b.Basis.l
+          && b.Basis.r.Point.b > 0
+          && b.Basis.r.Point.b < k
+          && b.Basis.r.Point.a >= 0
+          && b.Basis.l.Point.b > 0
+          && b.Basis.l.Point.b < k
+          && b.Basis.l.Point.a < 0)
+
+let prop_rl_extremal =
+  (* R corresponds to the smallest positive section index with offset in
+     (0, k); L to the largest in the initial cycle, relative to the next
+     cycle's first point — check extremality directly on the lattice. *)
+  Tutil.qtest "R minimal / L maximal among offsets in (0,k)" ~count:100
+    Tutil.gen_pks
+    (fun (p, k, s) ->
+      match Basis.construct ~p ~k ~s with
+      | None -> true
+      | Some b ->
+          let d = Lams_numeric.Euclid.gcd s (p * k) in
+          let cycle = p * k / d in
+          let ir = Basis.index_of_r b and il = Basis.index_of_l b in
+          let ok = ref (ir >= 1 && il <= -1) in
+          (* Scan all indices in one cycle. *)
+          for i = 1 to cycle - 1 do
+            let pt = Section_lattice.point_of_index (Basis.lattice b) i in
+            if pt.Point.b > 0 && pt.Point.b < k then begin
+              if i < ir then ok := false;
+              (* As a negative index: i - cycle; L must be the largest. *)
+              if i - cycle > il then ok := false
+            end
+          done;
+          !ok)
+
+let prop_primitivity =
+  Tutil.qtest "basis members are primitive segments"
+    Tutil.gen_pks
+    (fun (p, k, s) ->
+      match Basis.construct ~p ~k ~s with
+      | None -> true
+      | Some b ->
+          let lat = Basis.lattice b in
+          Section_lattice.primitive_of_index lat (Basis.index_of_r b)
+          && Section_lattice.primitive_of_index lat (Basis.index_of_l b))
+
+(* --- Lagrange-Gauss reduction --- *)
+
+let test_gauss_known () =
+  (* The R/L basis of the running example reduces to shorter vectors. *)
+  let r = point 4 1 and l = point 5 (-1) in
+  let u, v = Reduction.gauss r l in
+  Tutil.check_bool "reduced" true (Reduction.is_reduced u v);
+  Tutil.check_int "same covolume" 9 (abs (Point.det u v));
+  (* Shortest vector of the s=9, pk=32 lattice: (-1, 2) has norm² 5. *)
+  Tutil.check_int "shortest norm2" 5 (Reduction.norm2 u);
+  Alcotest.check_raises "dependent rejected"
+    (Invalid_argument "Reduction.gauss: vectors are linearly dependent")
+    (fun () -> ignore (Reduction.gauss (point 2 4) (point 1 2)))
+
+let prop_gauss_reduces =
+  Tutil.qtest ~count:300 "gauss output is reduced and spans the same lattice"
+    QCheck2.Gen.(
+      tup4 (int_range (-50) 50) (int_range (-50) 50) (int_range (-50) 50)
+        (int_range (-50) 50))
+    (fun (b1, a1, b2, a2) ->
+      let u = point b1 a1 and v = point b2 a2 in
+      if Point.det u v = 0 then true
+      else begin
+        let u', v' = Reduction.gauss u v in
+        Reduction.is_reduced u' v'
+        && abs (Point.det u' v') = abs (Point.det u v)
+        (* Both new vectors are integer combinations of the old and vice
+           versa: |det| preserved is necessary and (in rank 2, with both
+           inside the original lattice) sufficient; check membership via
+           Cramer. *)
+        && (let inside w =
+              let d = Point.det u v in
+              Point.det w v mod d = 0 && Point.det u w mod d = 0
+            in
+            inside u' && inside v')
+      end)
+
+let prop_gauss_shortest =
+  Tutil.qtest ~count:100 "gauss finds the shortest vector (small instances)"
+    QCheck2.Gen.(
+      tup4 (int_range (-8) 8) (int_range (-8) 8) (int_range (-8) 8)
+        (int_range (-8) 8))
+    (fun (b1, a1, b2, a2) ->
+      let u = point b1 a1 and v = point b2 a2 in
+      if Point.det u v = 0 then true
+      else begin
+        let best = ref max_int in
+        for x = -12 to 12 do
+          for y = -12 to 12 do
+            if x <> 0 || y <> 0 then begin
+              let w = Point.add (Point.scale x u) (Point.scale y v) in
+              let n = Reduction.norm2 w in
+              if n < !best then best := n
+            end
+          done
+        done;
+        (* The brute scan over a bounded window is a valid upper bound for
+           the shortest vector; gauss must match it. *)
+        Reduction.shortest_vector_norm2 u v <= !best
+        &&
+        (* and gauss's vector really is in the lattice, so >= shortest: *)
+        Reduction.shortest_vector_norm2 u v >= min !best (Reduction.norm2 u)
+      end)
+
+let suite =
+  [ Alcotest.test_case "point algebra" `Quick test_point_algebra;
+    Alcotest.test_case "Lagrange-Gauss reduction (known)" `Quick
+      test_gauss_known;
+    prop_gauss_reduces;
+    prop_gauss_shortest;
+    Alcotest.test_case "membership (Figure 2 vectors)" `Quick
+      test_membership_figure2;
+    Alcotest.test_case "canonical points" `Quick test_point_of_index;
+    Alcotest.test_case "basis test (Figure 2)" `Quick test_is_basis_figure2;
+    Alcotest.test_case "R/L on the paper example" `Quick
+      test_basis_paper_example;
+    Alcotest.test_case "degenerate: no basis when d >= k" `Quick
+      test_basis_none_when_d_ge_k;
+    Alcotest.test_case "Theorem 3 walk (Figure 6 offsets)" `Quick
+      test_next_step_example;
+    Alcotest.test_case "fold_region enumerates a full cycle" `Quick
+      test_fold_region;
+    prop_point_index_roundtrip;
+    prop_lattice_closed_under_sub;
+    prop_rl_basis;
+    prop_rl_extremal;
+    prop_primitivity ]

@@ -1,0 +1,511 @@
+open Lams_dist
+open Lams_multidim
+
+(* --- Md_array --- *)
+
+let grid_2x2 = Proc_grid.create [| 2; 2 |]
+
+let md_16x12 =
+  Md_array.create ~dims:[| 16; 12 |]
+    ~dists:[| Distribution.Block_cyclic 2; Distribution.Block_cyclic 3 |]
+    ~grid:grid_2x2
+
+let test_md_ownership () =
+  (* dim 0: cyclic(2) on 2 procs: index 5 -> (5 mod 4)/2 = 0;
+     dim 1: cyclic(3) on 2 procs: index 7 -> (7 mod 6)/3 = 0. *)
+  Tutil.check_int_array "coords of (5,7)" [| 0; 0 |]
+    (Md_array.owner_coords md_16x12 [| 5; 7 |]);
+  Tutil.check_int "rank" 0 (Md_array.owner_rank md_16x12 [| 5; 7 |]);
+  Tutil.check_int_array "coords of (2,3)" [| 1; 1 |]
+    (Md_array.owner_coords md_16x12 [| 2; 3 |])
+
+let test_md_extents () =
+  (* dim 0: 16 elements cyclic(2) over 2 procs -> 8 each;
+     dim 1: 12 elements cyclic(3) over 2 procs -> 6 each. *)
+  Array.iter
+    (fun coords ->
+      Tutil.check_int_array "extents" [| 8; 6 |]
+        (Md_array.local_extents md_16x12 ~coords);
+      Tutil.check_int "size" 48 (Md_array.local_size md_16x12 ~coords))
+    [| [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] |]
+
+let test_md_local_address_bijective () =
+  (* Across each node, local addresses of owned elements are exactly
+     0 .. local_size-1. *)
+  for c0 = 0 to 1 do
+    for c1 = 0 to 1 do
+      let coords = [| c0; c1 |] in
+      let seen = Hashtbl.create 64 in
+      for i = 0 to 15 do
+        for j = 0 to 11 do
+          let idx = [| i; j |] in
+          if Md_array.owner_coords md_16x12 idx = coords then begin
+            let a = Md_array.local_address md_16x12 ~coords idx in
+            Tutil.check_bool "fresh" false (Hashtbl.mem seen a);
+            Hashtbl.add seen a ()
+          end
+        done
+      done;
+      Tutil.check_int "covered" 48 (Hashtbl.length seen)
+    done
+  done
+
+let test_md_traverse_against_filter () =
+  let sections =
+    [| Section.make ~lo:1 ~hi:14 ~stride:3; Section.make ~lo:0 ~hi:11 ~stride:2 |]
+  in
+  for c0 = 0 to 1 do
+    for c1 = 0 to 1 do
+      let coords = [| c0; c1 |] in
+      (* Expected: row-major filter of the Cartesian product. *)
+      let expected = ref [] in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              let idx = [| i; j |] in
+              if Md_array.owner_coords md_16x12 idx = coords then
+                expected :=
+                  (i, j, Md_array.local_address md_16x12 ~coords idx)
+                  :: !expected)
+            (Section.to_list sections.(1)))
+        (Section.to_list sections.(0));
+      let expected = List.rev !expected in
+      let got = ref [] in
+      Md_array.traverse_owned md_16x12 ~sections ~coords
+        ~f:(fun ~global ~local ->
+          got := (global.(0), global.(1), local) :: !got);
+      let got = List.rev !got in
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "node (%d,%d)" c0 c1)
+        expected got
+    done
+  done
+
+let test_md_inner_gap_table () =
+  let sections =
+    [| Section.make ~lo:0 ~hi:15 ~stride:1; Section.make ~lo:0 ~hi:11 ~stride:2 |]
+  in
+  let t = Md_array.inner_gap_table md_16x12 ~sections ~coords:[| 0; 0 |] in
+  Tutil.check_bool "non-empty" true (t.Lams_core.Access_table.length > 0)
+
+let test_md_rank_mismatch () =
+  Alcotest.check_raises "bad rank"
+    (Invalid_argument "Md_array.owner_coords: rank mismatch") (fun () ->
+      ignore (Md_array.owner_coords md_16x12 [| 1 |]))
+
+let prop_md_traverse_count =
+  Tutil.qtest ~count:60 "traverse visits each owned element exactly once"
+    QCheck2.Gen.(
+      let* p0 = int_range 1 3 and* p1 = int_range 1 3 in
+      let* k0 = int_range 1 4 and* k1 = int_range 1 4 in
+      let* s0 = int_range 1 4 and* s1 = int_range 1 4 in
+      return (p0, p1, k0, k1, s0, s1))
+    (fun (p0, p1, k0, k1, s0, s1) ->
+      let dims = [| 12; 10 |] in
+      let md =
+        Md_array.create ~dims
+          ~dists:[| Distribution.Block_cyclic k0; Distribution.Block_cyclic k1 |]
+          ~grid:(Proc_grid.create [| p0; p1 |])
+      in
+      let sections =
+        [| Section.make ~lo:0 ~hi:11 ~stride:s0;
+           Section.make ~lo:1 ~hi:9 ~stride:s1 |]
+      in
+      if Section.is_empty sections.(1) then true
+      else begin
+        let total = ref 0 in
+        for c0 = 0 to p0 - 1 do
+          for c1 = 0 to p1 - 1 do
+            Md_array.traverse_owned md ~sections ~coords:[| c0; c1 |]
+              ~f:(fun ~global:_ ~local:_ -> incr total)
+          done
+        done;
+        !total = Section.count sections.(0) * Section.count sections.(1)
+      end)
+
+(* --- Md_store --- *)
+
+let test_md_store_roundtrip () =
+  let t =
+    Md_store.create ~dims:[| 9; 7 |]
+      ~dists:[| Distribution.Block_cyclic 2; Distribution.Cyclic |]
+      ~grid:(Proc_grid.create [| 2; 3 |])
+  in
+  Md_store.init t ~f:(fun idx -> float_of_int ((idx.(0) * 100) + idx.(1)));
+  for i = 0 to 8 do
+    for j = 0 to 6 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "(%d,%d)" i j)
+        (float_of_int ((i * 100) + j))
+        (Md_store.get t [| i; j |])
+    done
+  done;
+  (* gather is row-major. *)
+  let g = Md_store.gather t in
+  Alcotest.(check (float 0.)) "gather idx" 203. g.((2 * 7) + 3)
+
+let test_md_store_section_ops () =
+  let t =
+    Md_store.create ~dims:[| 12; 10 |]
+      ~dists:[| Distribution.Block_cyclic 3; Distribution.Block_cyclic 2 |]
+      ~grid:(Proc_grid.create [| 2; 2 |])
+  in
+  let sections =
+    [| Section.make ~lo:0 ~hi:11 ~stride:2; Section.make ~lo:1 ~hi:9 ~stride:3 |]
+  in
+  Md_store.fill_section t ~sections 5.;
+  (* 6 rows x 3 cols = 18 cells at 5. *)
+  Alcotest.(check (float 1e-9)) "sum" 90. (Md_store.sum_section t ~sections);
+  Md_store.map_section t ~sections ~f:(fun v -> v +. 1.);
+  Alcotest.(check (float 1e-9)) "sum after map" 108.
+    (Md_store.sum_section t ~sections);
+  (* Off-section cells untouched. *)
+  Alcotest.(check (float 0.)) "off" 0. (Md_store.get t [| 1; 1 |]);
+  (* Reference check against a dense model. *)
+  let model = Array.make_matrix 12 10 0. in
+  Section.iter (Section.normalize sections.(0)) ~f:(fun i ->
+      Section.iter (Section.normalize sections.(1)) ~f:(fun j ->
+          model.(i).(j) <- 6.));
+  for i = 0 to 11 do
+    for j = 0 to 9 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "model (%d,%d)" i j)
+        model.(i).(j)
+        (Md_store.get t [| i; j |])
+    done
+  done
+
+(* --- Aligned --- *)
+
+let test_aligned_identity_matches_plain () =
+  (* With the identity alignment, packed addresses are ordinary local
+     addresses. *)
+  let t =
+    Aligned.create ~p:4 ~k:8 ~align:Alignment.identity ~array_size:320
+  in
+  let lay = Layout.create ~p:4 ~k:8 in
+  for i = 0 to 319 do
+    let m = Aligned.owner t i in
+    Tutil.check_int "owner" (Layout.owner lay i) m;
+    Alcotest.(check (option int))
+      (Printf.sprintf "addr %d" i)
+      (Some (Layout.local_address lay i))
+      (Aligned.packed_address t ~m i)
+  done
+
+let brute_packed t ~m =
+  (* All array indices owned by m, in template-cell order, so position in
+     this list = packed address. *)
+  let cells = ref [] in
+  for i = 0 to t.Aligned.array_size - 1 do
+    if Aligned.owner t i = m then cells := i :: !cells
+  done;
+  (* Ascending template-cell order = ascending cell value. *)
+  List.sort
+    (fun i1 i2 ->
+      compare (Alignment.apply t.Aligned.align i1) (Alignment.apply t.Aligned.align i2))
+    (List.rev !cells)
+
+let test_aligned_packed_addresses () =
+  let align = Alignment.make ~scale:2 ~offset:1 in
+  let t = Aligned.create ~p:4 ~k:8 ~align ~array_size:150 in
+  Tutil.check_int "template extent" 300 (Aligned.template_extent t);
+  for m = 0 to 3 do
+    let owned = brute_packed t ~m in
+    Tutil.check_int "packed count" (List.length owned) (Aligned.packed_count t ~m);
+    List.iteri
+      (fun rank i ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "m=%d i=%d" m i)
+          (Some rank)
+          (Aligned.packed_address t ~m i))
+      owned
+  done
+
+let test_aligned_traverse_and_gaps () =
+  let align = Alignment.make ~scale:3 ~offset:2 in
+  let t = Aligned.create ~p:3 ~k:4 ~align ~array_size:100 in
+  let section = Section.make ~lo:1 ~hi:97 ~stride:4 in
+  for m = 0 to 2 do
+    (* Reference: section elements owned by m in ascending cell order with
+       their packed ranks. *)
+    let want =
+      List.filter (Section.mem section) (brute_packed t ~m)
+      |> List.map (fun i -> (i, Option.get (Aligned.packed_address t ~m i)))
+    in
+    let got = List.of_seq (Aligned.traverse t ~section ~m) in
+    Alcotest.(check (list (pair int int))) (Printf.sprintf "traverse m=%d" m)
+      want got;
+    (* Gap table periodicity: gaps over the first two periods match. *)
+    let table = Aligned.gap_table t ~section ~m in
+    let len = table.Lams_core.Access_table.length in
+    if len > 0 && List.length got > len + 1 then begin
+      let arr = Array.of_list (List.map snd got) in
+      for j = 0 to min (len + 3) (Array.length arr - 2) do
+        Tutil.check_int
+          (Printf.sprintf "gap m=%d j=%d" m j)
+          table.Lams_core.Access_table.gaps.(j mod len)
+          (arr.(j + 1) - arr.(j))
+      done
+    end
+  done
+
+let prop_aligned_consistent =
+  Tutil.qtest ~count:60 "aligned traversal matches brute force"
+    QCheck2.Gen.(
+      let* p = int_range 1 5 in
+      let* k = int_range 1 6 in
+      let* scale = int_range 1 4 in
+      let* offset = int_range 0 6 in
+      let* n = int_range 2 60 in
+      let* s = int_range 1 5 in
+      let* m = int_range 0 (p - 1) in
+      return (p, k, scale, offset, n, s, m))
+    ~print:(fun (p, k, scale, offset, n, s, m) ->
+      Printf.sprintf "p=%d k=%d align=%d*i+%d n=%d s=%d m=%d" p k scale offset n s m)
+    (fun (p, k, scale, offset, n, s, m) ->
+      let align = Alignment.make ~scale ~offset in
+      let t = Aligned.create ~p ~k ~align ~array_size:n in
+      let section = Section.make ~lo:0 ~hi:(n - 1) ~stride:s in
+      let want =
+        List.filter (Section.mem section) (brute_packed t ~m)
+        |> List.map (fun i -> (i, Option.get (Aligned.packed_address t ~m i)))
+      in
+      List.of_seq (Aligned.traverse t ~section ~m) = want)
+
+let test_aligned_create_validation () =
+  Alcotest.check_raises "negative cells"
+    (Invalid_argument "Aligned.create: alignment maps below template cell 0")
+    (fun () ->
+      ignore
+        (Aligned.create ~p:2 ~k:4
+           ~align:(Alignment.make ~scale:1 ~offset:(-5))
+           ~array_size:10))
+
+(* --- Diagonal sections (§8 future work) --- *)
+
+let diag_brute md spec ~coords =
+  (* Positions j where every dimension is owned by coords. *)
+  let rank = Array.length coords in
+  List.filter
+    (fun j ->
+      let idx =
+        Array.init rank (fun d ->
+            spec.Diagonal.start.(d) + (j * spec.Diagonal.steps.(d)))
+      in
+      Md_array.owner_coords md idx = coords)
+    (List.init spec.Diagonal.count Fun.id)
+
+let test_diagonal_main () =
+  let spec = Diagonal.make ~start:[| 0; 0 |] ~steps:[| 1; 1 |] ~count:12 in
+  Tutil.check_bool "in bounds" true (Diagonal.in_bounds md_16x12 spec);
+  let total = ref 0 in
+  for c0 = 0 to 1 do
+    for c1 = 0 to 1 do
+      let coords = [| c0; c1 |] in
+      let want = diag_brute md_16x12 spec ~coords in
+      let got =
+        List.concat_map Diagonal.positions (Diagonal.owned_runs md_16x12 spec ~coords)
+        |> List.sort compare
+      in
+      Tutil.check_int_list (Printf.sprintf "node (%d,%d)" c0 c1) want got;
+      Tutil.check_int "count" (List.length want)
+        (Diagonal.count_owned md_16x12 spec ~coords);
+      total := !total + List.length want;
+      (* iter_owned agrees with local addressing. *)
+      Diagonal.iter_owned md_16x12 spec ~coords ~f:(fun ~j ~global ~local ->
+          Tutil.check_bool "j owned" true (List.mem j want);
+          Tutil.check_int "local" (Md_array.local_address md_16x12 ~coords global) local)
+    done
+  done;
+  Tutil.check_int "partition" 12 !total
+
+let test_diagonal_validation () =
+  Alcotest.check_raises "zero step" (Invalid_argument "Diagonal.make: zero step")
+    (fun () -> ignore (Diagonal.make ~start:[| 0; 0 |] ~steps:[| 1; 0 |] ~count:3));
+  let off = Diagonal.make ~start:[| 10; 0 |] ~steps:[| 1; 1 |] ~count:12 in
+  Tutil.check_bool "out of bounds detected" false (Diagonal.in_bounds md_16x12 off);
+  Alcotest.check_raises "runs reject oob"
+    (Invalid_argument "Diagonal.owned_runs: diagonal leaves the array")
+    (fun () -> ignore (Diagonal.owned_runs md_16x12 off ~coords:[| 0; 0 |]))
+
+let prop_diagonal_matches_brute =
+  Tutil.qtest ~count:80 "diagonal runs = brute force"
+    QCheck2.Gen.(
+      let* p0 = int_range 1 3 and* p1 = int_range 1 3 in
+      let* k0 = int_range 1 4 and* k1 = int_range 1 4 in
+      let* u0 = oneof [ int_range (-3) (-1); int_range 1 3 ] in
+      let* u1 = oneof [ int_range (-3) (-1); int_range 1 3 ] in
+      let* count = int_range 1 15 in
+      return (p0, p1, k0, k1, u0, u1, count))
+    ~print:(fun (p0, p1, k0, k1, u0, u1, count) ->
+      Printf.sprintf "grid=(%d,%d) k=(%d,%d) u=(%d,%d) count=%d" p0 p1 k0 k1 u0
+        u1 count)
+    (fun (p0, p1, k0, k1, u0, u1, count) ->
+      let dim0 = 1 + (abs u0 * count) and dim1 = 1 + (abs u1 * count) in
+      let md =
+        Md_array.create ~dims:[| dim0; dim1 |]
+          ~dists:[| Distribution.Block_cyclic k0; Distribution.Block_cyclic k1 |]
+          ~grid:(Proc_grid.create [| p0; p1 |])
+      in
+      let r0 = if u0 > 0 then 0 else dim0 - 1
+      and r1 = if u1 > 0 then 0 else dim1 - 1 in
+      let spec = Diagonal.make ~start:[| r0; r1 |] ~steps:[| u0; u1 |] ~count in
+      let ok = ref (Diagonal.in_bounds md spec) in
+      for c0 = 0 to p0 - 1 do
+        for c1 = 0 to p1 - 1 do
+          let coords = [| c0; c1 |] in
+          let want = diag_brute md spec ~coords in
+          let got =
+            List.concat_map Diagonal.positions (Diagonal.owned_runs md spec ~coords)
+            |> List.sort compare
+          in
+          if want <> got then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Trapezoidal sections (§8 future work) --- *)
+
+let trap_brute md spec ~coords =
+  let cells = ref [] in
+  Section.iter (Section.normalize spec.Trapezoid.rows) ~f:(fun row ->
+      match Trapezoid.row_columns spec row with
+      | None -> ()
+      | Some cols ->
+          Section.iter (Section.normalize cols) ~f:(fun col ->
+              if Md_array.owner_coords md [| row; col |] = coords then
+                cells := (row, col) :: !cells));
+  List.rev !cells
+
+let square_md ~n ~k0 ~k1 ~p0 ~p1 =
+  Md_array.create ~dims:[| n; n |]
+    ~dists:[| Distribution.Block_cyclic k0; Distribution.Block_cyclic k1 |]
+    ~grid:(Proc_grid.create [| p0; p1 |])
+
+let test_trapezoid_triangles () =
+  let n = 12 in
+  let md = square_md ~n ~k0:2 ~k1:3 ~p0:2 ~p1:2 in
+  List.iter
+    (fun (name, spec) ->
+      Tutil.check_bool (name ^ " bounds") true (Trapezoid.in_bounds md spec);
+      Tutil.check_int
+        (name ^ " cells")
+        (n * (n + 1) / 2)
+        (Trapezoid.total_cells spec);
+      let covered = ref 0 in
+      for c0 = 0 to 1 do
+        for c1 = 0 to 1 do
+          let coords = [| c0; c1 |] in
+          let want = trap_brute md spec ~coords in
+          let got = ref [] in
+          Trapezoid.iter_owned md spec ~coords ~f:(fun ~row ~col ~local ->
+              Tutil.check_int "local" (Md_array.local_address md ~coords [| row; col |]) local;
+              got := (row, col) :: !got);
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s node (%d,%d)" name c0 c1)
+            want (List.rev !got);
+          Tutil.check_int (name ^ " count") (List.length want)
+            (Trapezoid.count_owned md spec ~coords);
+          covered := !covered + List.length want
+        done
+      done;
+      Tutil.check_int (name ^ " partition") (Trapezoid.total_cells spec) !covered)
+    [ ("lower", Trapezoid.lower_triangle ~n); ("upper", Trapezoid.upper_triangle ~n) ]
+
+let test_trapezoid_strided_band () =
+  (* A tilted band with stride 2 columns: rows 2..10 step 2,
+     columns from i-2 to i+3 step 2. *)
+  let md = square_md ~n:16 ~k0:3 ~k1:2 ~p0:2 ~p1:3 in
+  let spec =
+    Trapezoid.make
+      ~rows:(Section.make ~lo:2 ~hi:10 ~stride:2)
+      ~col_lo:(Trapezoid.bound ~scale:1 ~offset:(-2))
+      ~col_hi:(Trapezoid.bound ~scale:1 ~offset:3)
+      ~col_stride:2 ()
+  in
+  Tutil.check_bool "bounds" true (Trapezoid.in_bounds md spec);
+  let covered = ref 0 in
+  for c0 = 0 to 1 do
+    for c1 = 0 to 2 do
+      let coords = [| c0; c1 |] in
+      let want = trap_brute md spec ~coords in
+      let got = ref [] in
+      Trapezoid.iter_owned md spec ~coords ~f:(fun ~row ~col ~local:_ ->
+          got := (row, col) :: !got);
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "node (%d,%d)" c0 c1)
+        want (List.rev !got);
+      covered := !covered + List.length want
+    done
+  done;
+  Tutil.check_int "partition" (Trapezoid.total_cells spec) !covered
+
+let prop_trapezoid_matches_brute =
+  Tutil.qtest ~count:50 "trapezoid traversal = brute force"
+    QCheck2.Gen.(
+      let* n = int_range 4 16 in
+      let* k0 = int_range 1 4 and* k1 = int_range 1 4 in
+      let* p0 = int_range 1 3 and* p1 = int_range 1 3 in
+      let* stride = int_range 1 3 in
+      let* lower = bool in
+      return (n, k0, k1, p0, p1, stride, lower))
+    (fun (n, k0, k1, p0, p1, stride, lower) ->
+      let md = square_md ~n ~k0 ~k1 ~p0 ~p1 in
+      let spec =
+        if lower then
+          Trapezoid.make ~rows:(Section.whole ~n)
+            ~col_lo:(Trapezoid.const 0)
+            ~col_hi:(Trapezoid.bound ~scale:1 ~offset:0)
+            ~col_stride:stride ()
+        else
+          Trapezoid.make ~rows:(Section.whole ~n)
+            ~col_lo:(Trapezoid.bound ~scale:1 ~offset:0)
+            ~col_hi:(Trapezoid.const (n - 1))
+            ~col_stride:stride ()
+      in
+      let ok = ref true in
+      for c0 = 0 to p0 - 1 do
+        for c1 = 0 to p1 - 1 do
+          let coords = [| c0; c1 |] in
+          let want = trap_brute md spec ~coords in
+          let got = ref [] in
+          Trapezoid.iter_owned md spec ~coords ~f:(fun ~row ~col ~local:_ ->
+              got := (row, col) :: !got);
+          if want <> List.rev !got then ok := false;
+          if List.length want <> Trapezoid.count_owned md spec ~coords then
+            ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "md ownership" `Quick test_md_ownership;
+    Alcotest.test_case "diagonal: main diagonal over 2x2 grid" `Quick
+      test_diagonal_main;
+    Alcotest.test_case "diagonal: validation" `Quick test_diagonal_validation;
+    Alcotest.test_case "trapezoid: triangles" `Quick test_trapezoid_triangles;
+    Alcotest.test_case "trapezoid: strided tilted band" `Quick
+      test_trapezoid_strided_band;
+    prop_diagonal_matches_brute;
+    prop_trapezoid_matches_brute;
+    Alcotest.test_case "md local extents" `Quick test_md_extents;
+    Alcotest.test_case "md local addressing is bijective" `Quick
+      test_md_local_address_bijective;
+    Alcotest.test_case "md traversal vs row-major filter" `Quick
+      test_md_traverse_against_filter;
+    Alcotest.test_case "md inner gap table" `Quick test_md_inner_gap_table;
+    Alcotest.test_case "md rank validation" `Quick test_md_rank_mismatch;
+    Alcotest.test_case "md store roundtrip" `Quick test_md_store_roundtrip;
+    Alcotest.test_case "md store section ops" `Quick test_md_store_section_ops;
+    Alcotest.test_case "aligned: identity = plain layout" `Quick
+      test_aligned_identity_matches_plain;
+    Alcotest.test_case "aligned: packed addresses" `Quick
+      test_aligned_packed_addresses;
+    Alcotest.test_case "aligned: traversal and gap periodicity" `Quick
+      test_aligned_traverse_and_gaps;
+    Alcotest.test_case "aligned: validation" `Quick
+      test_aligned_create_validation;
+    prop_md_traverse_count;
+    prop_aligned_consistent ]

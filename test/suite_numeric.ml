@@ -1,0 +1,214 @@
+open Lams_numeric
+
+let test_emod_ediv () =
+  Tutil.check_int "emod 7 3" 1 (Modular.emod 7 3);
+  Tutil.check_int "emod (-7) 3" 2 (Modular.emod (-7) 3);
+  Tutil.check_int "emod 7 (-3)" 1 (Modular.emod 7 (-3));
+  Tutil.check_int "emod (-7) (-3)" 2 (Modular.emod (-7) (-3));
+  Tutil.check_int "ediv (-7) 3" (-3) (Modular.ediv (-7) 3);
+  Tutil.check_int "ediv 7 3" 2 (Modular.ediv 7 3);
+  Alcotest.check_raises "emod by zero" Division_by_zero (fun () ->
+      ignore (Modular.emod 5 0))
+
+let test_floor_ceil_div () =
+  Tutil.check_int "floor_div 7 2" 3 (Modular.floor_div 7 2);
+  Tutil.check_int "floor_div (-7) 2" (-4) (Modular.floor_div (-7) 2);
+  Tutil.check_int "floor_div 7 (-2)" (-4) (Modular.floor_div 7 (-2));
+  Tutil.check_int "ceil_div 7 2" 4 (Modular.ceil_div 7 2);
+  Tutil.check_int "ceil_div (-7) 2" (-3) (Modular.ceil_div (-7) 2);
+  Tutil.check_int "ceil_div 6 2" 3 (Modular.ceil_div 6 2)
+
+let test_pow () =
+  Tutil.check_int "2^10" 1024 (Modular.pow 2 10);
+  Tutil.check_int "3^0" 1 (Modular.pow 3 0);
+  Tutil.check_int "7^3" 343 (Modular.pow 7 3);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Modular.pow: negative exponent") (fun () ->
+      ignore (Modular.pow 2 (-1)))
+
+let test_gcd_known () =
+  Tutil.check_int "gcd 12 18" 6 (Euclid.gcd 12 18);
+  Tutil.check_int "gcd 9 32*4" 1 (Euclid.gcd 9 128);
+  Tutil.check_int "gcd 0 5" 5 (Euclid.gcd 0 5);
+  Tutil.check_int "gcd 5 0" 5 (Euclid.gcd 5 0);
+  Tutil.check_int "gcd 0 0" 0 (Euclid.gcd 0 0);
+  Tutil.check_int "gcd (-12) 18" 6 (Euclid.gcd (-12) 18);
+  Tutil.check_int "lcm 4 6" 12 (Euclid.lcm 4 6);
+  Tutil.check_int "lcm 0 6" 0 (Euclid.lcm 0 6)
+
+let test_egcd_paper_example () =
+  (* Figure 5 trace with p = 4, k = 8, s = 9: EXTENDED-EUCLID(9, 32)
+     returns d = 1 and x = -7 (9 * -7 + 32 * 2 = -63 + 64 = 1). *)
+  let d, x, y = Euclid.egcd 9 32 in
+  Tutil.check_int "d" 1 d;
+  Tutil.check_int "bezout" 1 ((9 * x) + (32 * y));
+  Tutil.check_int "x" (-7) x;
+  Tutil.check_int "y" 2 y
+
+let test_modular_inverse () =
+  (match Euclid.modular_inverse 3 7 with
+  | Some x -> Tutil.check_int "3 * inv mod 7" 1 (3 * x mod 7)
+  | None -> Alcotest.fail "inverse of 3 mod 7 must exist");
+  Alcotest.(check (option int)) "no inverse of 4 mod 8" None
+    (Euclid.modular_inverse 4 8)
+
+let prop_gcd =
+  Tutil.qtest "gcd divides both and bezout holds"
+    QCheck2.Gen.(tup2 (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let d, x, y = Euclid.egcd a b in
+      let g = Euclid.gcd a b in
+      d = g
+      && (a * x) + (b * y) = d
+      && (d = 0 || (a mod d = 0 && b mod d = 0)))
+
+let prop_gcd_linearity =
+  Tutil.qtest "gcd(a+b, b) = gcd(a, b)"
+    QCheck2.Gen.(tup2 (int_range (-5000) 5000) (int_range (-5000) 5000))
+    (fun (a, b) -> Euclid.gcd (a + b) b = Euclid.gcd a b)
+
+let prop_euclid_steps_log =
+  (* Textbook bound: the number of division steps is at most
+     ~ log_phi(min(a,b)) + 2; we check a loose 3*log2 + 3 envelope. *)
+  Tutil.qtest "euclid step count is logarithmic"
+    QCheck2.Gen.(tup2 (int_range 1 1000000) (int_range 1 1000000))
+    (fun (a, b) ->
+      let steps = Euclid.steps a b in
+      let bound =
+        (3. *. (log (float_of_int (min a b)) /. log 2.)) +. 3.
+      in
+      float_of_int steps <= bound)
+
+let prop_emod_ediv =
+  Tutil.qtest "a = ediv*m + emod, 0 <= emod < |m|"
+    QCheck2.Gen.(
+      tup2 (int_range (-100000) 100000)
+        (oneof [ int_range (-500) (-1); int_range 1 500 ]))
+    (fun (a, m) ->
+      let q = Modular.ediv a m and r = Modular.emod a m in
+      a = (q * m) + r && r >= 0 && r < abs m)
+
+let prop_floor_ceil =
+  Tutil.qtest "floor_div <= exact <= ceil_div"
+    QCheck2.Gen.(
+      tup2 (int_range (-100000) 100000)
+        (oneof [ int_range (-500) (-1); int_range 1 500 ]))
+    (fun (a, b) ->
+      let f = Modular.floor_div a b and c = Modular.ceil_div a b in
+      let exact = float_of_int a /. float_of_int b in
+      float_of_int f <= exact && exact <= float_of_int c && c - f <= 1)
+
+let test_solve_known () =
+  (* 9j ≡ i (mod 32): for i = 13 the smallest j is 5 (9*5 = 45 = 32+13). *)
+  (match Diophantine.solve ~a:9 ~m:32 13 with
+  | Some { Diophantine.x0; period } ->
+      Tutil.check_int "x0" 5 x0;
+      Tutil.check_int "period" 32 period
+  | None -> Alcotest.fail "9j = 13 mod 32 must be solvable");
+  (* 6j ≡ 3 (mod 9): gcd 3 divides 3, solutions j = 2 + 3t. *)
+  (match Diophantine.solve ~a:6 ~m:9 3 with
+  | Some { Diophantine.x0; period } ->
+      Tutil.check_int "x0" 2 x0;
+      Tutil.check_int "period" 3 period
+  | None -> Alcotest.fail "6j = 3 mod 9 must be solvable");
+  Alcotest.(check bool)
+    "6j = 2 mod 9 unsolvable" true
+    (Diophantine.solve ~a:6 ~m:9 2 = None)
+
+let prop_solve =
+  Tutil.qtest "solve returns the least non-negative solution"
+    QCheck2.Gen.(
+      tup3 (int_range (-200) 200) (int_range 1 300) (int_range (-400) 400))
+    (fun (a, m, c) ->
+      match Diophantine.solve ~a ~m c with
+      | None ->
+          (* No x in [0, m) satisfies the congruence. *)
+          let ok = ref true in
+          for x = 0 to m - 1 do
+            if Modular.emod ((a * x) - c) m = 0 then ok := false
+          done;
+          !ok
+      | Some { Diophantine.x0; period } ->
+          Modular.emod ((a * x0) - c) m = 0
+          && x0 >= 0
+          && (x0 = 0
+             || not (Modular.emod ((a * (x0 - period)) - c) m = 0 && x0 - period >= 0))
+          && Modular.emod ((a * (x0 + period)) - c) m = 0)
+
+let prop_solve_bounds =
+  Tutil.qtest "smallest_at_least / largest_at_most bracket correctly"
+    QCheck2.Gen.(
+      tup4 (int_range 1 100) (int_range 1 200) (int_range (-300) 300)
+        (int_range 0 500))
+    (fun (a, m, c, bound) ->
+      match Diophantine.solve ~a ~m c with
+      | None -> true
+      | Some sol ->
+          let lo = Diophantine.smallest_at_least sol bound in
+          lo >= bound
+          && Modular.emod ((a * lo) - c) m = 0
+          && (lo - sol.Diophantine.period < bound)
+          &&
+          match Diophantine.largest_at_most sol bound with
+          | None -> sol.Diophantine.x0 > bound
+          | Some hi ->
+              hi <= bound && hi >= 0
+              && Modular.emod ((a * hi) - c) m = 0
+              && hi + sol.Diophantine.period > bound)
+
+let test_count_multiples () =
+  Tutil.check_int "multiples of 3 in [0,10)" 4
+    (Diophantine.count_multiples ~d:3 ~lo:0 ~hi:10);
+  Tutil.check_int "multiples of 3 in [1,10)" 3
+    (Diophantine.count_multiples ~d:3 ~lo:1 ~hi:10);
+  Tutil.check_int "multiples of 5 in [-7,3)" 2
+    (Diophantine.count_multiples ~d:5 ~lo:(-7) ~hi:3);
+  Tutil.check_int "empty interval" 0
+    (Diophantine.count_multiples ~d:2 ~lo:5 ~hi:5);
+  Tutil.check_int "reversed interval" 0
+    (Diophantine.count_multiples ~d:2 ~lo:9 ~hi:3)
+
+let prop_count_multiples =
+  Tutil.qtest "count_multiples agrees with direct enumeration"
+    QCheck2.Gen.(
+      tup3 (int_range 1 40) (int_range (-200) 200) (int_range (-200) 200))
+    (fun (d, a, b) ->
+      let lo = min a b and hi = max a b in
+      let direct = ref 0 in
+      for x = lo to hi - 1 do
+        if Modular.emod x d = 0 then incr direct
+      done;
+      Diophantine.count_multiples ~d ~lo ~hi = !direct)
+
+let prop_solve_linear =
+  Tutil.qtest "solve_linear solutions satisfy the equation"
+    QCheck2.Gen.(
+      tup3 (int_range (-100) 100) (int_range (-100) 100) (int_range (-500) 500))
+    (fun (a, b, c) ->
+      match Diophantine.solve_linear ~a ~b ~c with
+      | Some (x, y) -> (a * x) + (b * y) = c
+      | None ->
+          let d = Euclid.gcd a b in
+          (d = 0 && c <> 0) || (d <> 0 && c mod d <> 0))
+
+let suite =
+  [ Alcotest.test_case "emod/ediv basics" `Quick test_emod_ediv;
+    Alcotest.test_case "floor/ceil division" `Quick test_floor_ceil_div;
+    Alcotest.test_case "binary power" `Quick test_pow;
+    Alcotest.test_case "gcd/lcm known values" `Quick test_gcd_known;
+    Alcotest.test_case "egcd on the paper's example" `Quick
+      test_egcd_paper_example;
+    Alcotest.test_case "modular inverse" `Quick test_modular_inverse;
+    Alcotest.test_case "congruence solver known values" `Quick
+      test_solve_known;
+    Alcotest.test_case "count_multiples known values" `Quick
+      test_count_multiples;
+    prop_gcd;
+    prop_gcd_linearity;
+    prop_euclid_steps_log;
+    prop_emod_ediv;
+    prop_floor_ceil;
+    prop_solve;
+    prop_solve_bounds;
+    prop_count_multiples;
+    prop_solve_linear ]

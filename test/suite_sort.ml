@@ -1,0 +1,83 @@
+open Lams_sort
+
+let sorters =
+  [ ("insertion", Sorting.insertion);
+    ("quicksort", Sorting.quicksort);
+    ("merge", Sorting.merge);
+    ("radix_lsd", Sorting.radix_lsd ?bits_per_pass:None);
+    ("for_baseline", Sorting.for_baseline) ]
+
+let oracle a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let check_sorter name sort a =
+  let want = oracle a in
+  let got = Array.copy a in
+  sort got;
+  Alcotest.(check (array int)) name want got
+
+let test_known_inputs () =
+  let inputs =
+    [ [||]; [| 1 |]; [| 2; 1 |]; [| 5; 5; 5 |];
+      [| 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 |];
+      [| 0; 1; 2; 3; 4; 5 |];
+      [| 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7; 9; 3; 2; 3; 8; 4 |];
+      Array.init 200 (fun i -> (i * 7919) mod 257);
+      Array.init 100 (fun i -> 100 - i) ]
+  in
+  List.iter
+    (fun (name, sort) ->
+      List.iteri
+        (fun i a -> check_sorter (Printf.sprintf "%s #%d" name i) sort a)
+        inputs)
+    sorters
+
+let test_radix_negative_rejected () =
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Sorting.radix_lsd: negative key") (fun () ->
+      Sorting.radix_lsd [| 3; -1; 2 |]);
+  Alcotest.check_raises "bad bits"
+    (Invalid_argument "Sorting.radix_lsd: bits_per_pass outside [1, 24]")
+    (fun () -> Sorting.radix_lsd ~bits_per_pass:0 [| 1; 2 |])
+
+let test_is_sorted () =
+  Tutil.check_bool "empty" true (Sorting.is_sorted [||]);
+  Tutil.check_bool "single" true (Sorting.is_sorted [| 5 |]);
+  Tutil.check_bool "sorted" true (Sorting.is_sorted [| 1; 2; 2; 3 |]);
+  Tutil.check_bool "unsorted" false (Sorting.is_sorted [| 2; 1 |])
+
+let gen_array =
+  QCheck2.Gen.(array_size (int_range 0 500) (int_range 0 100000))
+
+let prop_sorts sort_name sort =
+  Tutil.qtest
+    (Printf.sprintf "%s sorts correctly" sort_name)
+    gen_array
+    (fun a ->
+      let got = Array.copy a in
+      sort got;
+      got = oracle a)
+
+let prop_radix_few_bits =
+  Tutil.qtest "radix with 4-bit digits" gen_array (fun a ->
+      let got = Array.copy a in
+      Sorting.radix_lsd ~bits_per_pass:4 got;
+      got = oracle a)
+
+let prop_merge_permutation =
+  Tutil.qtest "sorting preserves multiset" gen_array (fun a ->
+      let got = Array.copy a in
+      Sorting.merge got;
+      List.sort compare (Array.to_list got)
+      = List.sort compare (Array.to_list a))
+
+let suite =
+  [ Alcotest.test_case "known inputs, all sorters" `Quick test_known_inputs;
+    Alcotest.test_case "radix input validation" `Quick
+      test_radix_negative_rejected;
+    Alcotest.test_case "is_sorted" `Quick test_is_sorted;
+    prop_radix_few_bits;
+    prop_merge_permutation ]
+  @ List.map (fun (name, sort) -> prop_sorts name sort) sorters

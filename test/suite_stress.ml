@@ -1,0 +1,138 @@
+(* Larger and adversarial instances: parameter corners the small random
+   generators rarely reach — big block sizes, strides straddling pk, huge
+   strides, many processors. Brute force stays affordable because its cost
+   is O(pk/d) per processor, not O(u). *)
+
+open Lams_core
+
+let check_instance_subset pr ~procs =
+  List.iter
+    (fun m ->
+      let expected = Brute.gap_table pr ~m in
+      Alcotest.(check bool)
+        (Printf.sprintf "kns m=%d" m)
+        true
+        (Access_table.equal (Kns.gap_table pr ~m) expected);
+      Alcotest.(check bool)
+        (Printf.sprintf "chatterjee m=%d" m)
+        true
+        (Access_table.equal (Chatterjee.gap_table pr ~m) expected);
+      if Hiranandani.applicable pr then
+        Alcotest.(check bool)
+          (Printf.sprintf "hiranandani m=%d" m)
+          true
+          (Access_table.equal (Hiranandani.gap_table pr ~m) expected))
+    procs
+
+let test_large_block_sizes () =
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:32 ~k ~l:17 ~s in
+      check_instance_subset pr ~procs:[ 0; 1; 31 ])
+    [ (512, 7); (1024, 99); (2048, 12345); (512, 511); (1024, 1025) ]
+
+let test_stride_straddles_pk () =
+  (* s = pk - 1, pk, pk + 1, 2pk - 1, 2pk + 1: the sortedness corners of
+     §6.1 plus degenerate multiples. *)
+  let p = 32 and k = 64 in
+  let pk = p * k in
+  List.iter
+    (fun s ->
+      let pr = Problem.make ~p ~k ~l:3 ~s in
+      check_instance_subset pr ~procs:[ 0; 7; 31 ])
+    [ pk - 1; pk; pk + 1; (2 * pk) - 1; (2 * pk) + 1 ]
+
+let test_huge_strides () =
+  (* s far beyond pk: d governs everything. *)
+  List.iter
+    (fun s ->
+      let pr = Problem.make ~p:16 ~k:32 ~l:100 ~s in
+      check_instance_subset pr ~procs:[ 0; 5; 15 ])
+    [ 1_000_003 (* prime *); 1 lsl 20 (* huge power of two *); 999_424 ]
+
+let test_many_processors () =
+  List.iter
+    (fun p ->
+      let pr = Problem.make ~p ~k:16 ~l:0 ~s:37 in
+      check_instance_subset pr ~procs:[ 0; p / 2; p - 1 ])
+    [ 64; 128; 256 ]
+
+let test_k1_and_p1_corners () =
+  (* cyclic(1) and single-processor layouts at size. *)
+  check_instance_subset (Problem.make ~p:97 ~k:1 ~l:5 ~s:13) ~procs:[ 0; 50; 96 ];
+  check_instance_subset (Problem.make ~p:1 ~k:4096 ~l:9 ~s:313) ~procs:[ 0 ]
+
+let test_shapes_at_scale () =
+  (* 100k accesses through each node-code shape, verified by checksum
+     against the expected count. *)
+  let pr = Problem.make ~p:32 ~k:256 ~l:0 ~s:17 in
+  let u = 17 * ((32 * 100_000) - 1) in
+  match Lams_codegen.Plan.build pr ~m:3 ~u with
+  | None -> Alcotest.fail "plan must exist"
+  | Some plan ->
+      let expected = Lams_codegen.Plan.access_count plan in
+      Alcotest.(check bool) "plausible count" true (expected > 90_000);
+      List.iter
+        (fun shape ->
+          let mem = Array.make (Lams_codegen.Plan.local_extent_needed plan) 0. in
+          Lams_codegen.Shapes.assign shape plan mem 1.;
+          let written =
+            Array.fold_left (fun acc v -> if v = 1. then acc + 1 else acc) 0 mem
+          in
+          Tutil.check_int (Lams_codegen.Shapes.name shape) expected written)
+        Lams_codegen.Shapes.all
+
+let test_enumerate_long_traversal () =
+  (* The table-free enumerator over a long bounded traversal agrees with
+     the closed-form count and the AM-table replay. *)
+  let pr = Problem.make ~p:8 ~k:128 ~l:11 ~s:1023 in
+  let u = 11 + (1023 * 200_000) in
+  for m = 0 to 7 do
+    let count = ref 0 and last = ref min_int in
+    Enumerate.iter_bounded pr ~m ~u ~f:(fun g _local ->
+        Alcotest.(check bool) "ascending" true (g > !last);
+        last := g;
+        incr count);
+    Tutil.check_int
+      (Printf.sprintf "count m=%d" m)
+      (Start_finder.count_owned pr ~m ~u)
+      !count
+  done
+
+let test_points_bound_at_scale () =
+  List.iter
+    (fun (k, s) ->
+      let pr = Problem.make ~p:32 ~k ~l:0 ~s in
+      for m = 0 to 3 do
+        let _, stats = Kns.gap_table_with_stats pr ~m in
+        Alcotest.(check bool)
+          (Printf.sprintf "bound k=%d s=%d m=%d" k s m)
+          true
+          (stats.Kns.points_visited <= (2 * k) + 1)
+      done)
+    [ (4096, 8191); (4096, 4097); (2048, 3); (2048, 65535) ]
+
+let test_randomized_validation () =
+  (* The CLI's verify path: random instances, every algorithm against
+     brute force, larger parameter space than the qcheck generators. *)
+  match
+    Validate.check_random ~seed:77L ~trials:300 ~max_p:24 ~max_k:48
+      ~max_s:100_000
+  with
+  | None -> ()
+  | Some (pr, mm) ->
+      Alcotest.failf "mismatch on %a: %a" Problem.pp pr Validate.pp_mismatch mm
+
+let suite =
+  [ Alcotest.test_case "large block sizes" `Quick test_large_block_sizes;
+    Alcotest.test_case "randomized validation sweep" `Quick
+      test_randomized_validation;
+    Alcotest.test_case "strides straddling pk" `Quick test_stride_straddles_pk;
+    Alcotest.test_case "huge strides" `Quick test_huge_strides;
+    Alcotest.test_case "many processors" `Quick test_many_processors;
+    Alcotest.test_case "k=1 and p=1 corners" `Quick test_k1_and_p1_corners;
+    Alcotest.test_case "node code with 100k accesses" `Quick
+      test_shapes_at_scale;
+    Alcotest.test_case "long bounded enumeration" `Quick
+      test_enumerate_long_traversal;
+    Alcotest.test_case "2k+1 bound at k=4096" `Quick test_points_bound_at_scale ]

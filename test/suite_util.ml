@@ -1,0 +1,138 @@
+open Lams_util
+
+let test_prng_determinism () =
+  let g1 = Prng.create 42L and g2 = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 g1) (Prng.next_int64 g2)
+  done;
+  let g3 = Prng.create 43L in
+  Tutil.check_bool "different seed, different stream" true
+    (Prng.next_int64 (Prng.create 42L) <> Prng.next_int64 g3)
+
+let test_prng_bounds () =
+  let g = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    Tutil.check_bool "in [0,10)" true (v >= 0 && v < 10);
+    let w = Prng.int_in g (-5) 5 in
+    Tutil.check_bool "in [-5,5]" true (w >= -5 && w <= 5);
+    let f = Prng.float g 2.0 in
+    Tutil.check_bool "in [0,2)" true (f >= 0. && f < 2.)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_prng_split_copy () =
+  let g = Prng.create 1L in
+  let child = Prng.split g in
+  Tutil.check_bool "child independent" true
+    (Prng.next_int64 child <> Prng.next_int64 g);
+  let g2 = Prng.create 5L in
+  let c = Prng.copy g2 in
+  Alcotest.(check int64) "copy same next" (Prng.next_int64 g2) (Prng.next_int64 c)
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 9L in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle g b;
+  Tutil.check_bool "same multiset" true
+    (List.sort compare (Array.to_list b) = Array.to_list a)
+
+let test_stats_known () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.5) (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5.0 (Stats.percentile xs 1.);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile xs 0.25);
+  let s = Stats.summarize xs in
+  Tutil.check_int "n" 5 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "bad quantile"
+    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.percentile [| 1. |] 1.5))
+
+let prop_median_between =
+  Tutil.qtest "min <= median <= max"
+    QCheck2.Gen.(array_size (int_range 1 50) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let m = Stats.median xs in
+      let mn = Array.fold_left min infinity xs
+      and mx = Array.fold_left max neg_infinity xs in
+      mn <= m && m <= mx)
+
+let prop_percentile_monotone =
+  Tutil.qtest "percentile is monotone in q"
+    QCheck2.Gen.(
+      tup3
+        (array_size (int_range 1 50) (float_bound_inclusive 1000.))
+        (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    (fun (xs, q1, q2) ->
+      let lo = min q1 q2 and hi = max q1 q2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let test_timer_sanity () =
+  let t0 = Timer.now_ns () in
+  let x = ref 0 in
+  for i = 1 to 1000 do
+    x := !x + i
+  done;
+  let t1 = Timer.now_ns () in
+  Tutil.check_bool "monotonic" true (Int64.compare t1 t0 >= 0);
+  let _, us = Timer.time_us (fun () -> Sys.opaque_identity !x) in
+  Tutil.check_bool "non-negative" true (us >= 0.);
+  let best = Timer.best_of ~repeats:3 (fun () -> ()) in
+  Tutil.check_bool "best_of non-negative" true (best >= 0.)
+
+let test_ascii_table () =
+  let t = Ascii_table.create ~align:[ Ascii_table.Left; Ascii_table.Right ]
+      [ "name"; "value" ] in
+  Ascii_table.add_row t [ "alpha"; "1" ];
+  Ascii_table.add_separator t;
+  Ascii_table.add_row t [ "beta"; "22" ];
+  let s = Ascii_table.render t in
+  Tutil.check_bool "contains header" true
+    (String.length s > 0 && String.index_opt s '|' <> None);
+  let lines = String.split_on_char '\n' (String.trim s) in
+  (* header rule + header + rule + row + rule + row + rule = 7 lines *)
+  Tutil.check_int "line count" 7 (List.length lines);
+  List.iter
+    (fun l ->
+      Tutil.check_int "equal widths" (String.length (List.hd lines))
+        (String.length l))
+    lines
+
+let test_ascii_plot () =
+  let s =
+    Ascii_plot.plot ~title:"t" ~log_x:true
+      [ { Ascii_plot.label = "a"; marker = '*'; points = [ (1., 1.); (2., 4.) ] };
+        { Ascii_plot.label = "b"; marker = 'o'; points = [ (1., 2.); (2., 3.) ] } ]
+  in
+  Tutil.check_bool "has markers" true
+    (String.contains s '*' && String.contains s 'o');
+  Alcotest.check_raises "log of nonpositive"
+    (Invalid_argument "Ascii_plot.plot: log_x over non-positive x") (fun () ->
+      ignore
+        (Ascii_plot.plot ~title:"t" ~log_x:true
+           [ { Ascii_plot.label = "a"; marker = '*'; points = [ (0., 1.) ] } ]))
+
+let suite =
+  [ Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split/copy" `Quick test_prng_split_copy;
+    Alcotest.test_case "prng shuffle permutes" `Quick
+      test_prng_shuffle_permutes;
+    Alcotest.test_case "stats known values" `Quick test_stats_known;
+    Alcotest.test_case "stats input validation" `Quick test_stats_errors;
+    Alcotest.test_case "timer sanity" `Quick test_timer_sanity;
+    Alcotest.test_case "ascii table" `Quick test_ascii_table;
+    Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
+    prop_median_between;
+    prop_percentile_monotone ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "lams"
+    [ ("util", Suite_util.suite);
+      ("numeric", Suite_numeric.suite);
+      ("lattice", Suite_lattice.suite);
+      ("sort", Suite_sort.suite);
+      ("dist", Suite_dist.suite);
+      ("core", Suite_core.suite);
+      ("codegen", Suite_codegen.suite);
+      ("sim", Suite_sim.suite);
+      ("multidim", Suite_multidim.suite);
+      ("hpf", Suite_hpf.suite);
+      ("stress", Suite_stress.suite);
+      ("errors", Suite_errors.suite) ]

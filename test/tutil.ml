@@ -1,0 +1,40 @@
+(* Shared helpers for the test suites. *)
+
+let qtest ?(count = 200) name gen ?print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_int_list = Alcotest.(check (list int))
+let check_int_array = Alcotest.(check (array int))
+
+(* Generators for problem-shaped inputs. Sizes stay modest so the
+   brute-force oracles remain fast, but cover the degenerate corners the
+   paper calls out: p = 1, k = 1, pk | s, d >= k, s > pk, l > pk, ... *)
+let gen_pks =
+  QCheck2.Gen.(
+    let* p = int_range 1 12 in
+    let* k = int_range 1 24 in
+    let* s = int_range 1 (4 * p * k) in
+    return (p, k, s))
+
+let gen_problem =
+  QCheck2.Gen.(
+    let* p, k, s = gen_pks in
+    let* l = int_range 0 (3 * p * k) in
+    return (p, k, l, s))
+
+let gen_problem_with_proc =
+  QCheck2.Gen.(
+    let* ((p, _, _, _) as pksl) = gen_problem in
+    let* m = int_range 0 (p - 1) in
+    return (pksl, m))
+
+let print_problem (p, k, l, s) = Printf.sprintf "p=%d k=%d l=%d s=%d" p k l s
+
+let print_problem_with_proc (pksl, m) =
+  Printf.sprintf "%s m=%d" (print_problem pksl) m
+
+let problem_of (p, k, l, s) = Lams_core.Problem.make ~p ~k ~l ~s
+let k_of (_, k, _, _) = k
+let s_of (_, _, _, s) = s
