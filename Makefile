@@ -1,0 +1,29 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all check test bench smoke doc clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+# CI entry point: full build, full test suite, then the metrics smoke
+# (an instrumented `lams metrics` / `lams verify --metrics` run, see
+# bin/dune) so the observability path is exercised end to end.
+check:
+	dune build @all
+	dune runtest
+	dune build @smoke
+
+smoke:
+	dune build @smoke
+
+bench:
+	dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -5,11 +5,64 @@
      layout    draw the block-cyclic layout with a section marked
      emit-c    print the generated node code for a processor
      verify    randomized cross-validation of all algorithms
-     run       compile and execute a mini-HPF source file *)
+     run       compile and execute a mini-HPF source file
+     metrics   run a demo workload and print the observability counters
+
+   The table-building subcommands accept --metrics / --metrics-json to
+   enable the lib/obs registry around the command and dump it after. *)
 
 open Cmdliner
 open Lams_core
 open Lams_dist
+
+(* --- Observability plumbing --- *)
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the observability registry for the duration of the \
+           command and print the metric table afterwards.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Enable the observability registry and write a JSON snapshot to \
+           $(docv) ($(b,-) for standard output) when the command finishes.")
+
+(* Returns an exit code: failing to write a snapshot the user asked for
+   is an error, not an internal crash. *)
+let dump_metrics_json json snap =
+  match json with
+  | None -> 0
+  | Some "-" ->
+      print_string (Lams_obs.Obs.to_json snap);
+      0
+  | Some file -> (
+      try
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc (Lams_obs.Obs.to_json snap));
+        0
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write metrics JSON: %s\n" msg;
+        1)
+
+(* Wrap a command body: enable recording if either output was requested,
+   run, then render the snapshot. *)
+let with_metrics ~metrics ~json f =
+  if not metrics && json = None then f ()
+  else begin
+    Lams_obs.Obs.set_enabled true;
+    let code = f () in
+    let snap = Lams_obs.Obs.snapshot () in
+    if metrics then print_string (Lams_obs.Obs.render snap);
+    let wcode = dump_metrics_json json snap in
+    if code = 0 then wcode else code
+  end
 
 (* --- Shared arguments --- *)
 
@@ -49,7 +102,8 @@ let algorithm_arg =
               (strategy dispatch).")
 
 let am_table_cmd =
-  let run p k l s m algo =
+  let run p k l s m algo metrics json =
+    with_metrics ~metrics ~json @@ fun () ->
     match problem ~p ~k ~l ~s with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -89,7 +143,7 @@ let am_table_cmd =
   let term =
     Term.(
       const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg
-      $ algorithm_arg)
+      $ algorithm_arg $ metrics_flag $ metrics_json_arg)
   in
   Cmd.v
     (Cmd.info "am-table"
@@ -234,7 +288,8 @@ let comm_sets_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run p k l s m =
+  let run p k l s m metrics json =
+    with_metrics ~metrics ~json @@ fun () ->
     match problem ~p ~k ~l ~s with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -262,7 +317,9 @@ let stats_cmd =
         0
   in
   let term =
-    Term.(const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg)
+    Term.(
+      const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg
+      $ metrics_flag $ metrics_json_arg)
   in
   Cmd.v
     (Cmd.info "stats"
@@ -298,7 +355,8 @@ let compile_c_cmd =
 (* --- explain --- *)
 
 let explain_cmd =
-  let run p k l s m n =
+  let run p k l s m n metrics json =
+    with_metrics ~metrics ~json @@ fun () ->
     match problem ~p ~k ~l ~s with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -344,7 +402,7 @@ let explain_cmd =
   let term =
     Term.(
       const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ proc_arg
-      $ size_arg)
+      $ size_arg $ metrics_flag $ metrics_json_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -369,7 +427,8 @@ let verify_cmd =
   let max_s_arg =
     Arg.(value & opt int 4096 & info [ "max-s" ] ~docv:"S" ~doc:"Largest stride.")
   in
-  let run trials seed max_p max_k max_s =
+  let run trials seed max_p max_k max_s metrics json =
+    with_metrics ~metrics ~json @@ fun () ->
     match
       Validate.check_random ~seed:(Int64.of_int seed) ~trials ~max_p ~max_k
         ~max_s
@@ -384,7 +443,9 @@ let verify_cmd =
         1
   in
   let term =
-    Term.(const run $ trials_arg $ seed_arg $ max_p_arg $ max_k_arg $ max_s_arg)
+    Term.(
+      const run $ trials_arg $ seed_arg $ max_p_arg $ max_k_arg $ max_s_arg
+      $ metrics_flag $ metrics_json_arg)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -401,7 +462,8 @@ let run_cmd =
   let no_crosscheck_arg =
     Arg.(value & flag & info [ "no-crosscheck" ] ~doc:"Skip the sequential reference check.")
   in
-  let run file no_crosscheck shape_name =
+  let run file no_crosscheck shape_name metrics json =
+    with_metrics ~metrics ~json @@ fun () ->
     match Lams_codegen.Shapes.of_string shape_name with
     | None ->
         Printf.eprintf "error: unknown shape %S\n" shape_name;
@@ -433,10 +495,95 @@ let run_cmd =
             2
       end
   in
-  let term = Term.(const run $ file_arg $ no_crosscheck_arg $ shape_arg) in
+  let term =
+    Term.(
+      const run $ file_arg $ no_crosscheck_arg $ shape_arg $ metrics_flag
+      $ metrics_json_arg)
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile and execute a mini-HPF source file on the simulated machine.")
+    term
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the snapshot as JSON to $(docv) ($(b,-) for \
+             standard output).")
+  in
+  let run p k l s json =
+    match problem ~p ~k ~l ~s with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok pr ->
+        (* With --json - the snapshot goes to stdout: keep it the only
+           thing written there so the output is valid JSON. *)
+        let quiet = json = Some "-" in
+        Lams_obs.Obs.set_enabled true;
+        Lams_obs.Obs.reset ();
+        (* 1. Tables through the dispatcher, the raw lattice walk and the
+           FSM view, for every processor. *)
+        let auto = Auto.create pr in
+        if not quiet then
+          Printf.printf "strategy: %s\n" (Auto.strategy_name auto);
+        for m = 0 to p - 1 do
+          ignore (Auto.gap_table auto ~m : Access_table.t);
+          ignore (Kns.gap_table_with_stats pr ~m : Access_table.t * Kns.stats);
+          ignore (Fsm.build pr ~m : Fsm.t option)
+        done;
+        (* 2. A section move through the simulated network. *)
+        let count = max 2 (4 * k) in
+        let hi = l + (s * (count - 1)) in
+        let n = hi + 1 in
+        let sec = Section.make ~lo:l ~hi ~stride:s in
+        let src =
+          Lams_sim.Darray.of_array ~name:"B" ~p
+            ~dist:(Distribution.Block_cyclic k)
+            (Array.init n float_of_int)
+        in
+        let dst =
+          Lams_sim.Darray.create ~name:"A" ~n ~p
+            ~dist:(Distribution.Block_cyclic k)
+        in
+        ignore
+          (Lams_sim.Section_ops.copy ~src ~src_section:sec ~dst
+             ~dst_section:sec ()
+            : Lams_sim.Network.t);
+        (* 3. A small program through the full mini-HPF driver. *)
+        let source =
+          Printf.sprintf
+            "real A(%d)\ndistribute A (cyclic(%d)) onto %d\nA(%d:%d:%d) = \
+             1.0\nprint sum A(%d:%d:%d)\n"
+            n k p l hi s l hi s
+        in
+        (match Lams_hpf.Driver.crosscheck source with
+        | Ok _ -> ()
+        | Error (`Failure f) ->
+            Format.eprintf "demo program failed: %a@." Lams_hpf.Driver.pp_failure f
+        | Error (`Diverged d) ->
+            Format.eprintf "demo program diverged: %a@."
+              Lams_hpf.Driver.pp_divergence d);
+        let snap = Lams_obs.Obs.snapshot () in
+        if not quiet then print_string (Lams_obs.Obs.render snap);
+        dump_metrics_json json snap
+  in
+  let term =
+    Term.(
+      const run $ procs_arg $ block_arg $ lower_arg $ stride_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a demo workload (tables on every processor, a network \
+          section move, a mini-HPF program) with the observability \
+          registry enabled and print every counter, distribution and span.")
     term
 
 let () =
@@ -447,4 +594,6 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd; stats_cmd; explain_cmd; verify_cmd; run_cmd ]))
+       (Cmd.group info
+          [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd;
+            stats_cmd; explain_cmd; verify_cmd; run_cmd; metrics_cmd ]))

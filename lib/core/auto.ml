@@ -5,16 +5,40 @@ type strategy =
 
 type t = { problem : Problem.t; strategy : strategy }
 
+let c_degenerate =
+  Lams_obs.Obs.counter "auto.strategy.degenerate" ~units:"dispatches"
+    ~doc:"instances classified d >= k (closed forms)"
+
+let c_shared =
+  Lams_obs.Obs.counter "auto.strategy.shared_fsm" ~units:"dispatches"
+    ~doc:"instances classified gcd = 1 (shared FSM)"
+
+let c_general =
+  Lams_obs.Obs.counter "auto.strategy.general" ~units:"dispatches"
+    ~doc:"instances classified 1 < d < k (general lattice walk)"
+
+let c_tables =
+  Lams_obs.Obs.counter "auto.tables_built" ~units:"tables"
+    ~doc:"gap tables served through the dispatcher"
+
 let create problem =
   let d = Problem.gcd problem in
   let strategy =
-    if d >= problem.Problem.k then Degenerate
+    if d >= problem.Problem.k then begin
+      Lams_obs.Obs.incr c_degenerate;
+      Degenerate
+    end
     else if d = 1 then begin
       match Shared_fsm.build problem with
-      | Some shared -> Shared shared
+      | Some shared ->
+          Lams_obs.Obs.incr c_shared;
+          Shared shared
       | None -> assert false (* d = 1 *)
     end
-    else General
+    else begin
+      Lams_obs.Obs.incr c_general;
+      General
+    end
   in
   { problem; strategy }
 
@@ -31,6 +55,7 @@ let degenerate_table pr ~m =
         ~gap:(pr.Problem.k * pr.Problem.s / Problem.gcd pr)
 
 let gap_table t ~m =
+  Lams_obs.Obs.incr c_tables;
   match t.strategy with
   | Degenerate -> degenerate_table t.problem ~m
   | Shared shared -> Shared_fsm.gap_table shared ~m

@@ -7,6 +7,14 @@ type t = {
 
 let unreachable_delta = min_int
 
+let c_tables =
+  Lams_obs.Obs.counter "fsm.tables_built" ~units:"tables"
+    ~doc:"per-processor transition tables built"
+
+let d_states =
+  Lams_obs.Obs.distribution "fsm.states" ~units:"states"
+    ~doc:"reachable states per transition table"
+
 let build pr ~m =
   let k = pr.Problem.k in
   let delta = Array.make k unreachable_delta in
@@ -21,6 +29,8 @@ let build pr ~m =
   match found.Start_finder.start with
   | None -> None
   | Some start ->
+      Lams_obs.Obs.incr c_tables;
+      Lams_obs.Obs.observe d_states (float_of_int found.Start_finder.length);
       Some
         { start_offset = start mod k;
           delta;

@@ -3,6 +3,39 @@ open Lams_dist
 
 type stats = { points_visited : int; eq1 : int; eq2 : int; eq3 : int }
 
+(* Observability (all no-ops until [Lams_obs.Obs.set_enabled true]). *)
+let c_tables =
+  Lams_obs.Obs.counter "kns.tables_built" ~units:"tables"
+    ~doc:"AM tables built by the lattice walk"
+
+let c_walks =
+  Lams_obs.Obs.counter "kns.walks" ~units:"walks"
+    ~doc:"raw gap walks (iter_gaps), incl. FSM table construction"
+
+let c_points =
+  Lams_obs.Obs.counter "kns.points_visited" ~units:"points"
+    ~doc:"lattice points examined (Theorem 3 bounds this by 2k+1 per table)"
+
+let c_eq1 =
+  Lams_obs.Obs.counter "kns.eq1_steps" ~units:"steps" ~doc:"steps by R"
+
+let c_eq2 =
+  Lams_obs.Obs.counter "kns.eq2_steps" ~units:"steps" ~doc:"steps by -L"
+
+let c_eq3 =
+  Lams_obs.Obs.counter "kns.eq3_steps" ~units:"steps" ~doc:"steps by R-L"
+
+let d_length =
+  Lams_obs.Obs.distribution "kns.table_length" ~units:"entries"
+    ~doc:"AM table period (<= k)"
+
+let record_stats st =
+  Lams_obs.Obs.incr c_tables;
+  Lams_obs.Obs.add c_points st.points_visited;
+  Lams_obs.Obs.add c_eq1 st.eq1;
+  Lams_obs.Obs.add c_eq2 st.eq2;
+  Lams_obs.Obs.add c_eq3 st.eq3
+
 let basis (pr : Problem.t) =
   Basis.construct ~p:pr.Problem.p ~k:pr.Problem.k ~s:pr.Problem.s
 
@@ -12,6 +45,7 @@ let singleton_gap (pr : Problem.t) =
   pr.Problem.k * pr.Problem.s / Problem.gcd pr
 
 let iter_gaps pr ~m ~f =
+  Lams_obs.Obs.incr c_walks;
   let ({ Start_finder.start; length } as found) = Start_finder.find pr ~m in
   (match start with
   | None -> ()
@@ -40,13 +74,20 @@ let iter_gaps pr ~m ~f =
 let gap_table_with_stats pr ~m =
   let { Start_finder.start; length } = Start_finder.find pr ~m in
   match start with
-  | None -> (Access_table.empty, { points_visited = 0; eq1 = 0; eq2 = 0; eq3 = 0 })
+  | None ->
+      let st = { points_visited = 0; eq1 = 0; eq2 = 0; eq3 = 0 } in
+      record_stats st;
+      Lams_obs.Obs.observe d_length 0.;
+      (Access_table.empty, st)
   | Some start ->
       let lay = Problem.layout pr in
       let start_local = Layout.local_address lay start in
-      if length = 1 then
-        ( Access_table.singleton ~start ~start_local ~gap:(singleton_gap pr),
-          { points_visited = 2; eq1 = 0; eq2 = 0; eq3 = 0 } )
+      if length = 1 then begin
+        let st = { points_visited = 2; eq1 = 0; eq2 = 0; eq3 = 0 } in
+        record_stats st;
+        Lams_obs.Obs.observe d_length 1.;
+        (Access_table.singleton ~start ~start_local ~gap:(singleton_gap pr), st)
+      end
       else begin
         let b =
           match basis pr with Some b -> b | None -> assert false
@@ -63,14 +104,19 @@ let gap_table_with_stats pr ~m =
            else incr eq3);
           offset := !offset + step.Point.b
         done;
+        let st =
+          { points_visited = length + 1 + !eq3;
+            eq1 = !eq1;
+            eq2 = !eq2;
+            eq3 = !eq3 }
+        in
+        record_stats st;
+        Lams_obs.Obs.observe d_length (float_of_int length);
         ( { Access_table.start = Some start;
             start_local = Some start_local;
             length;
             gaps },
-          { points_visited = length + 1 + !eq3;
-            eq1 = !eq1;
-            eq2 = !eq2;
-            eq3 = !eq3 } )
+          st )
       end
 
 let gap_table pr ~m = fst (gap_table_with_stats pr ~m)

@@ -4,9 +4,18 @@ type t = {
   next_offset : int array;
 }
 
+let c_builds =
+  Lams_obs.Obs.counter "shared_fsm.builds" ~units:"builds"
+    ~doc:"shared transition tables built (once per gcd = 1 instance)"
+
+let c_tables =
+  Lams_obs.Obs.counter "shared_fsm.tables_built" ~units:"tables"
+    ~doc:"per-processor gap tables replayed from a shared FSM"
+
 let build pr =
   if Problem.gcd pr <> 1 then None
   else begin
+    Lams_obs.Obs.incr c_builds;
     (* With d = 1 every processor reaches all k states and processor 0 is
        never empty; build the tables once from processor 0. *)
     match Fsm.build pr ~m:0 with
@@ -25,6 +34,7 @@ let start t ~m =
   | None -> assert false (* d = 1: every processor owns elements *)
 
 let gap_table t ~m =
+  Lams_obs.Obs.incr c_tables;
   let g, state0 = start t ~m in
   let k = t.problem.Problem.k in
   let gaps = Array.make k 0 in

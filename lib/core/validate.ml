@@ -8,6 +8,7 @@ type mismatch = {
 let table_checks pr ~m ~expected =
   let candidates =
     [ ("kns", fun () -> Kns.gap_table pr ~m);
+      ("auto", fun () -> Auto.gap_table (Auto.create pr) ~m);
       ("chatterjee", fun () -> Chatterjee.gap_table pr ~m) ]
     @
     if Hiranandani.applicable pr then

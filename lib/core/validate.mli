@@ -10,11 +10,11 @@ type mismatch = {
 }
 
 val check_instance : Problem.t -> mismatch list
-(** Runs Kns, Chatterjee and (when applicable) Hiranandani on every
-    processor of the instance and returns all disagreements with
-    {!Brute.gap_table} (empty list = fully consistent). Also checks the
-    table-free enumerator against the expected address stream and the FSM
-    walk against the [AM] table. *)
+(** Runs Kns, the Auto dispatcher, Chatterjee and (when applicable)
+    Hiranandani on every processor of the instance and returns all
+    disagreements with {!Brute.gap_table} (empty list = fully
+    consistent). Also checks the table-free enumerator against the
+    expected address stream and the FSM walk against the [AM] table. *)
 
 val check_random :
   seed:int64 -> trials:int -> max_p:int -> max_k:int -> max_s:int ->

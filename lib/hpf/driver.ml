@@ -8,7 +8,20 @@ type failure =
   | Syntax of string * Ast.position
   | Semantic of Sema.error list
 
+let c_compiles =
+  Lams_obs.Obs.counter "hpf.compiles" ~units:"programs"
+    ~doc:"mini-HPF sources compiled (parse + semantic analysis)"
+
+let c_crosschecks =
+  Lams_obs.Obs.counter "hpf.crosschecks" ~units:"programs"
+    ~doc:"runs diffed against the sequential reference"
+
+let sp_run =
+  Lams_obs.Obs.span "hpf.run_us"
+    ~doc:"wall-clock per simulated program execution"
+
 let compile source =
+  Lams_obs.Obs.incr c_compiles;
   match Parser.parse source with
   | exception Lexer.Lex_error (msg, pos) -> Error (Syntax (msg, pos))
   | exception Parser.Parse_error (msg, pos) -> Error (Syntax (msg, pos))
@@ -22,7 +35,7 @@ let compile_and_run ?shape source =
   match compile source with
   | Error f -> Error f
   | Ok checked ->
-      let runtime = Runtime.run ?shape checked in
+      let runtime = Lams_obs.Obs.time sp_run (fun () -> Runtime.run ?shape checked) in
       Ok { checked; runtime; outputs = runtime.Runtime.outputs }
 
 type divergence =
@@ -67,7 +80,8 @@ let crosscheck ?shape source =
   match compile source with
   | Error f -> Error (`Failure f)
   | Ok checked -> begin
-      let runtime = Runtime.run ?shape checked in
+      Lams_obs.Obs.incr c_crosschecks;
+      let runtime = Lams_obs.Obs.time sp_run (fun () -> Runtime.run ?shape checked) in
       let reference = Reference.run checked in
       match first_divergence checked runtime reference with
       | Some d -> Error (`Diverged d)

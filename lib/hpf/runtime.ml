@@ -145,6 +145,18 @@ let md_fill md stores sections v =
       ~f:(fun ~global:_ ~local -> data.(local) <- v)
   done
 
+let c_statements =
+  Lams_obs.Obs.counter "hpf.statements" ~units:"statements"
+    ~doc:"program statements executed by the simulated runtime"
+
+let c_fills =
+  Lams_obs.Obs.counter "hpf.fills" ~units:"statements"
+    ~doc:"owner-computes constant fills (node-code kernels)"
+
+let c_copies =
+  Lams_obs.Obs.counter "hpf.copies" ~units:"statements"
+    ~doc:"schedule-driven section copies (data exchange)"
+
 let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
   let arrays =
     List.map (fun info -> (info.Sema.name, make_array info)) checked.Sema.arrays
@@ -154,6 +166,7 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
   let network = ref None in
   List.iter
     (fun action ->
+      Lams_obs.Obs.incr c_statements;
       match action with
       | Sema.Print r -> outputs := format_values (fetch lookup r) :: !outputs
       | Sema.Print_sum r -> begin
@@ -171,8 +184,10 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
           match (dst, rhs) with
           | Direct d, Sema.Const v ->
               (* The paper's measured kernel: node code over local memory. *)
+              Lams_obs.Obs.incr c_fills;
               Section_ops.fill ~shape d lhs.Sema.sections.(0) v
           | Md { md; stores; _ }, Sema.Const v ->
+              Lams_obs.Obs.incr c_fills;
               md_fill md stores lhs.Sema.sections v
           | Direct d, Sema.Copy src_ref
             when (match lookup src_ref.Sema.info.Sema.name with
@@ -181,6 +196,7 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
               (* Schedule-driven two-phase exchange. *)
               match lookup src_ref.Sema.info.Sema.name with
               | Direct s ->
+                  Lams_obs.Obs.incr c_copies;
                   let needed = max (Darray.procs s) (Darray.procs d) in
                   let reusable =
                     match !network with
@@ -203,6 +219,7 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
                  factorised (per-dimension) communication schedule. *)
               match lookup src_ref.Sema.info.Sema.name with
               | Md { md = smd; stores = sstores; _ } ->
+                  Lams_obs.Obs.incr c_copies;
                   let sched =
                     Md_comm.build ~src:smd ~src_sections:src_ref.Sema.sections
                       ~dst:dmd ~dst_sections:lhs.Sema.sections

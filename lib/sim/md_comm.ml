@@ -14,6 +14,24 @@ type t = {
   shape : int array;
 }
 
+let c_schedules =
+  Lams_obs.Obs.counter "sim.md_comm.schedules" ~units:"schedules"
+    ~doc:"multidimensional communication schedules built"
+
+let c_transfers =
+  Lams_obs.Obs.counter "sim.md_comm.transfers" ~units:"transfers"
+    ~doc:"node-pair transfers across all schedules"
+
+let c_cross =
+  Lams_obs.Obs.counter "sim.md_comm.cross_node_elements" ~units:"elements"
+    ~doc:"scheduled elements that change node coordinates"
+
+let cross_node_elements t =
+  List.fold_left
+    (fun acc tr ->
+      if tr.src_coords <> tr.dst_coords then acc + tr.elements else acc)
+    0 t.transfers
+
 let build ~src ~src_sections ~dst ~dst_sections =
   let rank = Array.length src.Md_array.dims in
   if
@@ -56,9 +74,11 @@ let build ~src ~src_sections ~dst ~dst_sections =
                  (fun acc (tr : Comm_sets.transfer) -> acc * tr.Comm_sets.elements)
                  1 arr })
   in
-  { transfers;
-    total = Array.fold_left ( * ) 1 shape;
-    shape }
+  let t = { transfers; total = Array.fold_left ( * ) 1 shape; shape } in
+  Lams_obs.Obs.incr c_schedules;
+  Lams_obs.Obs.add c_transfers (List.length transfers);
+  Lams_obs.Obs.add c_cross (cross_node_elements t);
+  t
 
 let iter_positions transfer ~f =
   let rank = Array.length transfer.dim_runs in
@@ -76,12 +96,6 @@ let iter_positions transfer ~f =
         transfer.dim_runs.(d)
   in
   nest 0
-
-let cross_node_elements t =
-  List.fold_left
-    (fun acc tr ->
-      if tr.src_coords <> tr.dst_coords then acc + tr.elements else acc)
-    0 t.transfers
 
 let pp ppf t =
   let coords c =

@@ -12,6 +12,25 @@ type t = {
   mutable moved : int;
 }
 
+(* Element width for byte accounting: payloads are 64-bit floats. *)
+let bytes_per_element = 8
+
+let c_messages =
+  Lams_obs.Obs.counter "sim.network.messages" ~units:"messages"
+    ~doc:"point-to-point messages enqueued (all fabrics)"
+
+let c_bytes =
+  Lams_obs.Obs.counter "sim.network.bytes" ~units:"bytes"
+    ~doc:"payload bytes enqueued (8 per element)"
+
+let c_elements =
+  Lams_obs.Obs.counter "sim.network.elements" ~units:"elements"
+    ~doc:"payload elements enqueued"
+
+let c_drains =
+  Lams_obs.Obs.counter "sim.network.drains" ~units:"drains"
+    ~doc:"mailbox drains (receive_all calls)"
+
 let create ~p =
   if p <= 0 then invalid_arg "Network.create: p <= 0";
   { p; mailboxes = Array.init p (fun _ -> Queue.create ()); sent = 0; moved = 0 }
@@ -28,10 +47,14 @@ let send t ~src ~dst ~tag ~addresses ~payload =
     invalid_arg "Network.send: addresses/payload length mismatch";
   Queue.push { src; tag; addresses; payload } t.mailboxes.(dst);
   t.sent <- t.sent + 1;
-  t.moved <- t.moved + Array.length payload
+  t.moved <- t.moved + Array.length payload;
+  Lams_obs.Obs.incr c_messages;
+  Lams_obs.Obs.add c_elements (Array.length payload);
+  Lams_obs.Obs.add c_bytes (bytes_per_element * Array.length payload)
 
 let receive_all t ~dst =
   check_rank t dst "receive_all";
+  Lams_obs.Obs.incr c_drains;
   let q = t.mailboxes.(dst) in
   let rec drain acc =
     match Queue.take_opt q with

@@ -195,13 +195,40 @@ let prop_cycle_sum_invariant =
          = Tutil.k_of pksl * Tutil.s_of pksl / Problem.gcd pr)
 
 let prop_points_visited_bound =
-  (* §5.1: at most 2k+1 lattice points are examined. *)
-  Tutil.qtest "KNS examines at most 2k+1 points" Tutil.gen_problem_with_proc
-    ~print:Tutil.print_problem_with_proc
+  (* §5.1 (Theorem 3) as an executable invariant: at most 2k+1 lattice
+     points are examined, the step classes account for every point the
+     walk consumes (one per table entry, plus one wasted per eq3 step and
+     the final closing point), and the obs counters agree with the
+     returned stats. *)
+  Tutil.qtest "KNS examines at most 2k+1 points (stats = obs counters)"
+    Tutil.gen_problem_with_proc ~print:Tutil.print_problem_with_proc
     (fun (pksl, m) ->
       let pr = Tutil.problem_of pksl in
-      let _, stats = Kns.gap_table_with_stats pr ~m in
-      stats.Kns.points_visited <= (2 * Tutil.k_of pksl) + 1)
+      let c_points = Lams_obs.Obs.counter "kns.points_visited" in
+      let c_eq1 = Lams_obs.Obs.counter "kns.eq1_steps" in
+      let c_eq2 = Lams_obs.Obs.counter "kns.eq2_steps" in
+      let c_eq3 = Lams_obs.Obs.counter "kns.eq3_steps" in
+      let read () =
+        ( Lams_obs.Obs.counter_value c_points,
+          Lams_obs.Obs.counter_value c_eq1,
+          Lams_obs.Obs.counter_value c_eq2,
+          Lams_obs.Obs.counter_value c_eq3 )
+      in
+      Lams_obs.Obs.set_enabled true;
+      Fun.protect ~finally:(fun () -> Lams_obs.Obs.set_enabled false)
+      @@ fun () ->
+      let p0, e1, e2, e3 = read () in
+      let table, stats = Kns.gap_table_with_stats pr ~m in
+      let p0', e1', e2', e3' = read () in
+      let len = table.Access_table.length in
+      stats.Kns.points_visited <= (2 * Tutil.k_of pksl) + 1
+      && (len < 2 || stats.Kns.eq1 + stats.Kns.eq2 + stats.Kns.eq3 = len)
+      && (len < 2
+         || stats.Kns.points_visited = len + 1 + stats.Kns.eq3)
+      && p0' - p0 = stats.Kns.points_visited
+      && e1' - e1 = stats.Kns.eq1
+      && e2' - e2 = stats.Kns.eq2
+      && e3' - e3 = stats.Kns.eq3)
 
 let prop_length_bound_and_total =
   (* Each processor's period is <= k, and the periods over all processors
@@ -262,6 +289,25 @@ let prop_validate_instances =
   Tutil.qtest ~count:200 "Validate.check_instance finds no mismatch"
     Tutil.gen_problem ~print:Tutil.print_problem
     (fun pksl -> Validate.check_instance (Tutil.problem_of pksl) = [])
+
+let prop_differential_random_seeds =
+  (* Differential check Auto = KNS = Chatterjee = Brute (plus enumerator
+     and FSM) over random instances for every processor, driven through
+     Validate.check_random so a failure reports a seed the CLI can
+     replay: lams verify --seed SEED. *)
+  Tutil.qtest ~count:12 "Validate.check_random: all algorithms agree"
+    QCheck2.Gen.(int_range 1 0x3FFFFFFF)
+    ~print:(fun seed ->
+      Printf.sprintf "seed=%d (replay: lams verify --seed %d)" seed seed)
+    (fun seed ->
+      match
+        Validate.check_random ~seed:(Int64.of_int seed) ~trials:25 ~max_p:8
+          ~max_k:24 ~max_s:512
+      with
+      | None -> true
+      | Some (pr, mm) ->
+          QCheck2.Test.fail_reportf "seed %d: %a — %a" seed
+            Lams_core.Problem.pp pr Validate.pp_mismatch mm)
 
 let prop_negative_stride_normalisation =
   (* A section with negative stride denotes the same index set; its
@@ -441,4 +487,5 @@ let suite =
     prop_length_bound_and_total;
     prop_theorem3_steps;
     prop_validate_instances;
+    prop_differential_random_seeds;
     prop_negative_stride_normalisation ]

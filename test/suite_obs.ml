@@ -1,0 +1,183 @@
+(* The lib/obs metrics registry: monotonic counters, immutable snapshots,
+   reset semantics, distribution summaries against a brute-force
+   reference, and the disabled-by-default contract. *)
+
+open Lams_obs
+
+(* Every test leaves the registry disabled and empty so instrumented
+   library code elsewhere in the suite stays unobserved. *)
+let with_obs f =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_registration_idempotent () =
+  let a = Obs.counter "obs_test.idem" ~units:"u" in
+  let b = Obs.counter "obs_test.idem" in
+  with_obs (fun () ->
+      Obs.incr a;
+      Obs.add b 2;
+      Tutil.check_int "same cell via either handle" 3 (Obs.counter_value a));
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs: \"obs_test.idem\" is already a counter")
+    (fun () -> ignore (Obs.distribution "obs_test.idem"))
+
+let test_disabled_is_inert () =
+  let c = Obs.counter "obs_test.disabled_c" in
+  let d = Obs.distribution "obs_test.disabled_d" in
+  let sp = Obs.span "obs_test.disabled_sp" in
+  Obs.set_enabled false;
+  Obs.reset ();
+  Obs.incr c;
+  Obs.add c 41;
+  Obs.observe d 1.5;
+  Tutil.check_int "span still runs the thunk" 7 (Obs.time sp (fun () -> 7));
+  Tutil.check_int "counter untouched" 0 (Obs.counter_value c);
+  Tutil.check_int "distribution untouched" 0 (Obs.distribution_count d);
+  (* ... and the snapshot agrees. *)
+  let snap = Obs.snapshot () in
+  Alcotest.(check (option int)) "snapshot value" (Some 0)
+    (Obs.find_counter snap "obs_test.disabled_c");
+  match Obs.find snap "obs_test.disabled_sp" with
+  | Some { Obs.value = Obs.Span s; _ } -> Tutil.check_int "span empty" 0 s.Obs.count
+  | _ -> Alcotest.fail "span entry missing"
+
+let test_negative_add_rejected () =
+  let c = Obs.counter "obs_test.neg" in
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Obs.add: counters are monotonic (negative n)")
+    (fun () -> Obs.add c (-1))
+
+let prop_counter_monotonic =
+  Tutil.qtest ~count:100 "counters are monotonic under random adds"
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 50))
+    ~print:(fun ns -> String.concat ";" (List.map string_of_int ns))
+    (fun ns ->
+      let c = Obs.counter "obs_test.mono" in
+      with_obs (fun () ->
+          Obs.reset ();
+          let ok = ref true and prev = ref 0 in
+          List.iter
+            (fun n ->
+              Obs.add c n;
+              let v = Obs.counter_value c in
+              if v < !prev then ok := false;
+              prev := v)
+            ns;
+          !ok && Obs.counter_value c = List.fold_left ( + ) 0 ns))
+
+let test_snapshot_immutable () =
+  let c = Obs.counter "obs_test.snap_c" in
+  let d = Obs.distribution "obs_test.snap_d" in
+  with_obs (fun () ->
+      Obs.incr c;
+      Obs.observe d 2.;
+      let before = Obs.snapshot () in
+      Obs.add c 10;
+      Obs.observe d 100.;
+      Alcotest.(check (option int)) "old counter value" (Some 1)
+        (Obs.find_counter before "obs_test.snap_c");
+      (match Obs.find before "obs_test.snap_d" with
+      | Some { Obs.value = Obs.Distribution s; _ } ->
+          Tutil.check_int "old dist count" 1 s.Obs.count;
+          Alcotest.(check (float 0.)) "old dist max" 2. s.Obs.max
+      | _ -> Alcotest.fail "distribution entry missing");
+      Alcotest.(check (option int)) "new snapshot sees the add" (Some 11)
+        (Obs.find_counter (Obs.snapshot ()) "obs_test.snap_c"))
+
+let test_reset_zeroes () =
+  let c = Obs.counter "obs_test.reset_c" in
+  let d = Obs.distribution "obs_test.reset_d" in
+  with_obs (fun () ->
+      Obs.add c 5;
+      Obs.observe d 3.;
+      Obs.reset ();
+      Tutil.check_int "counter zero" 0 (Obs.counter_value c);
+      Tutil.check_int "distribution empty" 0 (Obs.distribution_count d);
+      match Obs.find (Obs.snapshot ()) "obs_test.reset_d" with
+      | Some { Obs.value = Obs.Distribution s; _ } ->
+          Tutil.check_int "summary count" 0 s.Obs.count;
+          Alcotest.(check (float 0.)) "summary mean" 0. s.Obs.mean
+      | _ -> Alcotest.fail "distribution entry missing")
+
+(* Brute-force reference for the summary: sort and interpolate, written
+   out independently of Lams_util.Stats. *)
+let brute_summary xs =
+  let sorted = List.sort compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let pos = 0.95 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  let p95 = (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac) in
+  let mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+  (arr.(0), mean, p95, arr.(n - 1))
+
+let prop_distribution_summary =
+  Tutil.qtest ~count:200 "distribution summary matches brute-force reference"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range (-1000) 1000))
+    ~print:(fun ns -> String.concat ";" (List.map string_of_int ns))
+    (fun ns ->
+      let xs = List.map float_of_int ns in
+      let d = Obs.distribution "obs_test.quantiles" in
+      with_obs (fun () ->
+          Obs.reset ();
+          List.iter (Obs.observe d) xs;
+          match Obs.find (Obs.snapshot ()) "obs_test.quantiles" with
+          | Some { Obs.value = Obs.Distribution s; _ } ->
+              let min', mean, p95, max' = brute_summary xs in
+              let close a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs b) in
+              s.Obs.count = List.length xs
+              && close s.Obs.min min' && close s.Obs.mean mean
+              && close s.Obs.p95 p95 && close s.Obs.max max'
+          | _ -> false))
+
+let test_span_records () =
+  let sp = Obs.span "obs_test.span" in
+  with_obs (fun () ->
+      Tutil.check_int "result" 42 (Obs.time sp (fun () -> 42));
+      match Obs.find (Obs.snapshot ()) "obs_test.span" with
+      | Some { Obs.value = Obs.Span s; Obs.units; _ } ->
+          Tutil.check_int "one sample" 1 s.Obs.count;
+          Alcotest.(check string) "microseconds" "us" units;
+          Tutil.check_bool "non-negative" true (s.Obs.min >= 0.)
+      | _ -> Alcotest.fail "span entry missing")
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec at i = i + m <= n && (String.sub s i m = affix || at (i + 1)) in
+  at 0
+
+let test_render_and_json () =
+  let c = Obs.counter "obs_test.render" ~units:"things" in
+  with_obs (fun () ->
+      Obs.add c 12;
+      let snap = Obs.snapshot () in
+      let table = Obs.render snap in
+      Tutil.check_bool "table mentions the counter" true
+        (contains ~affix:"obs_test.render" table);
+      let json = Obs.to_json snap in
+      Tutil.check_bool "json prefix" true
+        (String.length json > 13 && String.sub json 0 13 = "{\"metrics\": [");
+      Tutil.check_bool "json row" true
+        (contains
+           ~affix:
+             "{\"name\": \"obs_test.render\", \"kind\": \"counter\", \
+              \"units\": \"things\", \"value\": 12}"
+           json))
+
+let suite =
+  [ Alcotest.test_case "registration is idempotent, kinds are checked" `Quick
+      test_registration_idempotent;
+    Alcotest.test_case "disabled registry is inert" `Quick
+      test_disabled_is_inert;
+    Alcotest.test_case "negative add rejected" `Quick test_negative_add_rejected;
+    prop_counter_monotonic;
+    Alcotest.test_case "snapshots are immutable" `Quick test_snapshot_immutable;
+    Alcotest.test_case "reset zeroes everything" `Quick test_reset_zeroes;
+    prop_distribution_summary;
+    Alcotest.test_case "span timers record" `Quick test_span_records;
+    Alcotest.test_case "render + JSON" `Quick test_render_and_json ]

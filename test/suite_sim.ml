@@ -117,6 +117,40 @@ let test_copy_same_distribution () =
         (if Section.mem sec g then float_of_int g else 0.) v)
     (Darray.gather dst)
 
+let test_copy_network_counters () =
+  (* Paper worked example (p=4, cyclic(8), A(4:319:9)): 36 elements, 9
+     owned by each processor. Source and destination layouts are
+     identical, so each processor sends exactly one (self-)message of 9
+     elements: 4 messages, 36 elements, 36 * 8 = 288 payload bytes, and
+     one mailbox drain per destination processor. *)
+  let c_msgs = Lams_obs.Obs.counter "sim.network.messages"
+  and c_bytes = Lams_obs.Obs.counter "sim.network.bytes"
+  and c_elems = Lams_obs.Obs.counter "sim.network.elements"
+  and c_drains = Lams_obs.Obs.counter "sim.network.drains" in
+  let grab () =
+    ( Lams_obs.Obs.counter_value c_msgs,
+      Lams_obs.Obs.counter_value c_bytes,
+      Lams_obs.Obs.counter_value c_elems,
+      Lams_obs.Obs.counter_value c_drains )
+  in
+  Lams_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Lams_obs.Obs.set_enabled false)
+  @@ fun () ->
+  let m0, b0, e0, d0 = grab () in
+  let src = Darray.of_array ~name:"B" ~p:4 ~dist:(Distribution.Block_cyclic 8)
+      (Array.init 320 float_of_int) in
+  let dst = Darray.create ~name:"A" ~n:320 ~p:4 ~dist:(Distribution.Block_cyclic 8) in
+  let sec = Section.make ~lo:4 ~hi:319 ~stride:9 in
+  let net = Section_ops.copy ~src ~src_section:sec ~dst ~dst_section:sec () in
+  let m1, b1, e1, d1 = grab () in
+  Tutil.check_int "messages" 4 (m1 - m0);
+  Tutil.check_int "payload bytes" 288 (b1 - b0);
+  Tutil.check_int "elements" 36 (e1 - e0);
+  Tutil.check_int "drains" 4 (d1 - d0);
+  (* The obs counters must agree with the network's own bookkeeping. *)
+  Tutil.check_int "vs messages_sent" (Network.messages_sent net) (m1 - m0);
+  Tutil.check_int "vs elements_moved" (Network.elements_moved net) (e1 - e0)
+
 let test_copy_redistribution_and_reversal () =
   (* Different p, k and a reversed destination triplet. *)
   let src = Darray.of_array ~name:"B" ~p:3 ~dist:(Distribution.Block_cyclic 5)
@@ -450,6 +484,8 @@ let suite =
     Alcotest.test_case "map + sum" `Quick test_map_and_sum;
     Alcotest.test_case "copy, same distribution" `Quick
       test_copy_same_distribution;
+    Alcotest.test_case "copy network counters (paper example)" `Quick
+      test_copy_network_counters;
     Alcotest.test_case "copy with redistribution + reversal" `Quick
       test_copy_redistribution_and_reversal;
     Alcotest.test_case "copy shape mismatch rejected" `Quick

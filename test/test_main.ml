@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "lams"
     [ ("util", Suite_util.suite);
+      ("obs", Suite_obs.suite);
       ("numeric", Suite_numeric.suite);
       ("lattice", Suite_lattice.suite);
       ("sort", Suite_sort.suite);
