@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench smoke doc clean
+.PHONY: all check test bench bench-json smoke doc clean
 
 all:
 	dune build @all
@@ -21,6 +21,12 @@ smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Regenerate the amortization bench artifact with quick parameters
+# (the committed BENCH_amortize.json was produced by the full sweep:
+# `dune exec bench/main.exe -- amortize --json BENCH_amortize.json`).
+bench-json:
+	dune exec bench/main.exe -- amortize --quick --json BENCH_amortize.json
 
 doc:
 	dune build @doc

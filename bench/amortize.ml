@@ -1,0 +1,166 @@
+(* The amortization bench (BENCH_amortize.json): whole-machine table
+   construction for p = 32 across a k sweep with 1 < d < k, comparing
+
+     - the seed path: an independent Kns.gap_table lattice walk per
+       processor (O(p*k));
+     - the generalized shared FSM: one O(k/d)-state class fill, then a
+       branch-free replay per processor (O(k + p*k/d));
+     - a plan-cache miss: the shared build plus FSMs and last locations
+       for the whole machine, stored;
+     - a plan-cache hit: the steady state of a repeated statement.
+
+   plus the domain pool against the seed's spawn-per-call dispatch. *)
+
+open Lams_util
+open Lams_core
+
+let stride = 24
+(* gcd(24, 32k) = 8 for every power-of-two k >= 8: a genuine 1 < d < k
+   regime across the whole sweep. *)
+
+let time_us ?(inner = Config.construction_inner) f =
+  let batch () =
+    for _ = 1 to inner do
+      Sys.opaque_identity (ignore (f ()))
+    done
+  in
+  Timer.best_of ~repeats:Config.construction_repeats batch /. float_of_int inner
+
+type row = {
+  k : int;
+  d : int;
+  seed_us : float;
+  shared_us : float;
+  miss_us : float;
+  hit_us : float;
+}
+
+let whole_machine_row ~p ~k =
+  let pr = Problem.make ~p ~k ~l:0 ~s:stride in
+  let d = Problem.gcd pr in
+  assert (1 < d && d < k);
+  let u = stride * p * k in
+  let seed () =
+    for m = 0 to p - 1 do
+      Sys.opaque_identity (ignore (Kns.gap_table pr ~m))
+    done
+  in
+  let shared () =
+    match Shared_fsm.build pr with
+    | None -> assert false
+    | Some shared ->
+        for m = 0 to p - 1 do
+          Sys.opaque_identity (ignore (Shared_fsm.gap_table shared ~m))
+        done
+  in
+  let miss () =
+    Plan_cache.clear ();
+    Sys.opaque_identity (ignore (Plan_cache.find pr ~u))
+  in
+  let seed_us = time_us seed in
+  let shared_us = time_us shared in
+  let miss_us = time_us miss in
+  Plan_cache.clear ();
+  ignore (Plan_cache.find pr ~u);
+  let hit_us = time_us (fun () -> Plan_cache.find pr ~u) in
+  Plan_cache.clear ();
+  { k; d; seed_us; shared_us; miss_us; hit_us }
+
+(* The seed dispatch, kept verbatim for comparison: fresh domains and a
+   static block partition on every call. *)
+let spawn_per_call ~domains ~p f =
+  let chunk = (p + domains - 1) / domains in
+  let spawned =
+    List.init domains (fun w ->
+        let lo = w * chunk in
+        let hi = min p (lo + chunk) - 1 in
+        Domain.spawn (fun () ->
+            for m = lo to hi do
+              f m
+            done))
+  in
+  List.iter Domain.join spawned
+
+let pool_rows ~p =
+  let acc = Array.make p 0 in
+  let body m = acc.(m) <- acc.(m) + 1 in
+  let domains = 2 in
+  let spawn_us =
+    time_us ~inner:10 (fun () -> spawn_per_call ~domains ~p body)
+  in
+  let pool_us =
+    time_us ~inner:10 (fun () -> Lams_sim.Spmd.run_parallel ~domains ~p body)
+  in
+  (domains, spawn_us, pool_us)
+
+let json_of ~p ~quick rows (domains, spawn_us, pool_us) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"amortize\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"p\": %d,\n" p);
+  Buffer.add_string b (Printf.sprintf "  \"s\": %d,\n" stride);
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b "  \"whole_machine\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"k\": %d, \"d\": %d, \"seed_kns_x%d_us\": %.3f, \
+            \"shared_fsm_us\": %.3f, \"plan_cache_miss_us\": %.3f, \
+            \"plan_cache_hit_us\": %.3f, \"shared_speedup_vs_seed\": %.2f, \
+            \"hit_speedup_vs_seed\": %.1f}%s\n"
+           r.k r.d p r.seed_us r.shared_us r.miss_us r.hit_us
+           (r.seed_us /. r.shared_us)
+           (r.seed_us /. r.hit_us)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"domain_pool\": {\"p\": %d, \"domains\": %d, \
+        \"spawn_per_call_us\": %.3f, \"pool_dispatch_us\": %.3f, \
+        \"speedup\": %.2f}\n"
+       p domains spawn_us pool_us (spawn_us /. pool_us));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let run ?(quick = false) ?json () =
+  let p = Config.processors in
+  let ks = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
+  print_endline
+    (Printf.sprintf
+       "=== Amortize: whole-machine tables, p = %d, s = %d (1 < d < k), us ==="
+       p stride);
+  let rows = List.map (fun k -> whole_machine_row ~p ~k) ks in
+  let t =
+    Ascii_table.create
+      [ "k"; "d"; "seed KNS x32"; "shared FSM"; "cache miss"; "cache hit" ]
+  in
+  List.iter
+    (fun r ->
+      Ascii_table.add_row t
+        [ string_of_int r.k; string_of_int r.d;
+          Printf.sprintf "%.1f" r.seed_us; Printf.sprintf "%.1f" r.shared_us;
+          Printf.sprintf "%.1f" r.miss_us; Printf.sprintf "%.2f" r.hit_us ])
+    rows;
+  print_string (Ascii_table.render t);
+  print_endline
+    "(shared = one class fill + 32 branch-free replays; miss also builds\n\
+     FSM views and last locations for all 32 procs and stores the entry;\n\
+     hit is the steady state of a repeated statement)";
+  print_newline ();
+  let ((domains, spawn_us, pool_us) as pool) = pool_rows ~p in
+  print_endline
+    (Printf.sprintf
+       "=== Amortize: rank dispatch, p = %d on %d domains (us/sweep) ===" p
+       domains);
+  let t2 = Ascii_table.create [ "spawn per call (seed)"; "domain pool" ] in
+  Ascii_table.add_row t2
+    [ Printf.sprintf "%.1f" spawn_us; Printf.sprintf "%.1f" pool_us ];
+  print_string (Ascii_table.render t2);
+  match json with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (json_of ~p ~quick rows pool));
+      Printf.printf "wrote %s\n" file

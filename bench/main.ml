@@ -1,11 +1,15 @@
 (* Benchmark harness entry point. With no arguments, regenerates every
    table and figure from the paper's evaluation section plus the ablation
-   benches; individual experiments can be selected by name. *)
+   benches; individual experiments can be selected by name.
+
+   Flags: --json FILE (amortize JSON output), --quick (reduced
+   parameters, used by `make bench-json`). *)
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [table1 | figure7 | table2 | ablations | bechamel | all]";
-  print_endline "  (no argument = all)"
+    "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
+     | bechamel | all] [--quick] [--json FILE]";
+  print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
   let rows = Table1.run () in
@@ -13,8 +17,25 @@ let run_table1_and_figure7 () =
   Figure7.run rows
 
 let () =
-  let experiments = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = ref false and json = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse acc rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a FILE argument\n";
+        usage ();
+        exit 2
+    | name :: rest -> parse (name :: acc) rest
+  in
+  let experiments = parse [] args in
   let experiments = if experiments = [] then [ "all" ] else experiments in
+  let amortize () = Amortize.run ~quick:!quick ?json:!json () in
   List.iter
     (fun name ->
       match String.lowercase_ascii name with
@@ -22,6 +43,7 @@ let () =
       | "figure7" -> run_table1_and_figure7 ()
       | "table2" -> ignore (Table2.run () : Table2.row list)
       | "ablations" -> Ablations.run ()
+      | "amortize" -> amortize ()
       | "bechamel" -> Bechamel_suite.run ()
       | "all" ->
           run_table1_and_figure7 ();
@@ -29,6 +51,8 @@ let () =
           ignore (Table2.run () : Table2.row list);
           print_newline ();
           Ablations.run ();
+          print_newline ();
+          amortize ();
           print_newline ();
           Bechamel_suite.run ()
       | "-h" | "--help" | "help" -> usage ()

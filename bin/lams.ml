@@ -314,6 +314,19 @@ let stats_cmd =
         | None -> print_endline "degenerate instance (d >= k): no basis");
         Printf.printf "gcd(s, pk) = %d; period = %d of at most k = %d\n"
           (Problem.gcd pr) table.Access_table.length k;
+        (* Whole-machine plans, twice: the first pass fills the process
+           plan cache, the second hits it — visible under --metrics as
+           plan_cache.misses / plan_cache.hits. *)
+        let u = l + (s * ((2 * p * k) - 1)) in
+        for _pass = 1 to 2 do
+          for proc = 0 to p - 1 do
+            ignore
+              (Lams_codegen.Plan.build pr ~m:proc ~u
+                : Lams_codegen.Plan.t option)
+          done
+        done;
+        Printf.printf "plan cache: %d entries (capacity %d)\n"
+          (Plan_cache.size ()) (Plan_cache.capacity ());
         0
   in
   let term =
@@ -462,7 +475,15 @@ let run_cmd =
   let no_crosscheck_arg =
     Arg.(value & flag & info [ "no-crosscheck" ] ~doc:"Skip the sequential reference check.")
   in
-  let run file no_crosscheck shape_name metrics json =
+  let parallel_arg =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:
+            "Run constant fills' ranks concurrently on the domain pool \
+             (falls back to sequential on single-core hosts).")
+  in
+  let run file no_crosscheck parallel shape_name metrics json =
     with_metrics ~metrics ~json @@ fun () ->
     match Lams_codegen.Shapes.of_string shape_name with
     | None ->
@@ -472,10 +493,10 @@ let run_cmd =
         let source = In_channel.with_open_text file In_channel.input_all in
         let outcome =
           if no_crosscheck then
-            match Lams_hpf.Driver.compile_and_run ~shape source with
+            match Lams_hpf.Driver.compile_and_run ~shape ~parallel source with
             | Ok o -> Ok o
             | Error f -> Error (`Failure f)
-          else Lams_hpf.Driver.crosscheck ~shape source
+          else Lams_hpf.Driver.crosscheck ~shape ~parallel source
         in
         match outcome with
         | Ok o ->
@@ -497,8 +518,8 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ file_arg $ no_crosscheck_arg $ shape_arg $ metrics_flag
-      $ metrics_json_arg)
+      const run $ file_arg $ no_crosscheck_arg $ parallel_arg $ shape_arg
+      $ metrics_flag $ metrics_json_arg)
   in
   Cmd.v
     (Cmd.info "run"

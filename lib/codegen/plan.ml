@@ -14,7 +14,25 @@ type t = {
   next_offset : int array;
 }
 
-let build pr ~m ~u =
+let check_m pr m =
+  if m < 0 || m >= pr.Problem.p then
+    invalid_arg "Plan.build: processor out of range"
+
+let assemble pr ~m ~u ~(table : Access_table.t) ~(fsm : Fsm.t) ~last =
+  let lay = Problem.layout pr in
+  { problem = pr;
+    m;
+    u;
+    start_local = Option.get table.Access_table.start_local;
+    last_local = Layout.local_address lay last;
+    length = table.Access_table.length;
+    delta_m = table.Access_table.gaps;
+    start_offset = fsm.Fsm.start_offset;
+    delta_by_offset = fsm.Fsm.delta;
+    next_offset = fsm.Fsm.next_offset }
+
+let build_uncached pr ~m ~u =
+  check_m pr m;
   match Start_finder.last_location pr ~m ~u with
   | None -> None
   | Some last ->
@@ -24,18 +42,21 @@ let build pr ~m ~u =
         | Some f -> f
         | None -> assert false (* last exists, so the table is non-empty *)
       in
-      let lay = Problem.layout pr in
-      Some
-        { problem = pr;
-          m;
-          u;
-          start_local = Option.get table.Access_table.start_local;
-          last_local = Layout.local_address lay last;
-          length = table.Access_table.length;
-          delta_m = table.Access_table.gaps;
-          start_offset = fsm.Fsm.start_offset;
-          delta_by_offset = fsm.Fsm.delta;
-          next_offset = fsm.Fsm.next_offset }
+      Some (assemble pr ~m ~u ~table ~fsm ~last)
+
+let build pr ~m ~u =
+  check_m pr m;
+  let view = Plan_cache.find pr ~u in
+  match Plan_cache.last_location view ~m with
+  | None -> None
+  | Some last ->
+      let table = Plan_cache.table view ~m in
+      let fsm =
+        match Plan_cache.fsm view ~m with
+        | Some f -> f
+        | None -> assert false (* last exists, so the table is non-empty *)
+      in
+      Some (assemble pr ~m ~u ~table ~fsm ~last)
 
 let access_count t =
   Start_finder.count_owned t.problem ~m:t.m ~u:t.u

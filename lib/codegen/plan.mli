@@ -28,6 +28,22 @@ type t = {
 
 val build : Lams_core.Problem.t -> m:int -> u:int -> t option
 (** [None] iff the processor owns no element of [A(l:u:s)].
+
+    Served through the process-wide {!Lams_core.Plan_cache}: the first
+    request for a section builds the whole machine's tables at once
+    (via the generalized shared FSM when [d < k]); later requests — any
+    [m], and any [l]/[u] congruent modulo the cycle span — are array
+    lookups. The [delta_m]/[delta_by_offset]/[next_offset] arrays are
+    shared with the cache and with other plans: treat them as read-only.
+    [delta_by_offset] may carry valid entries for offsets outside this
+    processor's residue class (never visited from [start_offset]);
+    equal to {!build_uncached} on every visited state (tested).
+    @raise Invalid_argument if [m] is out of range. *)
+
+val build_uncached : Lams_core.Problem.t -> m:int -> u:int -> t option
+(** The seed path: per-processor [Kns.gap_table] + [Fsm.build], no
+    sharing, no cache. Kept as the differential-testing oracle and for
+    callers that must not retain cache references.
     @raise Invalid_argument if [m] is out of range. *)
 
 val access_count : t -> int

@@ -1,7 +1,6 @@
 type strategy =
   | Degenerate
-  | Shared of Shared_fsm.t
-  | General
+  | Shared of Shared_fsm.t Lazy.t
 
 type t = { problem : Problem.t; strategy : strategy }
 
@@ -11,16 +10,19 @@ let c_degenerate =
 
 let c_shared =
   Lams_obs.Obs.counter "auto.strategy.shared_fsm" ~units:"dispatches"
-    ~doc:"instances classified gcd = 1 (shared FSM)"
+    ~doc:"instances classified gcd = 1 (shared FSM, one class of k states)"
 
-let c_general =
-  Lams_obs.Obs.counter "auto.strategy.general" ~units:"dispatches"
-    ~doc:"instances classified 1 < d < k (general lattice walk)"
+let c_shared_general =
+  Lams_obs.Obs.counter "auto.strategy.shared_fsm_general" ~units:"dispatches"
+    ~doc:"instances classified 1 < d < k (shared FSM, classes of k/d states)"
 
 let c_tables =
   Lams_obs.Obs.counter "auto.tables_built" ~units:"tables"
     ~doc:"gap tables served through the dispatcher"
 
+(* Classification is a gcd comparison and nothing else: the shared FSM
+   is built lazily on the first table request, so inspecting the
+   strategy (`lams explain`) never pays the O(k) fill. *)
 let create problem =
   let d = Problem.gcd problem in
   let strategy =
@@ -28,16 +30,13 @@ let create problem =
       Lams_obs.Obs.incr c_degenerate;
       Degenerate
     end
-    else if d = 1 then begin
-      match Shared_fsm.build problem with
-      | Some shared ->
-          Lams_obs.Obs.incr c_shared;
-          Shared shared
-      | None -> assert false (* d = 1 *)
-    end
     else begin
-      Lams_obs.Obs.incr c_general;
-      General
+      Lams_obs.Obs.incr (if d = 1 then c_shared else c_shared_general);
+      Shared
+        (lazy
+          (match Shared_fsm.build problem with
+          | Some shared -> shared
+          | None -> assert false (* d < k *)))
     end
   in
   { problem; strategy }
@@ -58,11 +57,11 @@ let gap_table t ~m =
   Lams_obs.Obs.incr c_tables;
   match t.strategy with
   | Degenerate -> degenerate_table t.problem ~m
-  | Shared shared -> Shared_fsm.gap_table shared ~m
-  | General -> Kns.gap_table t.problem ~m
+  | Shared shared -> Shared_fsm.gap_table (Lazy.force shared) ~m
 
 let strategy_name t =
   match t.strategy with
   | Degenerate -> "degenerate (d >= k)"
-  | Shared _ -> "shared FSM (gcd = 1)"
-  | General -> "general lattice walk"
+  | Shared _ ->
+      if Problem.gcd t.problem = 1 then "shared FSM (gcd = 1)"
+      else "shared FSM (1 < d < k)"

@@ -7,9 +7,15 @@
 
     - [d >= k] (in particular [pk | s]): every processor's table has
       period 0 or 1 — closed forms, no basis, no walk;
-    - [gcd(s, pk) = 1]: transition tables are shared across processors —
-      build once, per-processor start only ({!Shared_fsm});
-    - otherwise: the general lattice walk ({!Kns}).
+    - [d < k]: transition tables are shared across processors — one
+      [O(k/d)]-state residue class is built once and replayed per
+      processor ({!Shared_fsm}). With [d = 1] that is the classic §6.1
+      whole-table sharing; with [1 < d < k] it is the generalized form.
+
+    Classification itself is side-effect-free: [create] only compares
+    [gcd(s, pk)] against [k], and the shared FSM is built lazily on the
+    first {!gap_table} call, so strategy inspection ([lams explain])
+    costs [O(log)], not [O(k)].
 
     ({!Hiranandani} is {e not} in the chain: on its domain it is
     asymptotically equal to and practically slower than the lattice walk —
@@ -17,19 +23,19 @@
 
 type strategy =
   | Degenerate  (** [d >= k]: periods 0/1 everywhere *)
-  | Shared of Shared_fsm.t  (** [d = 1]: tables built once *)
-  | General  (** the lattice walk per processor *)
+  | Shared of Shared_fsm.t Lazy.t
+      (** [d < k]: shared tables, built on first use *)
 
 type t
 (** A dispatcher for one problem instance; reusable across processors. *)
 
 val create : Problem.t -> t
-(** Classifies once ([O(k + log)] in the [Shared] case, [O(log)]
-    otherwise). *)
+(** Classifies in [O(log)]; never builds tables. *)
 
 val strategy : t -> strategy
 
 val gap_table : t -> m:int -> Access_table.t
-(** Identical result to [Kns.gap_table] (tested), via the cheapest path. *)
+(** Identical result to [Kns.gap_table] (tested), via the cheapest path.
+    First call on a [Shared] instance forces the shared-table build. *)
 
 val strategy_name : t -> string

@@ -1,0 +1,148 @@
+let c_hits =
+  Lams_obs.Obs.counter "plan_cache.hits" ~units:"lookups"
+    ~doc:"whole-machine plan lookups served from the cache"
+
+let c_misses =
+  Lams_obs.Obs.counter "plan_cache.misses" ~units:"lookups"
+    ~doc:"whole-machine plan lookups that had to build tables"
+
+let c_evictions =
+  Lams_obs.Obs.counter "plan_cache.evictions" ~units:"entries"
+    ~doc:"least-recently-used entries dropped at capacity"
+
+type entry = {
+  problem : Problem.t;  (* canonical: 0 <= l < cycle_span *)
+  u : int;  (* canonical upper bound, u - g_shift *)
+  tables : Access_table.t array;
+  fsms : Fsm.t option array;
+  lasts : int option array;
+}
+
+type view = { entry : entry; g_shift : int; local_shift : int }
+
+(* Shifting a problem's [l] by a multiple of cycle_span = pk·s/d leaves
+   offsets, owners, gap tables and the FSM untouched: the shift is a
+   whole number of allocation rows (cycle_span = (s/d)·pk), so every
+   global index moves by g_shift, every local address by
+   (g_shift/pk)·k, and all differences — the gaps — are unchanged.
+   Canonicalizing to l mod cycle_span (and u - g_shift) lets sections
+   that differ only by where they start in the array share one entry. *)
+let canonical pr ~u =
+  let span = Problem.cycle_span pr in
+  let l0 = pr.Problem.l mod span in
+  let g_shift = pr.Problem.l - l0 in
+  let pr0 =
+    if g_shift = 0 then pr
+    else Problem.make ~p:pr.Problem.p ~k:pr.Problem.k ~l:l0 ~s:pr.Problem.s
+  in
+  let local_shift = g_shift / Problem.row_len pr * pr.Problem.k in
+  (pr0, u - g_shift, g_shift, local_shift)
+
+let build_entry pr ~u =
+  let p = pr.Problem.p in
+  let tables, fsms =
+    match Shared_fsm.build pr with
+    | Some shared ->
+        (* d < k: every window is non-empty; one shared fill, p replays. *)
+        ( Array.init p (fun m -> Shared_fsm.gap_table shared ~m),
+          Array.init p (fun m -> Some (Shared_fsm.fsm_for shared ~m)) )
+    | None ->
+        (* d >= k: the per-processor paths already short-circuit to
+           closed forms, so there is nothing to share. *)
+        ( Array.init p (fun m -> Kns.gap_table pr ~m),
+          Array.init p (fun m -> Fsm.build pr ~m) )
+  in
+  let lasts = Array.init p (fun m -> Start_finder.last_location pr ~m ~u) in
+  { problem = pr; u; tables; fsms; lasts }
+
+type slot = { entry : entry; mutable last_used : int }
+
+let default_capacity = 64
+let cap = ref default_capacity
+let tick = ref 0
+let table_mutex = Mutex.create ()
+
+let cache : (int * int * int * int * int, slot) Hashtbl.t = Hashtbl.create 64
+
+(* Callers hold [table_mutex]. *)
+let evict_down_to target =
+  while Hashtbl.length cache > target do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !victim with
+        | Some (_, age) when age <= slot.last_used -> ()
+        | _ -> victim := Some (key, slot.last_used))
+      cache;
+    match !victim with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove cache key;
+        Lams_obs.Obs.incr c_evictions
+  done
+
+let find pr ~u =
+  let pr0, u0, g_shift, local_shift = canonical pr ~u in
+  let key = (pr0.Problem.p, pr0.Problem.k, pr0.Problem.s, pr0.Problem.l, u0) in
+  Mutex.lock table_mutex;
+  match Hashtbl.find_opt cache key with
+  | Some slot ->
+      incr tick;
+      slot.last_used <- !tick;
+      Mutex.unlock table_mutex;
+      Lams_obs.Obs.incr c_hits;
+      { entry = slot.entry; g_shift; local_shift }
+  | None ->
+      Mutex.unlock table_mutex;
+      Lams_obs.Obs.incr c_misses;
+      (* Build outside the lock so parallel fills of different problems
+         never serialize; a racing double-build of the same key is
+         harmless (both entries are correct, first insert wins). *)
+      let entry = build_entry pr0 ~u:u0 in
+      Mutex.lock table_mutex;
+      (if !cap > 0 && not (Hashtbl.mem cache key) then begin
+         evict_down_to (!cap - 1);
+         incr tick;
+         Hashtbl.add cache key { entry; last_used = !tick }
+       end);
+      Mutex.unlock table_mutex;
+      { entry; g_shift; local_shift }
+
+let table (v : view) ~m =
+  let t = v.entry.tables.(m) in
+  if v.g_shift = 0 then t
+  else
+    match (t.Access_table.start, t.Access_table.start_local) with
+    | Some g, Some sl ->
+        { t with
+          Access_table.start = Some (g + v.g_shift);
+          start_local = Some (sl + v.local_shift) }
+    | _ -> t
+
+(* The FSM is indexed by local offset, which is invariant under
+   cycle_span shifts (g_shift is a multiple of pk), so no rebasing. *)
+let fsm (v : view) ~m = v.entry.fsms.(m)
+
+let last_location (v : view) ~m =
+  Option.map (fun g -> g + v.g_shift) v.entry.lasts.(m)
+
+let g_shift (v : view) = v.g_shift
+
+let size () =
+  Mutex.lock table_mutex;
+  let n = Hashtbl.length cache in
+  Mutex.unlock table_mutex;
+  n
+
+let capacity () = !cap
+
+let set_capacity n =
+  Mutex.lock table_mutex;
+  cap := max 0 n;
+  evict_down_to !cap;
+  Mutex.unlock table_mutex
+
+let clear () =
+  Mutex.lock table_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock table_mutex

@@ -1,57 +1,106 @@
+open Lams_lattice
+
 type t = {
   problem : Problem.t;
+  d : int;
+  basis : Basis.t;
   delta : int array;
   next_offset : int array;
+  filled : bool array;
+  fill_mutex : Mutex.t;
 }
 
 let c_builds =
   Lams_obs.Obs.counter "shared_fsm.builds" ~units:"builds"
-    ~doc:"shared transition tables built (once per gcd = 1 instance)"
+    ~doc:"shared transition tables built (once per d < k instance)"
+
+let c_class_fills =
+  Lams_obs.Obs.counter "shared_fsm.class_fills" ~units:"classes"
+    ~doc:"residue classes of k/d states filled into a shared table"
 
 let c_tables =
   Lams_obs.Obs.counter "shared_fsm.tables_built" ~units:"tables"
     ~doc:"per-processor gap tables replayed from a shared FSM"
 
+(* Fill the states of residue class [c]: the local offsets o = c, c+d, ...
+   < k. Every one of them is a reachable state of any processor whose
+   window offsets fall in class c (Start_finder visits each multiple of d
+   in the window), and Theorem 3's step choice depends only on the local
+   offset, so a single linear pass — the one lattice walk of §6.1,
+   generalized — serves every such processor. The mutex makes concurrent
+   fills from parallel SPMD domains safe: readers call [fill_class]
+   before replaying, and the acquire/release pair orders the table writes
+   before their loads. *)
+let fill_class t c =
+  Mutex.lock t.fill_mutex;
+  if not t.filled.(c) then begin
+    Lams_obs.Obs.incr c_class_fills;
+    let k = t.problem.Problem.k in
+    let o = ref c in
+    while !o < k do
+      let step = Basis.next_step t.basis ~proc:0 ~offset:!o in
+      t.delta.(!o) <- Basis.gap t.basis step;
+      t.next_offset.(!o) <- !o + step.Point.b;
+      o := !o + t.d
+    done;
+    t.filled.(c) <- true
+  end;
+  Mutex.unlock t.fill_mutex
+
 let build pr =
-  if Problem.gcd pr <> 1 then None
-  else begin
-    Lams_obs.Obs.incr c_builds;
-    (* With d = 1 every processor reaches all k states and processor 0 is
-       never empty; build the tables once from processor 0. *)
-    match Fsm.build pr ~m:0 with
-    | None -> assert false (* d = 1 means every processor owns elements *)
-    | Some fsm ->
-        assert (fsm.Fsm.length = pr.Problem.k);
-        Some
-          { problem = pr;
-            delta = fsm.Fsm.delta;
-            next_offset = fsm.Fsm.next_offset }
-  end
+  match Basis.construct ~p:pr.Problem.p ~k:pr.Problem.k ~s:pr.Problem.s with
+  | None -> None (* d >= k: degenerate closed forms, no FSM needed *)
+  | Some basis ->
+      Lams_obs.Obs.incr c_builds;
+      let k = pr.Problem.k in
+      let d = Problem.gcd pr in
+      let t =
+        { problem = pr;
+          d;
+          basis;
+          delta = Array.make k Fsm.unreachable_delta;
+          next_offset = Array.make k (-1);
+          filled = Array.make d false;
+          fill_mutex = Mutex.create () }
+      in
+      (* Processor 0's class is filled eagerly; other classes (they exist
+         only when d does not divide k) are filled on first use. *)
+      fill_class t (pr.Problem.l mod d);
+      Some t
 
 let start t ~m =
   match (Start_finder.find t.problem ~m).Start_finder.start with
   | Some g -> (g, g mod t.problem.Problem.k)
-  | None -> assert false (* d = 1: every processor owns elements *)
+  | None -> assert false (* d < k: every window holds >= 1 element *)
 
 let gap_table t ~m =
   Lams_obs.Obs.incr c_tables;
-  let g, state0 = start t ~m in
-  let k = t.problem.Problem.k in
-  let gaps = Array.make k 0 in
-  let state = ref state0 in
-  for j = 0 to k - 1 do
-    gaps.(j) <- t.delta.(!state);
-    state := t.next_offset.(!state)
-  done;
-  let lay = Problem.layout t.problem in
-  { Access_table.start = Some g;
-    start_local = Some (Lams_dist.Layout.local_address lay g);
-    length = k;
-    gaps }
+  let { Start_finder.start; length } = Start_finder.find t.problem ~m in
+  match start with
+  | None -> assert false (* d < k *)
+  | Some g ->
+      let state0 = g mod t.problem.Problem.k in
+      fill_class t (state0 mod t.d);
+      let gaps = Array.make length 0 in
+      let state = ref state0 in
+      for j = 0 to length - 1 do
+        gaps.(j) <- t.delta.(!state);
+        state := t.next_offset.(!state)
+      done;
+      let lay = Problem.layout t.problem in
+      { Access_table.start = Some g;
+        start_local = Some (Lams_dist.Layout.local_address lay g);
+        length;
+        gaps }
 
 let fsm_for t ~m =
-  let _, state0 = start t ~m in
-  { Fsm.start_offset = state0;
-    delta = t.delta;
-    next_offset = t.next_offset;
-    length = t.problem.Problem.k }
+  let { Start_finder.start; length } = Start_finder.find t.problem ~m in
+  match start with
+  | None -> assert false (* d < k *)
+  | Some g ->
+      let state0 = g mod t.problem.Problem.k in
+      fill_class t (state0 mod t.d);
+      { Fsm.start_offset = state0;
+        delta = t.delta;
+        next_offset = t.next_offset;
+        length }

@@ -1,35 +1,53 @@
-(** The compile-time specialisation of §6.1: when [gcd(s, pk) = 1] the
-    local [AM] sequences of all processors are cyclic shifts of one
-    another, so the transition tables can be computed {e once} and every
-    processor only needs its starting location.
-
-    This works because the state transitions of the access FSM (§2)
-    depend only on [(p, k, s)]: the Theorem 3 tests compare the {e local}
-    offset [o = row_offset − m*k] against [k], so the [delta]/[NextOffset]
+(** The compile-time specialisation of §6.1, generalized to every
+    [d = gcd(s, pk) < k]: the transition tables of the access FSM (§2)
+    depend only on the {e local} offset [o = row_offset − m*k] — the
+    Theorem 3 tests compare [o] against [k] — so the [delta]/[NextOffset]
     tables indexed by local offset are identical on every processor.
-    With [d = 1] every one of the [k] states is reachable on every
-    processor, hence the full table is shared verbatim. *)
+
+    The offsets reachable on processor [m] are exactly the [k/d]
+    multiples of [d] congruent to [(l − m·k) mod d] in [0, k): one
+    residue class of the state space. Both basis vectors have
+    [b ≡ 0 (mod d)], so transitions stay inside a class and one
+    [O(k/d)] linear pass over a class — a single generalized lattice
+    walk, with no per-state [Basis.next_step] search — fills every state
+    any processor of that class will ever visit. With [d = 1] this
+    degenerates to the original single shared table of [k] states; with
+    [d ∤ k] different processors live in different classes, which are
+    filled lazily (mutex-protected, safe under parallel SPMD fills).
+
+    Whole-machine table construction therefore costs
+    [O(k + p·(k/d))] — the shared fill plus [p] replays — instead of the
+    seed's [O(p·k)] per-processor walks. *)
 
 type t = private {
   problem : Problem.t;
-  delta : int array;  (** size [k]: gap leaving each local offset *)
+  d : int;  (** [gcd(s, pk)]; states live in residue classes mod [d] *)
+  basis : Lams_lattice.Basis.t;
+  delta : int array;
+      (** size [k]: gap leaving each local offset; [Fsm.unreachable_delta]
+          where the offset's class has not been filled *)
   next_offset : int array;  (** size [k]: successor local offset *)
+  filled : bool array;  (** size [d]: which residue classes are filled *)
+  fill_mutex : Mutex.t;
 }
 
 val build : Problem.t -> t option
-(** [None] unless [gcd (s, p*k) = 1]. Cost: one ordinary table
-    construction ([O(k + log min(s, pk))]), paid once for all
-    processors. *)
+(** [None] iff [d >= k] (the degenerate regime, where closed forms beat
+    any table). Cost: one basis construction plus one [O(k/d)] class
+    fill, paid once for all processors. *)
 
 val start : t -> m:int -> int * int
 (** [(global start element, start state)] for a processor — the only
     per-processor work left. *)
 
 val gap_table : t -> m:int -> Access_table.t
-(** Processor [m]'s table, derived by walking the shared FSM from its
+(** Processor [m]'s table, derived by replaying the shared FSM from its
     start state: no extended Euclid, no Diophantine scan, no basis
-    construction per processor. Identical to [Kns.gap_table] (tested). *)
+    construction, no Theorem 3 branching per processor. Identical to
+    [Kns.gap_table] (tested across all [d] regimes). *)
 
 val fsm_for : t -> m:int -> Fsm.t
 (** The shared tables repackaged with processor [m]'s start state —
-    directly consumable by code shape 8(d). *)
+    directly consumable by code shape 8(d). The [delta]/[next_offset]
+    arrays are shared with [t] (and with every other processor's view):
+    treat them as read-only. *)

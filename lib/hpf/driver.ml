@@ -31,11 +31,13 @@ let compile source =
       | Error errs -> Error (Semantic errs)
     end
 
-let compile_and_run ?shape source =
+let compile_and_run ?shape ?parallel source =
   match compile source with
   | Error f -> Error f
   | Ok checked ->
-      let runtime = Lams_obs.Obs.time sp_run (fun () -> Runtime.run ?shape checked) in
+      let runtime =
+        Lams_obs.Obs.time sp_run (fun () -> Runtime.run ?shape ?parallel checked)
+      in
       Ok { checked; runtime; outputs = runtime.Runtime.outputs }
 
 type divergence =
@@ -76,12 +78,14 @@ let first_divergence (checked : Sema.checked) (runtime : Runtime.t)
           scan 0)
         checked.Sema.arrays
 
-let crosscheck ?shape source =
+let crosscheck ?shape ?parallel source =
   match compile source with
   | Error f -> Error (`Failure f)
   | Ok checked -> begin
       Lams_obs.Obs.incr c_crosschecks;
-      let runtime = Lams_obs.Obs.time sp_run (fun () -> Runtime.run ?shape checked) in
+      let runtime =
+        Lams_obs.Obs.time sp_run (fun () -> Runtime.run ?shape ?parallel checked)
+      in
       let reference = Reference.run checked in
       match first_divergence checked runtime reference with
       | Some d -> Error (`Diverged d)

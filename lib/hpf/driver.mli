@@ -17,14 +17,17 @@ type failure =
 
 val compile : string -> (Sema.checked, failure) result
 val compile_and_run :
-  ?shape:Lams_codegen.Shapes.t -> string -> (outcome, failure) result
+  ?shape:Lams_codegen.Shapes.t -> ?parallel:bool -> string ->
+  (outcome, failure) result
+(** [parallel] runs rank-1 constant fills on the {!Lams_sim.Spmd} domain
+    pool (default [false]). *)
 
 type divergence =
   | Output_differs of { index : int; simulated : string; reference : string }
   | Contents_differ of { array : string; index : int; simulated : float; reference : float }
 
 val crosscheck :
-  ?shape:Lams_codegen.Shapes.t -> string ->
+  ?shape:Lams_codegen.Shapes.t -> ?parallel:bool -> string ->
   (outcome, [ `Failure of failure | `Diverged of divergence ]) result
 
 val pp_failure : Format.formatter -> failure -> unit

@@ -157,7 +157,8 @@ let c_copies =
   Lams_obs.Obs.counter "hpf.copies" ~units:"statements"
     ~doc:"schedule-driven section copies (data exchange)"
 
-let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
+let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
+    (checked : Sema.checked) =
   let arrays =
     List.map (fun info -> (info.Sema.name, make_array info)) checked.Sema.arrays
   in
@@ -185,7 +186,7 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) (checked : Sema.checked) =
           | Direct d, Sema.Const v ->
               (* The paper's measured kernel: node code over local memory. *)
               Lams_obs.Obs.incr c_fills;
-              Section_ops.fill ~shape d lhs.Sema.sections.(0) v
+              Section_ops.fill ~shape ~parallel d lhs.Sema.sections.(0) v
           | Md { md; stores; _ }, Sema.Const v ->
               Lams_obs.Obs.incr c_fills;
               md_fill md stores lhs.Sema.sections v

@@ -30,9 +30,13 @@ type t = {
   network : Lams_sim.Network.t option;  (** present iff any copy communicated *)
 }
 
-val run : ?shape:Lams_codegen.Shapes.t -> Sema.checked -> t
+val run : ?shape:Lams_codegen.Shapes.t -> ?parallel:bool -> Sema.checked -> t
 (** Execute all actions. [shape] selects the node code used for constant
-    fills of rank-1 identity-mapped arrays (default [Shape_d]). *)
+    fills of rank-1 identity-mapped arrays (default [Shape_d]);
+    [parallel] (default [false]) runs those fills' ranks on the
+    {!Lams_sim.Spmd} domain pool. Plans are served by the process-wide
+    {!Lams_core.Plan_cache}, so repeated statements over the same section
+    skip table construction. *)
 
 val read : t -> string -> int array -> float
 (** Element read from the final state, by multi-index.

@@ -81,32 +81,36 @@ let copy ?net ~src ~src_section ~dst ~dst_section () =
   let src_pr = Problem.of_section (Darray.layout src) src_norm in
   let dst_lay = Darray.layout dst in
   (* Phase 1: every source owner walks its owned elements, routes each
-     value to the destination owner's local address. *)
+     value to the destination owner's local address. Two passes: count
+     per destination, then fill exact-size message buffers — no list
+     cells, no per-pair tuples, no rebuild on the gather hot path. *)
   let send_phase m =
     if m < p_src then begin
       let store = Darray.local src m in
-      let buckets = Array.make p_dst ([] : (int * float) list) in
+      let counts = Array.make p_dst 0 in
+      Enumerate.iter_bounded src_pr ~m ~u:src_norm.Section.hi
+        ~f:(fun g _local ->
+          let j = position_in src_section g in
+          let owner = Layout.owner dst_lay (Section.nth dst_section j) in
+          counts.(owner) <- counts.(owner) + 1);
+      let addresses = Array.map (fun n -> Array.make n 0) counts in
+      let payload = Array.map (fun n -> Array.make n 0.) counts in
+      let cursor = Array.make p_dst 0 in
       Enumerate.iter_bounded src_pr ~m ~u:src_norm.Section.hi
         ~f:(fun g local ->
           let j = position_in src_section g in
           let g_dst = Section.nth dst_section j in
           let owner = Layout.owner dst_lay g_dst in
-          let addr = Layout.local_address dst_lay g_dst in
-          buckets.(owner) <- (addr, Local_store.get store local) :: buckets.(owner));
+          let at = cursor.(owner) in
+          addresses.(owner).(at) <- Layout.local_address dst_lay g_dst;
+          payload.(owner).(at) <- Local_store.get store local;
+          cursor.(owner) <- at + 1);
       Array.iteri
-        (fun owner items ->
-          match items with
-          | [] -> ()
-          | _ ->
-              let n = List.length items in
-              let addresses = Array.make n 0 and payload = Array.make n 0. in
-              List.iteri
-                (fun idx (addr, v) ->
-                  addresses.(idx) <- addr;
-                  payload.(idx) <- v)
-                items;
-              Network.send net ~src:m ~dst:owner ~tag:0 ~addresses ~payload)
-        buckets
+        (fun owner n ->
+          if n > 0 then
+            Network.send net ~src:m ~dst:owner ~tag:0
+              ~addresses:addresses.(owner) ~payload:payload.(owner))
+        counts
     end
   in
   (* Phase 2: destination owners drain their mailboxes. *)

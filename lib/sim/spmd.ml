@@ -25,9 +25,138 @@ let run_timed ~p ~f =
     max_us = Array.fold_left max 0. per_proc_us;
     total_us = Array.fold_left ( +. ) 0. per_proc_us }
 
+(* --- The reusable domain pool ---------------------------------------
+
+   Seed behaviour spawned (and joined) fresh domains on every
+   [run_parallel] call — ~10s of microseconds per domain per call, paid
+   on every parallel fill/copy. The pool spawns its workers once, parks
+   them on a condition variable, and hands each [run_parallel] call to
+   them as a generation-stamped job. Ranks are scheduled dynamically:
+   participants grab chunks of ranks from an [Atomic] cursor, so uneven
+   rank costs load-balance instead of following the seed's static block
+   partition. The caller participates too, then blocks until the job's
+   completed-rank count reaches [p]. *)
+
+let c_dispatches =
+  Lams_obs.Obs.counter "spmd.pool.dispatches" ~units:"jobs"
+    ~doc:"parallel rank sweeps dispatched to the domain pool"
+
+let c_spawns =
+  Lams_obs.Obs.counter "spmd.pool.spawns" ~units:"domains"
+    ~doc:"worker domains spawned (once per process, not per call)"
+
+type job = {
+  f : int -> unit;
+  p : int;
+  chunk : int;
+  width : int;  (* max participants, including the caller *)
+  cursor : int Atomic.t;  (* next rank block to hand out *)
+  joined : int Atomic.t;  (* worker admission ticket *)
+  completed : int Atomic.t;  (* ranks finished, job done at [p] *)
+  mutable error : exn option;
+}
+
+type pool = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable spawned : bool;
+}
+
+let pool =
+  { mutex = Mutex.create ();
+    cond = Condition.create ();
+    job = None;
+    generation = 0;
+    stop = false;
+    workers = [];
+    spawned = false }
+
+let record_error j e =
+  Mutex.lock pool.mutex;
+  (match j.error with None -> j.error <- Some e | Some _ -> ());
+  Mutex.unlock pool.mutex
+
+(* Pull rank chunks until the cursor runs dry. Whoever retires the last
+   rank wakes the caller (and any parked worker) so completion is never
+   missed: the broadcast happens under the pool mutex, which the caller
+   holds while re-checking [completed]. *)
+let work_on j =
+  let rec grab () =
+    let lo = Atomic.fetch_and_add j.cursor j.chunk in
+    if lo < j.p then begin
+      let hi = min j.p (lo + j.chunk) in
+      (try
+         for m = lo to hi - 1 do
+           j.f m
+         done
+       with e -> record_error j e);
+      let finished = hi - lo + Atomic.fetch_and_add j.completed (hi - lo) in
+      if finished >= j.p then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.cond;
+        Mutex.unlock pool.mutex
+      end;
+      grab ()
+    end
+  in
+  grab ()
+
+let worker () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.generation = !seen do
+      Condition.wait pool.cond pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      let job = pool.job in
+      seen := pool.generation;
+      Mutex.unlock pool.mutex;
+      match job with
+      | Some j ->
+          (* Admission ticket: a pool larger than the requested width
+             leaves the surplus workers parked ([width - 1] worker slots;
+             the caller is the remaining participant). *)
+          if Atomic.fetch_and_add j.joined 1 < j.width - 1 then work_on j
+      | None -> ()
+    end
+  done
+
+let shutdown () =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.cond;
+  let ws = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join ws
+
+(* Spawn the workers on first parallel use: one fewer than the
+   recommended domain count (the calling domain participates), but at
+   least one so the pool path stays exercised on single-core hosts. *)
+let ensure_workers () =
+  Mutex.lock pool.mutex;
+  if not pool.spawned then begin
+    pool.spawned <- true;
+    let n = max 1 (Domain.recommended_domain_count () - 1) in
+    pool.workers <- List.init n (fun _ -> Domain.spawn worker);
+    Lams_obs.Obs.add c_spawns n;
+    at_exit shutdown
+  end;
+  Mutex.unlock pool.mutex
+
 let run_parallel ?domains ~p f =
   check_p p;
-  let workers =
+  let width =
     let d =
       match domains with
       | Some d -> d
@@ -35,20 +164,37 @@ let run_parallel ?domains ~p f =
     in
     max 1 (min d p)
   in
-  if workers = 1 then run ~p ~f
+  if width = 1 then run ~p ~f
   else begin
-    (* Static block partition of ranks over domains. *)
-    let chunk = (p + workers - 1) / workers in
-    let spawned =
-      List.init workers (fun w ->
-          let lo = w * chunk in
-          let hi = min p (lo + chunk) - 1 in
-          Domain.spawn (fun () ->
-              for m = lo to hi do
-                f m
-              done))
+    ensure_workers ();
+    Lams_obs.Obs.incr c_dispatches;
+    (* Small chunks load-balance; a floor of width avoids degenerate
+       one-rank handouts dominating on large p. *)
+    let chunk = max 1 (p / (width * 4)) in
+    let j =
+      { f;
+        p;
+        chunk;
+        width;
+        cursor = Atomic.make 0;
+        joined = Atomic.make 0;
+        completed = Atomic.make 0;
+        error = None }
     in
-    List.iter Domain.join spawned
+    Mutex.lock pool.mutex;
+    pool.job <- Some j;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    (* The caller is always a participant (no admission ticket). *)
+    work_on j;
+    Mutex.lock pool.mutex;
+    while Atomic.get j.completed < j.p do
+      Condition.wait pool.cond pool.mutex
+    done;
+    (match pool.job with Some j' when j' == j -> pool.job <- None | _ -> ());
+    Mutex.unlock pool.mutex;
+    match j.error with Some e -> raise e | None -> ()
   end
 
 let run_collect ~p ~f =

@@ -22,7 +22,18 @@ val run_parallel : ?domains:int -> p:int -> (int -> unit) -> unit
     [p]). Correct only when [f m] touches rank-disjoint state — which
     holds for the node programs here, since each rank owns its local
     store. Timing is not reported (per-rank wall-clock is meaningless
-    under oversubscription); use {!run_timed} for the paper's metric. *)
+    under oversubscription); use {!run_timed} for the paper's metric.
+
+    Served by a process-wide {e domain pool}: worker domains are spawned
+    once on first use and parked on a condition variable between calls,
+    so repeated parallel sweeps pay a wakeup, not a
+    [Domain.spawn]/[join] round trip. Ranks are handed out in chunks
+    from an [Atomic] cursor (dynamic load balancing); the calling domain
+    participates. An exception in [f] is re-raised in the caller after
+    all ranks retire (first one wins). Dispatches and spawns are the
+    [spmd.pool.*] {!Lams_obs.Obs} counters. When [domains] (or the
+    recommendation, e.g. on a single-core host) is [1], runs
+    sequentially without touching the pool. *)
 
 val run_timed : p:int -> f:(int -> unit) -> timing
 (** Same, timing each rank's execution. *)

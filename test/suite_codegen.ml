@@ -289,8 +289,45 @@ let prop_runs_flatten =
           in
           want = got)
 
+(* The shape-(d) traversal a plan drives: gaps read by chasing
+   next_offset from the start state. Cached plans may share wider
+   delta_by_offset arrays (extra residue classes filled for other
+   processors), so equivalence is over the driven walk, not raw arrays. *)
+let shape_d_gaps (pl : Plan.t) =
+  let o = ref pl.Plan.start_offset in
+  Array.init
+    (2 * pl.Plan.length)
+    (fun _ ->
+      let g = pl.Plan.delta_by_offset.(!o) in
+      o := pl.Plan.next_offset.(!o);
+      g)
+
+let prop_plan_cached_equals_uncached =
+  Tutil.qtest ~count:250 "Plan.build (cached) = Plan.build_uncached"
+    QCheck2.Gen.(
+      let* ((p, k, l, s) as pksl) = Tutil.gen_problem in
+      let* m = int_range 0 (p - 1) in
+      let* extra = int_range 0 (3 * p * k * s) in
+      return (pksl, m, l + extra))
+    ~print:(fun (pksl, m, u) ->
+      Printf.sprintf "%s m=%d u=%d" (Tutil.print_problem pksl) m u)
+    (fun (pksl, m, u) ->
+      let pr = Tutil.problem_of pksl in
+      match (Plan.build pr ~m ~u, Plan.build_uncached pr ~m ~u) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Plan.start_local = b.Plan.start_local
+          && a.Plan.last_local = b.Plan.last_local
+          && a.Plan.length = b.Plan.length
+          && a.Plan.delta_m = b.Plan.delta_m
+          && a.Plan.start_offset = b.Plan.start_offset
+          && shape_d_gaps a = shape_d_gaps b
+          && Plan.local_extent_needed a = Plan.local_extent_needed b
+      | _ -> false)
+
 let suite =
   [ Alcotest.test_case "plan on the paper example" `Quick test_plan_paper;
+    prop_plan_cached_equals_uncached;
     Alcotest.test_case "runs: stride-1 collapses to one block" `Quick
       test_runs_stride1;
     Alcotest.test_case "runs: coverage, maximality, fill" `Quick

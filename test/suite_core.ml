@@ -345,21 +345,130 @@ let test_shared_fsm_paper () =
       Tutil.check_int_array "walks agree" (Fsm.walk direct ~steps:16)
         (Fsm.walk derived ~steps:16)
 
-let test_shared_fsm_requires_gcd1 () =
-  Alcotest.(check bool) "gcd 2" true
-    (Shared_fsm.build (Problem.make ~p:4 ~k:8 ~l:0 ~s:6) = None);
-  Alcotest.(check bool) "gcd pk" true
-    (Shared_fsm.build (Problem.make ~p:4 ~k:8 ~l:0 ~s:32) = None)
+let test_shared_fsm_domain () =
+  (* d >= k: no FSM (the closed forms win); every d < k: shared tables. *)
+  Alcotest.(check bool) "d = pk" true
+    (Shared_fsm.build (Problem.make ~p:4 ~k:8 ~l:0 ~s:32) = None);
+  Alcotest.(check bool) "d = k" true
+    (Shared_fsm.build (Problem.make ~p:4 ~k:8 ~l:0 ~s:24) = None);
+  let check_all pr =
+    match Shared_fsm.build pr with
+    | None -> Alcotest.failf "1 < d < k must build a shared FSM: %a" Problem.pp pr
+    | Some shared ->
+        for m = 0 to pr.Problem.p - 1 do
+          Alcotest.(check bool)
+            (Format.asprintf "table %a m=%d" Problem.pp pr m)
+            true
+            (Access_table.equal (Shared_fsm.gap_table shared ~m)
+               (Kns.gap_table pr ~m))
+        done
+  in
+  (* gcd(6, 32) = 2 divides k = 8: all processors share one residue
+     class of k/d = 4 states. *)
+  check_all (Problem.make ~p:4 ~k:8 ~l:3 ~s:6);
+  (* gcd(3, 24) = 3 does not divide k = 8: processors live in different
+     residue classes, exercising the lazy class fills. *)
+  check_all (Problem.make ~p:3 ~k:8 ~l:1 ~s:3)
 
 let prop_shared_fsm_equals_kns =
-  Tutil.qtest ~count:300 "shared FSM = KNS whenever gcd = 1"
+  Tutil.qtest ~count:300 "shared FSM = KNS across all d regimes"
     Tutil.gen_problem_with_proc ~print:Tutil.print_problem_with_proc
     (fun (pksl, m) ->
       let pr = Tutil.problem_of pksl in
       match Shared_fsm.build pr with
-      | None -> Problem.gcd pr <> 1
+      | None -> Problem.gcd pr >= pr.Problem.k
       | Some shared ->
           Access_table.equal (Shared_fsm.gap_table shared ~m) (Kns.gap_table pr ~m))
+
+(* --- Plan cache (process-wide whole-machine table cache) --- *)
+
+let with_clean_cache f =
+  Plan_cache.clear ();
+  Fun.protect f ~finally:(fun () ->
+      Plan_cache.set_capacity Plan_cache.default_capacity;
+      Plan_cache.clear ())
+
+let gen_bounded_problem =
+  QCheck2.Gen.(
+    let* ((p, k, l, s) as pksl) = Tutil.gen_problem in
+    let* m = int_range 0 (p - 1) in
+    let* extra = int_range 0 (3 * p * k * s) in
+    return (pksl, m, l + extra))
+
+let print_bounded_problem (pksl, m, u) =
+  Printf.sprintf "%s m=%d u=%d" (Tutil.print_problem pksl) m u
+
+let fsm_agrees a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+      (* The shared delta array may carry extra filled classes, so compare
+         behaviour (the walk), not the raw tables. *)
+      a.Fsm.start_offset = b.Fsm.start_offset
+      && a.Fsm.length = b.Fsm.length
+      && Fsm.walk a ~steps:24 = Fsm.walk b ~steps:24
+  | _ -> false
+
+let prop_plan_cache_matches_fresh =
+  Tutil.qtest ~count:200 "plan cache = fresh construction"
+    gen_bounded_problem ~print:print_bounded_problem
+    (fun (pksl, m, u) ->
+      let pr = Tutil.problem_of pksl in
+      let miss = Plan_cache.find pr ~u in
+      let hit = Plan_cache.find pr ~u in
+      let fresh = Kns.gap_table pr ~m in
+      Access_table.equal (Plan_cache.table miss ~m) fresh
+      && Access_table.equal (Plan_cache.table hit ~m) fresh
+      && Plan_cache.last_location hit ~m = Start_finder.last_location pr ~m ~u
+      && fsm_agrees (Plan_cache.fsm hit ~m) (Fsm.build pr ~m))
+
+let test_plan_cache_eviction () =
+  (* A capacity-2 cache thrashed by 5 problems must keep answering
+     exactly like fresh construction: eviction never changes results. *)
+  with_clean_cache (fun () ->
+      Plan_cache.set_capacity 2;
+      let prs =
+        List.map (fun s -> Problem.make ~p:4 ~k:8 ~l:0 ~s) [ 3; 5; 6; 7; 9 ]
+      in
+      for _round = 1 to 3 do
+        List.iter
+          (fun pr ->
+            let v = Plan_cache.find pr ~u:500 in
+            for m = 0 to 3 do
+              Alcotest.(check bool)
+                (Format.asprintf "thrashed %a m=%d" Problem.pp pr m)
+                true
+                (Access_table.equal (Plan_cache.table v ~m)
+                   (Kns.gap_table pr ~m))
+            done)
+          prs
+      done;
+      Alcotest.(check bool) "capacity respected" true (Plan_cache.size () <= 2))
+
+let test_plan_cache_canonicalization () =
+  (* Shifting l (and u) by a multiple of cycle_span must hit the same
+     entry and rebase correctly. *)
+  with_clean_cache (fun () ->
+      let span = Problem.cycle_span paper_problem in
+      let shift = 2 * span in
+      let pr2 =
+        Problem.make ~p:4 ~k:8 ~l:(paper_problem.Problem.l + shift) ~s:9
+      in
+      let v1 = Plan_cache.find paper_problem ~u:319 in
+      let v2 = Plan_cache.find pr2 ~u:(319 + shift) in
+      Tutil.check_int "v1 unshifted" 0 (Plan_cache.g_shift v1);
+      Tutil.check_int "v2 shift" shift (Plan_cache.g_shift v2);
+      Tutil.check_int "one shared entry" 1 (Plan_cache.size ());
+      for m = 0 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "rebased table m=%d" m)
+          true
+          (Access_table.equal (Plan_cache.table v2 ~m) (Kns.gap_table pr2 ~m));
+        Alcotest.(check (option int))
+          (Printf.sprintf "rebased last m=%d" m)
+          (Start_finder.last_location pr2 ~m ~u:(319 + shift))
+          (Plan_cache.last_location v2 ~m)
+      done)
 
 let test_indexed_random_access () =
   let t = Kns.gap_table paper_problem ~m:1 in
@@ -399,9 +508,24 @@ let test_auto_classification () =
     (name (Problem.make ~p:4 ~k:8 ~l:0 ~s:32));
   Alcotest.(check string) "d = k" "degenerate (d >= k)"
     (name (Problem.make ~p:4 ~k:8 ~l:0 ~s:24));
-  (* gcd(6, 32) = 2: 1 < d < k. *)
-  Alcotest.(check string) "1 < d < k" "general lattice walk"
+  (* gcd(6, 32) = 2: 1 < d < k now also shares tables. *)
+  Alcotest.(check string) "1 < d < k" "shared FSM (1 < d < k)"
     (name (Problem.make ~p:4 ~k:8 ~l:0 ~s:6))
+
+let test_auto_lazy () =
+  (* Classification must be side-effect-free: the shared FSM is built by
+     the first gap_table call, not by create/strategy_name. *)
+  let auto = Auto.create paper_problem in
+  let forced () =
+    match Auto.strategy auto with
+    | Auto.Shared l -> Lazy.is_val l
+    | Auto.Degenerate -> Alcotest.fail "paper example must classify Shared"
+  in
+  Alcotest.(check bool) "create builds nothing" false (forced ());
+  ignore (Auto.strategy_name auto : string);
+  Alcotest.(check bool) "strategy_name builds nothing" false (forced ());
+  ignore (Auto.gap_table auto ~m:1 : Access_table.t);
+  Alcotest.(check bool) "gap_table forces the build" true (forced ())
 
 let prop_auto_equals_kns =
   Tutil.qtest ~count:400 "Auto dispatch = KNS on every path"
@@ -453,13 +577,19 @@ let suite =
     prop_indexed_random_access;
     Alcotest.test_case "auto dispatch classification" `Quick
       test_auto_classification;
+    Alcotest.test_case "auto classification is lazy" `Quick test_auto_lazy;
     prop_auto_equals_kns;
+    prop_plan_cache_matches_fresh;
+    Alcotest.test_case "plan cache eviction is invisible" `Quick
+      test_plan_cache_eviction;
+    Alcotest.test_case "plan cache canonicalization" `Quick
+      test_plan_cache_canonicalization;
     Alcotest.test_case "virtual-cyclic order (Gupta et al.)" `Quick
       test_virtual_cyclic_order;
     prop_orders_same_set;
     Alcotest.test_case "shared FSM on the paper example" `Quick
       test_shared_fsm_paper;
-    Alcotest.test_case "shared FSM domain" `Quick test_shared_fsm_requires_gcd1;
+    Alcotest.test_case "shared FSM domain" `Quick test_shared_fsm_domain;
     prop_shared_fsm_equals_kns;
     Alcotest.test_case "paper start locations (Figure 1)" `Quick
       test_paper_start_locations;

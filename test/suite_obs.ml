@@ -169,6 +169,53 @@ let test_render_and_json () =
               \"units\": \"things\", \"value\": 12}"
            json))
 
+let test_plan_cache_counters () =
+  (* 3 passes x 4 processors over one section: one whole-machine build,
+     eleven cache hits. Then a capacity-1 thrash between two sections:
+     two more misses, two evictions. *)
+  let pr = Lams_core.Problem.make ~p:4 ~k:8 ~l:4 ~s:9 in
+  let pr2 = Lams_core.Problem.make ~p:4 ~k:8 ~l:0 ~s:7 in
+  Lams_core.Plan_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Lams_core.Plan_cache.set_capacity Lams_core.Plan_cache.default_capacity;
+      Lams_core.Plan_cache.clear ())
+    (fun () ->
+      with_obs (fun () ->
+          for _pass = 1 to 3 do
+            for m = 0 to 3 do
+              ignore (Lams_codegen.Plan.build pr ~m ~u:319 : Lams_codegen.Plan.t option)
+            done
+          done;
+          let snap = Obs.snapshot () in
+          Alcotest.(check (option int)) "misses" (Some 1)
+            (Obs.find_counter snap "plan_cache.misses");
+          Alcotest.(check (option int)) "hits" (Some 11)
+            (Obs.find_counter snap "plan_cache.hits");
+          Alcotest.(check (option int)) "no evictions yet" (Some 0)
+            (Obs.find_counter snap "plan_cache.evictions");
+          Lams_core.Plan_cache.set_capacity 1;
+          ignore (Lams_codegen.Plan.build pr2 ~m:0 ~u:500 : Lams_codegen.Plan.t option);
+          ignore (Lams_codegen.Plan.build pr ~m:0 ~u:319 : Lams_codegen.Plan.t option);
+          let snap = Obs.snapshot () in
+          Alcotest.(check (option int)) "misses after thrash" (Some 3)
+            (Obs.find_counter snap "plan_cache.misses");
+          Alcotest.(check (option int)) "evictions after thrash" (Some 2)
+            (Obs.find_counter snap "plan_cache.evictions")))
+
+let test_spmd_pool_counters () =
+  with_obs (fun () ->
+      let before =
+        Option.value ~default:0
+          (Obs.find_counter (Obs.snapshot ()) "spmd.pool.dispatches")
+      in
+      Lams_sim.Spmd.run_parallel ~domains:2 ~p:8 (fun _ -> ());
+      Lams_sim.Spmd.run_parallel ~domains:2 ~p:8 (fun _ -> ());
+      (* domains = 1 must bypass the pool entirely. *)
+      Lams_sim.Spmd.run_parallel ~domains:1 ~p:8 (fun _ -> ());
+      Alcotest.(check (option int)) "two pool dispatches" (Some (before + 2))
+        (Obs.find_counter (Obs.snapshot ()) "spmd.pool.dispatches"))
+
 let suite =
   [ Alcotest.test_case "registration is idempotent, kinds are checked" `Quick
       test_registration_idempotent;
@@ -180,4 +227,8 @@ let suite =
     Alcotest.test_case "reset zeroes everything" `Quick test_reset_zeroes;
     prop_distribution_summary;
     Alcotest.test_case "span timers record" `Quick test_span_records;
-    Alcotest.test_case "render + JSON" `Quick test_render_and_json ]
+    Alcotest.test_case "render + JSON" `Quick test_render_and_json;
+    Alcotest.test_case "plan cache hit/miss/eviction counters" `Quick
+      test_plan_cache_counters;
+    Alcotest.test_case "spmd pool dispatch counter" `Quick
+      test_spmd_pool_counters ]

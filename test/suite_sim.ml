@@ -65,6 +65,23 @@ let test_spmd_parallel () =
   Spmd.run_parallel ~domains:4 ~p:37 (fun m -> hits.(m) <- hits.(m) + 1);
   Tutil.check_int_array "all ranks once" (Array.make 37 1) hits
 
+let test_spmd_pool_reuse () =
+  (* Repeated dispatches reuse the parked worker domains; dynamic rank
+     chunking must still cover every rank exactly once, including the
+     chunk-boundary edge cases. *)
+  List.iter
+    (fun p ->
+      let hits = Array.make p 0 in
+      Spmd.run_parallel ~domains:3 ~p (fun m -> hits.(m) <- hits.(m) + 1);
+      Tutil.check_int_array
+        (Printf.sprintf "all ranks once, p=%d" p)
+        (Array.make p 1) hits)
+    [ 2; 3; 5; 16; 64; 257 ];
+  (* An exception in a rank surfaces in the caller, after the sweep. *)
+  match Spmd.run_parallel ~domains:4 ~p:17 (fun m -> if m = 11 then failwith "rank 11") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "error surfaces" "rank 11" msg
+
 let test_spmd_timing () =
   let t = Spmd.run_timed ~p:4 ~f:(fun _ -> ()) in
   Tutil.check_int "per-proc entries" 4 (Array.length t.Spmd.per_proc_us);
@@ -479,6 +496,8 @@ let suite =
       test_darray_of_array_gather;
     Alcotest.test_case "spmd timing" `Quick test_spmd_timing;
     Alcotest.test_case "spmd parallel domains" `Quick test_spmd_parallel;
+    Alcotest.test_case "spmd pool reuse + error propagation" `Quick
+      test_spmd_pool_reuse;
     Alcotest.test_case "fill matches reference (all shapes)" `Quick
       test_fill_matches_reference;
     Alcotest.test_case "map + sum" `Quick test_map_and_sum;
