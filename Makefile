@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json smoke doc clean
+.PHONY: all check test bench bench-json smoke fuzz-quick doc clean
 
 all:
 	dune build @all
@@ -10,14 +10,21 @@ test:
 
 # CI entry point: full build, full test suite, then the metrics smoke
 # (an instrumented `lams metrics` / `lams verify --metrics` run, see
-# bin/dune) so the observability path is exercised end to end.
+# bin/dune) so the observability path is exercised end to end, and the
+# quick differential fuzz campaign (bin/dune @fuzz).
 check:
 	dune build @all
 	dune runtest
 	dune build @smoke
+	dune build @fuzz
 
 smoke:
 	dune build @smoke
+
+# Quick deterministic fuzz campaign (seed 42, 400 cases); the full
+# acceptance run is `dune exec -- lams fuzz --seed 42 --budget 5000`.
+fuzz-quick:
+	dune build @fuzz
 
 bench:
 	dune exec bench/main.exe

@@ -40,7 +40,11 @@ let build_uncached pr ~m ~u =
       let fsm =
         match Fsm.build pr ~m with
         | Some f -> f
-        | None -> assert false (* last exists, so the table is non-empty *)
+        | None ->
+            invalid_arg
+              "Plan.build_uncached: FSM missing although a last location \
+               exists (a non-empty bounded section implies a non-empty \
+               access table)"
       in
       Some (assemble pr ~m ~u ~table ~fsm ~last)
 
@@ -54,7 +58,11 @@ let build pr ~m ~u =
       let fsm =
         match Plan_cache.fsm view ~m with
         | Some f -> f
-        | None -> assert false (* last exists, so the table is non-empty *)
+        | None ->
+            invalid_arg
+              "Plan.build: cached FSM missing although a last location \
+               exists (a non-empty bounded section implies a non-empty \
+               access table)"
       in
       Some (assemble pr ~m ~u ~table ~fsm ~last)
 

@@ -36,7 +36,11 @@ let create problem =
         (lazy
           (match Shared_fsm.build problem with
           | Some shared -> shared
-          | None -> assert false (* d < k *)))
+          | None ->
+              invalid_arg
+                "Auto: Shared_fsm.build refused an instance classified \
+                 d < k (violates the d < k invariant: the shared FSM \
+                 exists exactly when gcd(s,pk) < k)"))
     end
   in
   { problem; strategy }

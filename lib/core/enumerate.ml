@@ -23,7 +23,11 @@ let start pr ~m =
         else begin
           match Kns.basis pr with
           | Some basis -> Walk { basis; m }
-          | None -> assert false (* length >= 2 implies d < k *)
+          | None ->
+              invalid_arg
+                "Enumerate.start: no basis for a window with >= 2 accesses \
+                 (violates the d < k invariant: length >= 2 implies \
+                 gcd(s,pk) < k)"
         end
       in
       Some { global = g; local; state }
@@ -76,7 +80,13 @@ let iter_bounded pr ~m ~u ~f =
       end
       else begin
         let b =
-          match Kns.basis pr with Some b -> b | None -> assert false
+          match Kns.basis pr with
+          | Some b -> b
+          | None ->
+              invalid_arg
+                "Enumerate.iter_bounded: no basis for a window with >= 2 \
+                 accesses (violates the d < k invariant: length >= 2 \
+                 implies gcd(s,pk) < k)"
         in
         let k = pr.Problem.k and s = pr.Problem.s in
         let pk = Problem.row_len pr in

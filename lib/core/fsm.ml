@@ -43,7 +43,13 @@ let walk t ~steps =
   let out = Array.make steps 0 in
   let state = ref t.start_offset in
   for j = 0 to steps - 1 do
-    assert (reachable t !state);
+    if not (reachable t !state) then
+      invalid_arg
+        (Printf.sprintf
+           "Fsm.walk: offset %d is not a reachable state (transition \
+            tables are only defined on the offsets the lattice walk \
+            visits)"
+           !state);
     out.(j) <- t.delta.(!state);
     state := t.next_offset.(!state)
   done;

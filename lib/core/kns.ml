@@ -58,7 +58,11 @@ let iter_gaps pr ~m ~f =
         let b =
           match basis pr with
           | Some b -> b
-          | None -> assert false (* length >= 2 implies d < k *)
+          | None ->
+              invalid_arg
+                "Kns.iter_gaps: no basis for a window with >= 2 accesses \
+                 (violates the d < k invariant: length >= 2 implies \
+                 gcd(s,pk) < k)"
         in
         let offset = ref (start mod pk) in
         for idx = 0 to length - 1 do
@@ -90,7 +94,13 @@ let gap_table_with_stats pr ~m =
       end
       else begin
         let b =
-          match basis pr with Some b -> b | None -> assert false
+          match basis pr with
+          | Some b -> b
+          | None ->
+              invalid_arg
+                "Kns.gap_table: no basis for a window with >= 2 accesses \
+                 (violates the d < k invariant: length >= 2 implies \
+                 gcd(s,pk) < k)"
         in
         let gaps = Array.make length 0 in
         let eq1 = ref 0 and eq2 = ref 0 and eq3 = ref 0 in

@@ -145,4 +145,15 @@ let set_capacity n =
 let clear () =
   Mutex.lock table_mutex;
   Hashtbl.reset cache;
+  (* Restart the LRU clock with the entries: a cleared cache that kept
+     ticking would hand new entries [last_used] stamps incomparable with
+     a later wrap or snapshot, and tests that reason about eviction
+     order after [clear] would depend on everything run before them. *)
+  tick := 0;
   Mutex.unlock table_mutex
+
+let lru_tick () =
+  Mutex.lock table_mutex;
+  let t = !tick in
+  Mutex.unlock table_mutex;
+  t

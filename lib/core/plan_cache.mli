@@ -53,6 +53,12 @@ val set_capacity : int -> unit
 (** Clamp to [>= 0]; [0] disables caching. Evicts down immediately. *)
 
 val clear : unit -> unit
-(** Drop every entry (does not count as evictions). *)
+(** Drop every entry (does not count as evictions) and reset the LRU
+    clock, so [last_used] ordering after reuse never depends on history
+    from before the clear. *)
+
+val lru_tick : unit -> int
+(** The LRU clock's current value: bumped on every hit and insert, [0]
+    right after {!clear}. Exposed for the accounting tests. *)
 
 val default_capacity : int

@@ -68,16 +68,27 @@ let build pr =
       fill_class t (pr.Problem.l mod d);
       Some t
 
+(* A shared FSM only exists when d = gcd(s, pk) < k, and then every
+   window contains at least one reachable offset (the window spans k
+   consecutive offsets and reachable offsets sit d < k apart), so an
+   empty Start_finder result can only mean the invariant was broken. *)
+let empty_window_error fn =
+  invalid_arg
+    (fn
+    ^ ": processor window holds no access, which is impossible under the \
+       d < k invariant (gcd(s,pk) < k implies every window holds >= 1 \
+       element)")
+
 let start t ~m =
   match (Start_finder.find t.problem ~m).Start_finder.start with
   | Some g -> (g, g mod t.problem.Problem.k)
-  | None -> assert false (* d < k: every window holds >= 1 element *)
+  | None -> empty_window_error "Shared_fsm.start"
 
 let gap_table t ~m =
   Lams_obs.Obs.incr c_tables;
   let { Start_finder.start; length } = Start_finder.find t.problem ~m in
   match start with
-  | None -> assert false (* d < k *)
+  | None -> empty_window_error "Shared_fsm.gap_table"
   | Some g ->
       let state0 = g mod t.problem.Problem.k in
       fill_class t (state0 mod t.d);
@@ -96,7 +107,7 @@ let gap_table t ~m =
 let fsm_for t ~m =
   let { Start_finder.start; length } = Start_finder.find t.problem ~m in
   match start with
-  | None -> assert false (* d < k *)
+  | None -> empty_window_error "Shared_fsm.fsm_for"
   | Some g ->
       let state0 = g mod t.problem.Problem.k in
       fill_class t (state0 mod t.d);

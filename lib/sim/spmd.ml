@@ -53,7 +53,7 @@ type job = {
   cursor : int Atomic.t;  (* next rank block to hand out *)
   joined : int Atomic.t;  (* worker admission ticket *)
   completed : int Atomic.t;  (* ranks finished, job done at [p] *)
-  mutable error : exn option;
+  mutable error : (int * exn) option;  (* lowest failing rank wins *)
 }
 
 type pool = {
@@ -75,9 +75,16 @@ let pool =
     workers = [];
     spawned = false }
 
-let record_error j e =
+(* Keep the error of the lowest failing rank, not of whichever domain
+   lost the race: [run_parallel] then surfaces the same exception as the
+   sequential [run] would (which stops at the first failing rank), and
+   fault-injection harnesses get a reproducible report regardless of
+   chunk scheduling. *)
+let record_error j ~rank e =
   Mutex.lock pool.mutex;
-  (match j.error with None -> j.error <- Some e | Some _ -> ());
+  (match j.error with
+  | Some (r, _) when r <= rank -> ()
+  | _ -> j.error <- Some (rank, e));
   Mutex.unlock pool.mutex
 
 (* Pull rank chunks until the cursor runs dry. Whoever retires the last
@@ -89,11 +96,16 @@ let work_on j =
     let lo = Atomic.fetch_and_add j.cursor j.chunk in
     if lo < j.p then begin
       let hi = min j.p (lo + j.chunk) in
-      (try
-         for m = lo to hi - 1 do
-           j.f m
-         done
-       with e -> record_error j e);
+      (* Per-rank catch so the failing rank is known; the rest of the
+         chunk is skipped, like the ranks after a failure in [run]. *)
+      let m = ref lo and aborted = ref false in
+      while (not !aborted) && !m < hi do
+        (try j.f !m
+         with e ->
+           record_error j ~rank:!m e;
+           aborted := true);
+        incr m
+      done;
       let finished = hi - lo + Atomic.fetch_and_add j.completed (hi - lo) in
       if finished >= j.p then begin
         Mutex.lock pool.mutex;
@@ -194,7 +206,7 @@ let run_parallel ?domains ~p f =
     done;
     (match pool.job with Some j' when j' == j -> pool.job <- None | _ -> ());
     Mutex.unlock pool.mutex;
-    match j.error with Some e -> raise e | None -> ()
+    match j.error with Some (_, e) -> raise e | None -> ()
   end
 
 let run_collect ~p ~f =

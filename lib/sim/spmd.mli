@@ -29,11 +29,15 @@ val run_parallel : ?domains:int -> p:int -> (int -> unit) -> unit
     so repeated parallel sweeps pay a wakeup, not a
     [Domain.spawn]/[join] round trip. Ranks are handed out in chunks
     from an [Atomic] cursor (dynamic load balancing); the calling domain
-    participates. An exception in [f] is re-raised in the caller after
-    all ranks retire (first one wins). Dispatches and spawns are the
-    [spmd.pool.*] {!Lams_obs.Obs} counters. When [domains] (or the
-    recommendation, e.g. on a single-core host) is [1], runs
-    sequentially without touching the pool. *)
+    participates. An exception in [f] aborts the rest of that rank
+    chunk and is re-raised in the caller after all ranks retire; when
+    several ranks fail, the {e lowest} failing rank's exception wins, so
+    the surfaced error is deterministic and matches what the sequential
+    {!run} (which stops at the first failing rank) would raise.
+    Dispatches and spawns are the [spmd.pool.*] {!Lams_obs.Obs}
+    counters. When [domains] (or the recommendation, e.g. on a
+    single-core host) is [1], runs sequentially without touching the
+    pool. *)
 
 val run_timed : p:int -> f:(int -> unit) -> timing
 (** Same, timing each rank's execution. *)

@@ -11,5 +11,6 @@ let () =
       ("sim", Suite_sim.suite);
       ("multidim", Suite_multidim.suite);
       ("hpf", Suite_hpf.suite);
+      ("check", Suite_check.suite);
       ("stress", Suite_stress.suite);
       ("errors", Suite_errors.suite) ]
