@@ -29,11 +29,13 @@ fuzz-quick:
 bench:
 	dune exec bench/main.exe
 
-# Regenerate the amortization bench artifact with quick parameters
-# (the committed BENCH_amortize.json was produced by the full sweep:
-# `dune exec bench/main.exe -- amortize --json BENCH_amortize.json`).
+# Regenerate the bench artifacts with quick parameters (the committed
+# BENCH_amortize.json / BENCH_redistribute.json were produced by the
+# full sweeps, e.g.
+# `dune exec bench/main.exe -- redistribute --json BENCH_redistribute.json`).
 bench-json:
 	dune exec bench/main.exe -- amortize --quick --json BENCH_amortize.json
+	dune exec bench/main.exe -- redistribute --quick --json BENCH_redistribute.json
 
 doc:
 	dune build @doc

@@ -8,7 +8,7 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | bechamel | all] [--quick] [--json FILE]";
+     | redistribute | bechamel | all] [--quick] [--json FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -36,6 +36,7 @@ let () =
   let experiments = parse [] args in
   let experiments = if experiments = [] then [ "all" ] else experiments in
   let amortize () = Amortize.run ~quick:!quick ?json:!json () in
+  let redistribute () = Redistribute.run ~quick:!quick ?json:!json () in
   List.iter
     (fun name ->
       match String.lowercase_ascii name with
@@ -44,6 +45,7 @@ let () =
       | "table2" -> ignore (Table2.run () : Table2.row list)
       | "ablations" -> Ablations.run ()
       | "amortize" -> amortize ()
+      | "redistribute" -> redistribute ()
       | "bechamel" -> Bechamel_suite.run ()
       | "all" ->
           run_table1_and_figure7 ();
@@ -53,6 +55,8 @@ let () =
           Ablations.run ();
           print_newline ();
           amortize ();
+          print_newline ();
+          redistribute ();
           print_newline ();
           Bechamel_suite.run ()
       | "-h" | "--help" | "help" -> usage ()

@@ -286,6 +286,95 @@ let comm_sets_cmd =
              DST(dst) = SRC(src) between two block-cyclic mappings.")
     term
 
+(* --- schedule --- *)
+
+let schedule_cmd =
+  let src_p = Arg.(value & opt int 4 & info [ "src-p" ] ~docv:"P" ~doc:"Source processors.") in
+  let src_k = Arg.(value & opt int 8 & info [ "src-k" ] ~docv:"K" ~doc:"Source block size.") in
+  let dst_p = Arg.(value & opt int 4 & info [ "dst-p" ] ~docv:"P" ~doc:"Destination processors.") in
+  let dst_k = Arg.(value & opt int 8 & info [ "dst-k" ] ~docv:"K" ~doc:"Destination block size.") in
+  let src_sec =
+    Arg.(value & opt string "0:99:1" & info [ "src" ] ~docv:"L:U:S" ~doc:"Source section.")
+  in
+  let dst_sec =
+    Arg.(value & opt string "0:99:1" & info [ "dst" ] ~docv:"L:U:S" ~doc:"Destination section.")
+  in
+  let run src_p src_k dst_p dst_k src_sec dst_sec metrics json =
+    with_metrics ~metrics ~json @@ fun () ->
+    let parse text =
+      let { Lams_hpf.Ast.t_lo; t_hi; t_stride } =
+        Lams_hpf.Parser.parse_triplet text
+      in
+      Section.make ~lo:t_lo ~hi:t_hi ~stride:t_stride
+    in
+    match (parse src_sec, parse dst_sec) with
+    | exception _ ->
+        Printf.eprintf "error: could not parse a section triplet\n";
+        1
+    | src_section, dst_section -> begin
+        match
+          Lams_sched.Cache.find
+            ~src_layout:(Layout.create ~p:src_p ~k:src_k)
+            ~src_section
+            ~dst_layout:(Layout.create ~p:dst_p ~k:dst_k)
+            ~dst_section
+        with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | sched ->
+            Format.printf "%a@." Lams_sched.Schedule.pp sched;
+            (* Execute on a scratch machine so the per-link accounting
+               and congestion come from the fabric itself. *)
+            let size sec =
+              let norm = Section.normalize sec in
+              norm.Section.hi + 1
+            in
+            let n = max (size src_section) (size dst_section) in
+            let src =
+              Lams_sim.Darray.of_array ~name:"sched_src" ~p:src_p
+                ~dist:(Distribution.Block_cyclic src_k)
+                (Array.init n float_of_int)
+            in
+            let dst =
+              Lams_sim.Darray.create ~name:"sched_dst" ~n ~p:dst_p
+                ~dist:(Distribution.Block_cyclic dst_k)
+            in
+            let net = Lams_sched.Executor.run sched ~src ~dst in
+            let bpe = Lams_sim.Network.bytes_per_element in
+            Printf.printf "per-link bytes:\n";
+            for s = 0 to src_p - 1 do
+              for d = 0 to dst_p - 1 do
+                let elems = Lams_sim.Network.link_elements net ~src:s ~dst:d in
+                if elems > 0 then
+                  Printf.printf "  %d -> %d: %d bytes in %d messages\n" s d
+                    (bpe * elems)
+                    (Lams_sim.Network.link_messages net ~src:s ~dst:d)
+              done
+            done;
+            Printf.printf
+              "packed bytes: %d; peak congestion: %d (peak link depth %d)\n"
+              (bpe * Lams_sched.Schedule.cross_elements sched)
+              (Lams_sim.Network.max_congestion net)
+              (Lams_sim.Network.max_link_in_flight net);
+            Printf.printf "schedule cache: %d entries (capacity %d)\n"
+              (Lams_sched.Cache.size ())
+              (Lams_sched.Cache.capacity ());
+            0
+      end
+  in
+  let term =
+    Term.(
+      const run $ src_p $ src_k $ dst_p $ dst_k $ src_sec $ dst_sec
+      $ metrics_flag $ metrics_json_arg)
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Lower the communication sets for DST(dst) = SRC(src) into \
+             contention-free packed rounds, execute them on the \
+             simulated fabric and report per-link bytes and congestion.")
+    term
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -328,6 +417,45 @@ let stats_cmd =
         done;
         Printf.printf "plan cache: %d entries (capacity %d)\n"
           (Plan_cache.size ()) (Plan_cache.capacity ());
+        (* One redistribution, twice: the second lookup (same sections,
+           translated by a cycle span) is served from the schedule cache
+           — sched.cache.misses / sched.cache.hits under --metrics —
+         and its execution stays contention-free. *)
+        let layout_a = Layout.create ~p ~k
+        and layout_b = Layout.create ~p ~k:(k + 1) in
+        let n = 2 * p * k * (k + 1) in
+        let src =
+          Lams_sim.Darray.of_array ~name:"stats_src" ~p
+            ~dist:(Distribution.Block_cyclic k)
+            (Array.init n float_of_int)
+        and dst =
+          Lams_sim.Darray.create ~name:"stats_dst" ~n ~p
+            ~dist:(Distribution.Block_cyclic (k + 1))
+        in
+        (* A translation is cache-invisible only if it is a multiple of
+           BOTH sides' cycle spans. *)
+        let span_a = Problem.cycle_span (Problem.make ~p ~k ~l:0 ~s:1)
+        and span_b = Problem.cycle_span (Problem.make ~p ~k:(k + 1) ~l:0 ~s:1) in
+        let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+        let span = span_a / gcd span_a span_b * span_b in
+        let congestion = ref 0 in
+        List.iter
+          (fun lo ->
+            let sec = Section.make ~lo ~hi:(lo + (p * k) - 1) ~stride:1 in
+            let sched =
+              Lams_sched.Cache.find ~src_layout:layout_a ~src_section:sec
+                ~dst_layout:layout_b ~dst_section:sec
+            in
+            let net = Lams_sched.Executor.run sched ~src ~dst in
+            congestion :=
+              max !congestion (Lams_sim.Network.max_congestion net))
+          [ 0; span ];
+        Printf.printf
+          "schedule cache: %d entries (capacity %d); scheduled peak \
+           congestion: %d\n"
+          (Lams_sched.Cache.size ())
+          (Lams_sched.Cache.capacity ())
+          !congestion;
         0
   in
   let term =
@@ -583,9 +711,11 @@ let run_cmd =
             List.iter print_endline o.Lams_hpf.Driver.outputs;
             (match o.Lams_hpf.Driver.runtime.Lams_hpf.Runtime.network with
             | Some net ->
-                Printf.eprintf "(network: %d messages, %d elements)\n"
+                Printf.eprintf
+                  "(network: %d messages, %d elements, peak congestion %d)\n"
                   (Lams_sim.Network.messages_sent net)
                   (Lams_sim.Network.elements_moved net)
+                  (Lams_sim.Network.max_congestion net)
             | None -> ());
             0
         | Error (`Failure f) ->
@@ -697,5 +827,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd;
-            stats_cmd; explain_cmd; verify_cmd; fuzz_cmd; run_cmd;
-            metrics_cmd ]))
+            schedule_cmd; stats_cmd; explain_cmd; verify_cmd; fuzz_cmd;
+            run_cmd; metrics_cmd ]))

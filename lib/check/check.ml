@@ -305,7 +305,34 @@ let sim_checks case =
           ~candidate:"section_ops.copy"
           (Printf.sprintf "destination element %d is %g, expected %g" g
              (Darray.get dst g) want)
-    done
+    done;
+    (* Scheduled redistribution against the legacy copy: same sections,
+       same positional contract, plus the schedule's own structural
+       invariants (contention-free rounds, exactly-once delivery,
+       rounds <= max degree + 1). *)
+    let sched =
+      Lams_sched.Schedule.build ~src_layout:(Darray.layout src)
+        ~src_section:sec ~dst_layout:(Darray.layout dst) ~dst_section:sec
+    in
+    (match Lams_sched.Schedule.validate sched with
+    | Ok () -> ()
+    | Error msg ->
+        fail case ~m:(-1) ~oracle:"schedule invariants"
+          ~candidate:"sched.schedule" msg);
+    let dst2 =
+      Darray.create ~name:"chk_dst2" ~n ~p:case.p
+        ~dist:(Distribution.Block_cyclic (case.k + 1))
+    in
+    let net = Lams_sched.Executor.run sched ~src ~dst:dst2 in
+    if Network.max_congestion net > 1 then
+      fail case ~m:(-1) ~oracle:"contention-free rounds"
+        ~candidate:"sched.executor"
+        (Printf.sprintf "peak mailbox depth %d on the scheduled path"
+           (Network.max_congestion net));
+    if not (Darray.equal_contents dst dst2) then
+      fail case ~m:(-1) ~oracle:"section_ops.copy"
+        ~candidate:"sched.executor"
+        "scheduled redistribution differs from the legacy exchange"
   end
 
 (* --- One case through the whole matrix ----------------------------- *)

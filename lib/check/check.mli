@@ -106,8 +106,10 @@ type config = {
           (every 50 cases) *)
   sim : bool;
       (** run the slower {!Lams_sim} differential checks (parallel vs
-          sequential fill, cross-layout copy vs oracle) on cases small
-          enough to materialize *)
+          sequential fill, cross-layout copy vs oracle, scheduled
+          redistribution vs the legacy exchange plus the schedule's
+          round-validity invariants) on cases small enough to
+          materialize *)
 }
 
 val default_config : config

@@ -10,6 +10,10 @@
 
 type run = { start_local : int; length : int  (** >= 1 *) }
 
+val fold_runs : Plan.t -> init:'a -> f:('a -> run -> 'a) -> 'a
+(** Fold over the maximal runs in traversal order without building a
+    list (the primitive under every function below). *)
+
 val of_plan : Plan.t -> run list
 (** Maximal runs in traversal order. Concatenating them reproduces the
     plan's address sequence exactly; consecutive runs are never adjacent

@@ -38,6 +38,12 @@ type statement =
       onto : int list;
       pos : position;
     }
+  | Redistribute of {
+      name : string;
+      formats : dist_format list;
+      onto : int list;
+      pos : position;
+    }
   | Assign of { lhs : section_ref; rhs : expr; pos : position }
   | Forall of {
       var : string;
@@ -53,8 +59,8 @@ type program = statement list
 
 let statement_pos = function
   | Decl { pos; _ } | Template { pos; _ } | Align { pos; _ }
-  | Distribute { pos; _ } | Assign { pos; _ } | Forall { pos; _ }
-  | Print { pos; _ } | Print_sum { pos; _ } ->
+  | Distribute { pos; _ } | Redistribute { pos; _ } | Assign { pos; _ }
+  | Forall { pos; _ } | Print { pos; _ } | Print_sum { pos; _ } ->
       pos
 
 let pp_triplet ppf { t_lo; t_hi; t_stride } =
@@ -117,6 +123,9 @@ let pp_statement ppf = function
       Format.fprintf ppf "align %s(i) with %s(%a)" array target pp_affine map
   | Distribute { name; formats; onto; _ } ->
       Format.fprintf ppf "distribute %s (%a) onto (%a)" name
+        (pp_list pp_format) formats (pp_list pp_int) onto
+  | Redistribute { name; formats; onto; _ } ->
+      Format.fprintf ppf "!HPF$ redistribute %s (%a) onto (%a)" name
         (pp_list pp_format) formats (pp_list pp_int) onto
   | Assign { lhs; rhs; _ } ->
       Format.fprintf ppf "%a = %a" pp_ref lhs pp_expr rhs

@@ -69,6 +69,14 @@ type statement =
       onto : int list;  (** processor-grid shape; one per dimension *)
       pos : position;
     }
+  | Redistribute of {
+      name : string;
+      formats : dist_format list;
+      onto : int list;
+      pos : position;
+    }  (** [!HPF$ REDISTRIBUTE A (cyclic(k')) onto p'] — remap an
+          already-distributed array at this point in the statement
+          sequence *)
   | Assign of { lhs : section_ref; rhs : expr; pos : position }
   | Forall of {
       var : string;

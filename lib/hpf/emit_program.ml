@@ -279,6 +279,11 @@ let emit (checked : Sema.checked) =
                 ~gather_expr:plain_gather
                 ~scatter_expr:(fun dst staged -> op_c_text op dst staged)
             end
+        | Sema.Redistribute { from_; _ } ->
+            bail
+              (Printf.sprintf "REDISTRIBUTE of %s" from_.Sema.name)
+              "the C emitter keeps one static mapping per array; run the \
+               program on the simulated runtime instead"
         | Sema.Print r ->
             let a = find_array arrays r.Sema.info.Sema.name in
             let sec = section_of r in

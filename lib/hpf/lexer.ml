@@ -25,6 +25,7 @@ type token =
   | Kw_sum
   | Kw_forall
   | Kw_do
+  | Kw_redistribute
 
 type located = { token : token; pos : Ast.position }
 
@@ -43,6 +44,7 @@ let keyword_of = function
   | "SUM" -> Some Kw_sum
   | "FORALL" -> Some Kw_forall
   | "DO" -> Some Kw_do
+  | "REDISTRIBUTE" -> Some Kw_redistribute
   | _ -> None
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -73,9 +75,20 @@ let tokenize input =
     let c = input.[!i] in
     let p = pos () in
     if c = '!' then begin
-      while !i < n && input.[!i] <> '\n' do
-        advance ()
-      done
+      (* "!HPF$" is a directive sentinel, not a comment: skip the
+         sentinel and lex the rest of the line as statement tokens. *)
+      let is_hpf_sentinel =
+        !i + 4 < n
+        && String.uppercase_ascii (String.sub input (!i + 1) 4) = "HPF$"
+      in
+      if is_hpf_sentinel then
+        for _ = 1 to 5 do
+          advance ()
+        done
+      else
+        while !i < n && input.[!i] <> '\n' do
+          advance ()
+        done
     end
     else if c = '\n' then begin
       if not (last_was_newline ()) then push Newline p;
@@ -174,3 +187,4 @@ let token_to_string = function
   | Kw_sum -> "sum"
   | Kw_forall -> "forall"
   | Kw_do -> "do"
+  | Kw_redistribute -> "redistribute"

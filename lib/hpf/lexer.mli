@@ -1,6 +1,8 @@
 (** Hand-written lexer for the mini-HPF language. Line-oriented:
     a [Newline] token separates statements; ["!"] starts a comment that
-    runs to end of line (Fortran style). Keywords are case-insensitive. *)
+    runs to end of line (Fortran style) — except the directive sentinel
+    ["!HPF$"], which is skipped and the rest of the line lexed as
+    statement tokens. Keywords are case-insensitive. *)
 
 type token =
   | Ident of string  (** uppercased *)
@@ -29,6 +31,7 @@ type token =
   | Kw_sum
   | Kw_forall
   | Kw_do
+  | Kw_redistribute
 
 type located = { token : token; pos : Ast.position }
 

@@ -284,6 +284,34 @@ let parse_forall_expr st ~var =
       | _ -> fail st "malformed forall expression"
     end
 
+(* Shared tail of DISTRIBUTE / REDISTRIBUTE: the format list may also
+   appear without parentheses when it is a single format
+   ([redistribute A cyclic(2) onto 8]). *)
+let parse_distribution st ~what =
+  let name = expect_ident st what in
+  let formats =
+    if (peek st).token = Lparen then begin
+      advance st;
+      let fs = comma_separated st parse_format in
+      expect st Rparen what;
+      fs
+    end
+    else [ parse_format st ]
+  in
+  expect st Kw_onto what;
+  let onto =
+    if (peek st).token = Lparen then begin
+      advance st;
+      let shape =
+        comma_separated st (fun st -> expect_int st "processor count")
+      in
+      expect st Rparen "processor grid";
+      shape
+    end
+    else [ expect_int st "processor count" ]
+  in
+  (name, formats, onto)
+
 let parse_statement st =
   let { token; pos } = peek st in
   match token with
@@ -317,23 +345,12 @@ let parse_statement st =
       Ast.Align { array; target; map; pos }
   | Kw_distribute ->
       advance st;
-      let name = expect_ident st "distribute" in
-      expect st Lparen "distribute";
-      let formats = comma_separated st parse_format in
-      expect st Rparen "distribute";
-      expect st Kw_onto "distribute";
-      let onto =
-        if (peek st).token = Lparen then begin
-          advance st;
-          let shape =
-            comma_separated st (fun st -> expect_int st "processor count")
-          in
-          expect st Rparen "processor grid";
-          shape
-        end
-        else [ expect_int st "processor count" ]
-      in
+      let name, formats, onto = parse_distribution st ~what:"distribute" in
       Ast.Distribute { name; formats; onto; pos }
+  | Kw_redistribute ->
+      advance st;
+      let name, formats, onto = parse_distribution st ~what:"redistribute" in
+      Ast.Redistribute { name; formats; onto; pos }
   | Kw_forall ->
       advance st;
       let var = expect_ident st "forall" in

@@ -45,6 +45,9 @@ let run (checked : Sema.checked) =
   List.iter
     (fun action ->
       match action with
+      | Sema.Redistribute _ ->
+          (* Contents are mapping-independent in the dense model. *)
+          ()
       | Sema.Print r ->
           let values = fetch lookup r in
           outputs :=

@@ -157,14 +157,31 @@ let c_copies =
   Lams_obs.Obs.counter "hpf.copies" ~units:"statements"
     ~doc:"schedule-driven section copies (data exchange)"
 
+let c_redistributes =
+  Lams_obs.Obs.counter "hpf.redistributes" ~units:"statements"
+    ~doc:"REDISTRIBUTE directives executed (whole-array remappings)"
+
 let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
     (checked : Sema.checked) =
-  let arrays =
-    List.map (fun info -> (info.Sema.name, make_array info)) checked.Sema.arrays
+  (* REDISTRIBUTE rebinds a name to a freshly-mapped array mid-program,
+     so bindings live in a table; [names] keeps declaration order for
+     the final listing. *)
+  let bindings : (string, value_array) Hashtbl.t = Hashtbl.create 16 in
+  let names =
+    List.map
+      (fun (info : Sema.array_info) ->
+        Hashtbl.replace bindings info.Sema.name (make_array info);
+        info.Sema.name)
+      checked.Sema.arrays
   in
-  let lookup name = List.assoc name arrays in
+  let lookup name = Hashtbl.find bindings name in
   let outputs = ref [] in
   let network = ref None in
+  let reusable_network needed =
+    match !network with
+    | Some n when Network.procs n >= needed -> Some n
+    | Some _ | None -> None
+  in
   List.iter
     (fun action ->
       Lams_obs.Obs.incr c_statements;
@@ -179,6 +196,26 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
                 Array.fold_left ( +. ) 0. (fetch lookup r)
           in
           outputs := Printf.sprintf "%g" total :: !outputs
+        end
+      | Sema.Redistribute { from_; to_ } -> begin
+          match lookup from_.Sema.name with
+          | Direct s ->
+              Lams_obs.Obs.incr c_redistributes;
+              let dst =
+                match make_array to_ with
+                | Direct d -> d
+                | Packed _ | Md _ -> assert false (* sema: rank-1 Grid *)
+              in
+              let whole = Section.whole ~n:(Darray.size s) in
+              let needed = max (Darray.procs s) (Darray.procs dst) in
+              let net =
+                Lams_sched.Executor.redistribute
+                  ?net:(reusable_network needed) ~parallel ~src:s
+                  ~src_section:whole ~dst ~dst_section:whole ()
+              in
+              network := Some net;
+              Hashtbl.replace bindings from_.Sema.name (Direct dst)
+          | Packed _ | Md _ -> assert false (* sema: rank-1 Grid *)
         end
       | Sema.Assign { lhs; rhs } -> begin
           let dst = lookup lhs.Sema.info.Sema.name in
@@ -199,13 +236,9 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
               | Direct s ->
                   Lams_obs.Obs.incr c_copies;
                   let needed = max (Darray.procs s) (Darray.procs d) in
-                  let reusable =
-                    match !network with
-                    | Some n when Network.procs n >= needed -> Some n
-                    | Some _ | None -> None
-                  in
                   let net =
-                    Section_ops.copy_scheduled ?net:reusable ~src:s
+                    Lams_sched.Executor.redistribute
+                      ?net:(reusable_network needed) ~parallel ~src:s
                       ~src_section:src_ref.Sema.sections.(0) ~dst:d
                       ~dst_section:lhs.Sema.sections.(0) ()
                   in
@@ -288,7 +321,9 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
               store lookup lhs (eval_rhs rhs lookup count)
         end)
     checked.Sema.actions;
-  { arrays; outputs = List.rev !outputs; network = !network }
+  { arrays = List.map (fun n -> (n, Hashtbl.find bindings n)) names;
+    outputs = List.rev !outputs;
+    network = !network }
 
 let find t name =
   match List.assoc_opt name t.arrays with

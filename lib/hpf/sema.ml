@@ -14,6 +14,7 @@ type ref_info = { info : array_info; sections : Section.t array }
 
 type action =
   | Assign of { lhs : ref_info; rhs : rhs }
+  | Redistribute of { from_ : array_info; to_ : array_info }
   | Print of ref_info
   | Print_sum of ref_info
 
@@ -127,7 +128,9 @@ let analyze program =
                 end
               end
         end
-      | Ast.Assign _ | Ast.Forall _ | Ast.Print _ | Ast.Print_sum _ -> ())
+      | Ast.Redistribute _ | Ast.Assign _ | Ast.Forall _ | Ast.Print _
+      | Ast.Print_sum _ ->
+          ())
     program;
   (* --- Pass 2: resolve mappings --- *)
   let resolved : (string, array_info) Hashtbl.t = Hashtbl.create 16 in
@@ -187,8 +190,12 @@ let analyze program =
   in
   List.iter resolve (List.rev !order);
   (* --- Pass 3: actions --- *)
+  (* [REDISTRIBUTE] makes mappings flow-sensitive: [current] tracks the
+     mapping in effect at each statement, starting from the resolved
+     declarations (which [checked.arrays] keeps for array creation). *)
+  let current = Hashtbl.copy resolved in
   let resolve_ref (r : Ast.section_ref) =
-    match Hashtbl.find_opt resolved r.Ast.array with
+    match Hashtbl.find_opt current r.Ast.array with
     | None ->
         (if Hashtbl.mem table r.Ast.array then
            err r.Ast.ref_pos "%s has no mapping (distribute it or align it)"
@@ -252,6 +259,46 @@ let analyze program =
     (fun stmt ->
       match stmt with
       | Ast.Decl _ | Ast.Template _ | Ast.Align _ | Ast.Distribute _ -> ()
+      | Ast.Redistribute { name; formats; onto; pos } -> begin
+          match Hashtbl.find_opt current name with
+          | None ->
+              if Hashtbl.mem table name then
+                err pos "redistribute of unmapped array %s" name
+              else err pos "redistribute of undeclared array %s" name
+          | Some info when rank info <> 1 ->
+              err pos "redistribute %s: only rank-1 arrays can be redistributed"
+                name
+          | Some info -> begin
+              match (info.mapping, formats, onto) with
+              | Grid _, [ format ], [ p ] ->
+                  if p <= 0 then
+                    err pos "onto %d: processor count must be positive" p
+                  else begin
+                    (match format with
+                    | Ast.Cyclic_k k when k <= 0 ->
+                        err pos "cyclic(%d): block size must be positive" k
+                    | Ast.Block | Ast.Cyclic | Ast.Cyclic_k _ -> ());
+                    let to_ =
+                      { info with
+                        mapping =
+                          Grid
+                            { dists = [| dist_of_format format |];
+                              grid = [| p |] } }
+                    in
+                    actions := Redistribute { from_ = info; to_ } :: !actions;
+                    Hashtbl.replace current name to_
+                  end
+              | Grid _, _, _ ->
+                  err pos
+                    "redistribute %s: expected one format and one processor \
+                     count for a rank-1 array"
+                    name
+              | Aligned_1d _, _, _ ->
+                  err pos
+                    "redistribute %s: aligned arrays cannot be redistributed"
+                    name
+            end
+        end
       | Ast.Forall { var = _; range; lhs; rhs; pos } -> begin
           (* Lower the single-statement FORALL to a section assignment:
              subscript a*i+b over the iteration range lo:hi:s touches the

@@ -32,6 +32,11 @@ type ref_info = {
 
 type action =
   | Assign of { lhs : ref_info; rhs : rhs }
+  | Redistribute of { from_ : array_info; to_ : array_info }
+      (** remap [from_.name] from [from_.mapping] to [to_.mapping] at
+          this point; mappings are flow-sensitive, so references after
+          this action resolve against [to_]. Rank-1 [Grid] arrays
+          only. *)
   | Print of ref_info
   | Print_sum of ref_info
 
@@ -43,7 +48,9 @@ and rhs =
   | Ref_op_ref of ref_info * Ast.binop * ref_info
 
 type checked = {
-  arrays : array_info list;  (** declaration order *)
+  arrays : array_info list;
+      (** declaration order, with each array's {e initial} mapping;
+          later [Redistribute] actions carry the remappings *)
   actions : action list;  (** statement order *)
 }
 

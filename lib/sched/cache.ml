@@ -1,0 +1,128 @@
+open Lams_dist
+open Lams_core
+
+let c_hits =
+  Lams_obs.Obs.counter "sched.cache.hits" ~units:"lookups"
+    ~doc:"communication schedules served from the cache"
+
+let c_misses =
+  Lams_obs.Obs.counter "sched.cache.misses" ~units:"lookups"
+    ~doc:"communication-schedule lookups that ran the inspector"
+
+let c_evictions =
+  Lams_obs.Obs.counter "sched.cache.evictions" ~units:"entries"
+    ~doc:"least-recently-used schedules dropped at capacity"
+
+(* Canonicalization mirrors Plan_cache: translating a section by a
+   multiple of its side's cycle span (s·pk/d of the normalised problem)
+   leaves every traversal-position residue class — hence the comm sets,
+   the rounds and the block structure — unchanged; only local addresses
+   shift, uniformly, by (g_shift / pk)·k. One side's shift is
+   independent of the other's, so the key is the pair of canonical
+   (p, k, lo, hi, stride) triplets and a hit is a cheap block rebase. *)
+let canonical_side layout (sec : Section.t) =
+  let norm = Section.normalize sec in
+  let pr = Problem.of_section layout norm in
+  let span = Problem.cycle_span pr in
+  let g_shift = norm.Section.lo - (norm.Section.lo mod span) in
+  let local_shift = g_shift / Problem.row_len pr * pr.Problem.k in
+  let sec0 =
+    if g_shift = 0 then sec
+    else
+      Section.make ~lo:(sec.Section.lo - g_shift)
+        ~hi:(sec.Section.hi - g_shift) ~stride:sec.Section.stride
+  in
+  (sec0, local_shift)
+
+type key = {
+  sp : int;
+  sk : int;
+  ssec : int * int * int;
+  dp : int;
+  dk : int;
+  dsec : int * int * int;
+}
+
+type slot = { sched : Schedule.t; mutable last_used : int }
+
+let default_capacity = 32
+let cap = ref default_capacity
+let tick = ref 0
+let table_mutex = Mutex.create ()
+let cache : (key, slot) Hashtbl.t = Hashtbl.create 32
+
+(* Callers hold [table_mutex]. *)
+let evict_down_to target =
+  while Hashtbl.length cache > target do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !victim with
+        | Some (_, age) when age <= slot.last_used -> ()
+        | _ -> victim := Some (key, slot.last_used))
+      cache;
+    match !victim with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove cache key;
+        Lams_obs.Obs.incr c_evictions
+  done
+
+let triplet (s : Section.t) = (s.Section.lo, s.Section.hi, s.Section.stride)
+
+let find ~src_layout ~src_section ~dst_layout ~dst_section =
+  let src0, src_shift = canonical_side src_layout src_section in
+  let dst0, dst_shift = canonical_side dst_layout dst_section in
+  let key =
+    { sp = src_layout.Layout.p;
+      sk = src_layout.Layout.k;
+      ssec = triplet src0;
+      dp = dst_layout.Layout.p;
+      dk = dst_layout.Layout.k;
+      dsec = triplet dst0 }
+  in
+  Mutex.lock table_mutex;
+  match Hashtbl.find_opt cache key with
+  | Some slot ->
+      incr tick;
+      slot.last_used <- !tick;
+      Mutex.unlock table_mutex;
+      Lams_obs.Obs.incr c_hits;
+      Schedule.rebase slot.sched ~src_delta:src_shift ~dst_delta:dst_shift
+  | None ->
+      Mutex.unlock table_mutex;
+      Lams_obs.Obs.incr c_misses;
+      (* Build outside the lock; a racing double-build of the same key
+         is harmless (both schedules are correct, first insert wins). *)
+      let sched =
+        Schedule.build ~src_layout ~src_section:src0 ~dst_layout
+          ~dst_section:dst0
+      in
+      Mutex.lock table_mutex;
+      (if !cap > 0 && not (Hashtbl.mem cache key) then begin
+         evict_down_to (!cap - 1);
+         incr tick;
+         Hashtbl.add cache key { sched; last_used = !tick }
+       end);
+      Mutex.unlock table_mutex;
+      Schedule.rebase sched ~src_delta:src_shift ~dst_delta:dst_shift
+
+let size () =
+  Mutex.lock table_mutex;
+  let n = Hashtbl.length cache in
+  Mutex.unlock table_mutex;
+  n
+
+let capacity () = !cap
+
+let set_capacity n =
+  Mutex.lock table_mutex;
+  cap := max 0 n;
+  evict_down_to !cap;
+  Mutex.unlock table_mutex
+
+let clear () =
+  Mutex.lock table_mutex;
+  Hashtbl.reset cache;
+  tick := 0;
+  Mutex.unlock table_mutex

@@ -1,0 +1,31 @@
+(** Process-wide LRU cache of communication schedules.
+
+    Keys are canonicalized like {!Lams_core.Plan_cache}: each side's
+    section is translated down by the largest multiple of its cycle
+    span ([s·p·k / gcd(s, p·k)] of the normalized per-side problem) not
+    exceeding its lower bound. Such translations permute nothing — the
+    comm sets, rounds and block shapes are identical — they only shift
+    every local address on that side by a fixed amount, so a hit is a
+    cheap {!Schedule.rebase} instead of a full inspector run.
+
+    Thread-safe; misses build outside the lock. Hits, misses and
+    evictions are observable as [sched.cache.*] counters. *)
+
+val find :
+  src_layout:Lams_dist.Layout.t ->
+  src_section:Lams_dist.Section.t ->
+  dst_layout:Lams_dist.Layout.t ->
+  dst_section:Lams_dist.Section.t ->
+  Schedule.t
+(** Serve the schedule for the given redistribution, building and
+    inserting it on a miss. *)
+
+val size : unit -> int
+val capacity : unit -> int
+val default_capacity : int
+
+val set_capacity : int -> unit
+(** Clamped below at [0]; [0] disables caching. Evicts down to the new
+    capacity immediately. *)
+
+val clear : unit -> unit

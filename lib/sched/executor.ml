@@ -1,0 +1,119 @@
+open Lams_dist
+open Lams_sim
+
+let c_packed_bytes =
+  Lams_obs.Obs.counter "sched.packed_bytes" ~units:"bytes"
+    ~doc:"payload bytes moved through packed round messages"
+
+let c_executions =
+  Lams_obs.Obs.counter "sched.executions" ~units:"schedules"
+    ~doc:"schedules executed on the simulated machine"
+
+let run_phase ~parallel ~p f =
+  if parallel then Spmd.run_parallel ~p f else Spmd.run ~p ~f
+
+(* Execute a schedule. One pack phase gathers every outgoing buffer —
+   all the reads — before any delivery writes, so [src] and [dst] may
+   alias (overlapping in-array shifts), exactly like the legacy
+   two-phase exchange. Then the self-transfers unpack locally and each
+   round becomes a send phase (post one pre-packed message per
+   transfer, tag = round index) and a recv phase (drain + unpack) with
+   a barrier between them. Rounds are contention-free, so within a
+   round every mailbox holds at most one message —
+   Network.max_congestion stays at 1 — and arrival order is
+   immaterial, which is what makes the [parallel] phases
+   deterministic. *)
+let run ?net ?(parallel = false) (sched : Schedule.t) ~src ~dst =
+  if Darray.procs src <> sched.Schedule.src_procs
+     || Darray.procs dst <> sched.Schedule.dst_procs
+  then invalid_arg "Executor.run: schedule built for other layouts";
+  let p = max sched.Schedule.src_procs sched.Schedule.dst_procs in
+  let net =
+    match net with
+    | None -> Network.create ~p
+    | Some n ->
+        if Network.procs n < p then
+          invalid_arg "Executor.run: network smaller than the machine";
+        n
+  in
+  Lams_obs.Obs.incr c_executions;
+  let locals = Array.of_list sched.Schedule.locals in
+  let rounds = Array.of_list (List.map Array.of_list sched.Schedule.rounds) in
+  let buf_for (tr : Schedule.transfer) = Array.make tr.Schedule.elements 0. in
+  let local_bufs = Array.map buf_for locals in
+  let round_bufs = Array.map (Array.map buf_for) rounds in
+  let pack_from m (tr : Schedule.transfer) buf =
+    if tr.Schedule.src_proc = m then
+      Pack.pack tr.Schedule.src_side
+        ~data:(Local_store.data (Darray.local src m))
+        ~buf
+  in
+  let pack_phase m =
+    Array.iteri (fun i tr -> pack_from m tr local_bufs.(i)) locals;
+    Array.iteri
+      (fun r round ->
+        Array.iteri (fun i tr -> pack_from m tr round_bufs.(r).(i)) round)
+      rounds
+  in
+  let locals_phase m =
+    Array.iteri
+      (fun i (tr : Schedule.transfer) ->
+        if tr.Schedule.src_proc = m then
+          Pack.unpack tr.Schedule.dst_side ~buf:local_bufs.(i)
+            ~data:(Local_store.data (Darray.local dst m)))
+      locals
+  in
+  let send_phase r round m =
+    Array.iteri
+      (fun i (tr : Schedule.transfer) ->
+        if tr.Schedule.src_proc = m then begin
+          Network.send net ~src:m ~dst:tr.Schedule.dst_proc ~tag:r
+            ~addresses:[||] ~payload:round_bufs.(r).(i);
+          Lams_obs.Obs.add c_packed_bytes
+            (Network.bytes_per_element * tr.Schedule.elements)
+        end)
+      round
+  in
+  let recv_phase round m =
+    if Array.exists (fun tr -> tr.Schedule.dst_proc = m) round then
+      List.iter
+        (fun (msg : Network.message) ->
+          match
+            Array.find_opt
+              (fun tr ->
+                tr.Schedule.src_proc = msg.Network.src
+                && tr.Schedule.dst_proc = m)
+              round
+          with
+          | None ->
+              invalid_arg "Executor.run: unscheduled message in round"
+          | Some tr ->
+              Pack.unpack tr.Schedule.dst_side ~buf:msg.Network.payload
+                ~data:(Local_store.data (Darray.local dst m)))
+        (Network.receive_all net ~dst:m)
+  in
+  run_phase ~parallel ~p pack_phase;
+  run_phase ~parallel ~p locals_phase;
+  Array.iteri
+    (fun r round ->
+      run_phase ~parallel ~p (send_phase r round);
+      run_phase ~parallel ~p (recv_phase round))
+    rounds;
+  net
+
+let check_section (a : Darray.t) sec =
+  if Section.is_empty sec then invalid_arg "Executor: empty section";
+  let norm = Section.normalize sec in
+  if norm.Section.lo < 0 || norm.Section.hi >= Darray.size a then
+    invalid_arg "Executor: section outside the array"
+
+let redistribute ?net ?parallel ~src ~src_section ~dst ~dst_section () =
+  check_section src src_section;
+  check_section dst dst_section;
+  if Section.count src_section <> Section.count dst_section then
+    invalid_arg "Executor.redistribute: section element counts differ";
+  let sched =
+    Cache.find ~src_layout:(Darray.layout src) ~src_section
+      ~dst_layout:(Darray.layout dst) ~dst_section
+  in
+  run ?net ?parallel sched ~src ~dst

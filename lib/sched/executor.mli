@@ -1,0 +1,42 @@
+(** Executor: run a communication schedule on the simulated machine.
+
+    A single pack phase gathers every outgoing buffer — all reads —
+    before any delivery writes, so source and destination may alias
+    (overlapping in-array shifts behave like the legacy two-phase
+    exchange). Self-transfers then unpack locally (no network) and each
+    round becomes a send phase and a receive phase separated by a
+    barrier ({!Lams_sim.Spmd.run} per phase, or domain-parallel with
+    [~parallel:true]). A round's transfers are contention-free, so every
+    mailbox sees at most one message per round
+    ({!Lams_sim.Network.max_congestion} stays at 1) and phase order is
+    the only synchronization needed. Messages are packed: sent with
+    [addresses = [||]], placement recovered from the receiver's half of
+    the schedule. *)
+
+val run :
+  ?net:Lams_sim.Network.t ->
+  ?parallel:bool ->
+  Schedule.t ->
+  src:Lams_sim.Darray.t ->
+  dst:Lams_sim.Darray.t ->
+  Lams_sim.Network.t
+(** Execute [sched], copying the scheduled elements of [src] into
+    [dst]. Returns the network used (created at machine size when [net]
+    is absent) so callers can reuse it and read its accounting.
+    @raise Invalid_argument if the schedule was built for different
+    machine sizes or [net] is too small. *)
+
+val redistribute :
+  ?net:Lams_sim.Network.t ->
+  ?parallel:bool ->
+  src:Lams_sim.Darray.t ->
+  src_section:Lams_dist.Section.t ->
+  dst:Lams_sim.Darray.t ->
+  dst_section:Lams_dist.Section.t ->
+  unit ->
+  Lams_sim.Network.t
+(** Scheduled replacement for {!Lams_sim.Section_ops.copy}: look the
+    schedule up in the {!Cache} and run it. Element [j] of [src_section]
+    lands on element [j] of [dst_section].
+    @raise Invalid_argument on empty, out-of-bounds or count-mismatched
+    sections. *)

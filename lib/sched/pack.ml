@@ -1,0 +1,126 @@
+open Lams_dist
+open Lams_core
+open Lams_codegen
+
+type block = { buf_pos : int; start_local : int; length : int; step : int }
+type side = { blocks : block list; elements : int }
+
+(* One arithmetic progression of traversal positions maps to the global
+   indices g(t) = sec.lo + (first + t*period)*sec.stride — itself an
+   arithmetic sequence with stride period*|sec.stride|, every element
+   owned by [proc] (Comm_sets guarantees it). That is exactly a
+   (p, k, l, s) access-sequence sub-problem, so the contiguous
+   local-address blocks fall out of the AM-table machinery: build the
+   plan for the sub-section and merge its traversal into runs.
+
+   The sub-problems' (l, s) vary per transfer, so routing them through
+   the process {!Lams_core.Plan_cache} would thrash it (and evict the
+   whole-array entries the fill path lives on); schedules are cached one
+   level up ({!Cache}), so the uncached per-processor build is the right
+   cost here. *)
+let blocks_of_progression ~layout ~section ~proc ~buf_pos
+    (run : Lams_sim.Comm_sets.progression) =
+  let nth t =
+    Section.nth section
+      (run.Lams_sim.Comm_sets.first + (t * run.Lams_sim.Comm_sets.period))
+  in
+  let count = run.Lams_sim.Comm_sets.count in
+  let g0 = nth 0 in
+  if count = 1 then
+    [ { buf_pos; start_local = Layout.local_address layout g0; length = 1;
+        step = 1 } ]
+  else begin
+    let gl = nth (count - 1) in
+    (* The pack buffer is filled in traversal order; a negative section
+       stride makes the globals descend, so the plan (which always walks
+       ascending) is built on the reversed sequence and its runs are
+       emitted as step = -1 blocks at mirrored buffer positions. *)
+    let ascending = gl > g0 in
+    let lo = if ascending then g0 else gl in
+    let hi = if ascending then gl else g0 in
+    let stride = (hi - lo) / (count - 1) in
+    let pr =
+      Problem.make ~p:layout.Layout.p ~k:layout.Layout.k ~l:lo ~s:stride
+    in
+    match Plan.build_uncached pr ~m:proc ~u:hi with
+    | None -> invalid_arg "Pack: progression not owned by its processor"
+    | Some plan ->
+        let visited = ref 0 in
+        let blocks =
+          Runs.fold_runs plan ~init:[]
+            ~f:(fun acc { Runs.start_local; length } ->
+              let b =
+                if ascending then
+                  { buf_pos = buf_pos + !visited; start_local; length;
+                    step = 1 }
+                else
+                  { buf_pos = buf_pos + count - !visited - length;
+                    start_local = start_local + length - 1;
+                    length;
+                    step = -1 }
+              in
+              visited := !visited + length;
+              b :: acc)
+        in
+        if !visited <> count then
+          invalid_arg "Pack: progression escapes its processor";
+        blocks
+  end
+
+let build_side ~layout ~section ~proc runs =
+  let buf_pos = ref 0 in
+  let blocks =
+    List.concat_map
+      (fun (run : Lams_sim.Comm_sets.progression) ->
+        let bs =
+          blocks_of_progression ~layout ~section ~proc ~buf_pos:!buf_pos run
+        in
+        buf_pos := !buf_pos + run.Lams_sim.Comm_sets.count;
+        bs)
+      runs
+  in
+  let blocks =
+    List.sort (fun a b -> compare a.buf_pos b.buf_pos) blocks
+  in
+  { blocks; elements = !buf_pos }
+
+let pack side ~data ~buf =
+  List.iter
+    (fun { buf_pos; start_local; length; step } ->
+      if step = 1 then Array.blit data start_local buf buf_pos length
+      else
+        for i = 0 to length - 1 do
+          buf.(buf_pos + i) <- data.(start_local - i)
+        done)
+    side.blocks
+
+let unpack side ~buf ~data =
+  List.iter
+    (fun { buf_pos; start_local; length; step } ->
+      if step = 1 then Array.blit buf buf_pos data start_local length
+      else
+        for i = 0 to length - 1 do
+          data.(start_local - i) <- buf.(buf_pos + i)
+        done)
+    side.blocks
+
+let shift side delta =
+  if delta = 0 then side
+  else
+    { side with
+      blocks =
+        List.map
+          (fun b -> { b with start_local = b.start_local + delta })
+          side.blocks }
+
+let block_count side = List.length side.blocks
+
+let local_addresses side =
+  let out = Array.make side.elements (-1) in
+  List.iter
+    (fun { buf_pos; start_local; length; step } ->
+      for i = 0 to length - 1 do
+        out.(buf_pos + i) <- start_local + (step * i)
+      done)
+    side.blocks;
+  out

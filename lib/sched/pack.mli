@@ -1,0 +1,51 @@
+(** Pack/unpack marshalling for one transfer of a communication
+    schedule.
+
+    A transfer's element set is a union of arithmetic progressions of
+    traversal positions ({!Lams_sim.Comm_sets}); on each side those
+    positions land on one processor's local memory as a short list of
+    {e contiguous blocks} — the same run structure the node-code
+    generator exploits ({!Lams_codegen.Runs}). Marshalling is therefore
+    a handful of [Array.blit]s over gap runs instead of one address
+    computation per element. *)
+
+type block = {
+  buf_pos : int;  (** first position in the packed buffer *)
+  start_local : int;  (** first local address *)
+  length : int;
+  step : int;  (** [+1] ascending locals, [-1] descending (negative
+                   section stride) *)
+}
+
+type side = {
+  blocks : block list;  (** sorted by [buf_pos]; they partition
+                            [\[0, elements)] *)
+  elements : int;
+}
+
+val build_side :
+  layout:Lams_dist.Layout.t ->
+  section:Lams_dist.Section.t ->
+  proc:int ->
+  Lams_sim.Comm_sets.progression list ->
+  side
+(** Lower one side of a transfer (its owner [proc]'s view) to blocks.
+    Buffer positions follow the transfer's traversal order: progressions
+    in list order, positions ascending within each.
+    @raise Invalid_argument if some position is not owned by [proc]
+    (a schedule/ownership inconsistency). *)
+
+val pack : side -> data:float array -> buf:float array -> unit
+(** Gather the side's elements from local memory into the packed
+    buffer. *)
+
+val unpack : side -> buf:float array -> data:float array -> unit
+(** Scatter the packed buffer into local memory. *)
+
+val shift : side -> int -> side
+(** Translate every block's [start_local] (schedule-cache rebase). *)
+
+val block_count : side -> int
+
+val local_addresses : side -> int array
+(** Local address of each buffer position (test/debug helper). *)

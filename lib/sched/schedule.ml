@@ -1,0 +1,262 @@
+open Lams_dist
+open Lams_sim
+
+type transfer = {
+  src_proc : int;
+  dst_proc : int;
+  elements : int;
+  src_side : Pack.side;
+  dst_side : Pack.side;
+}
+
+type round = transfer list
+
+type t = {
+  src_procs : int;
+  dst_procs : int;
+  total : int;
+  locals : transfer list;
+  rounds : round list;
+  max_degree : int;
+}
+
+let c_builds =
+  Lams_obs.Obs.counter "sched.builds" ~units:"schedules"
+    ~doc:"communication schedules lowered from comm sets"
+
+let c_rounds =
+  Lams_obs.Obs.counter "sched.rounds" ~units:"rounds"
+    ~doc:"contention-free rounds emitted by the inspector"
+
+let d_congestion =
+  Lams_obs.Obs.distribution "sched.max_congestion" ~units:"messages"
+    ~doc:
+      "per-schedule max transfer degree: messages the busiest processor \
+       must serialize (lower bound on rounds, met by the coloring)"
+
+(* Bipartite edge coloring with at most Δ colors (König's theorem,
+   constructive form). Senders and receivers are the two vertex sets —
+   a rank may both send and receive in the same round. For each edge
+   (u, v): take α = smallest color free at u, β = smallest free at v.
+   If one color is free at both, use it; otherwise flip the maximal
+   α/β-alternating path starting at v — in a proper partial coloring
+   the α/β subgraph has max degree 2, so the walk is a simple path, and
+   it cannot end at u (it would have to arrive there on an α edge, but
+   α is free at u) — after which α is free at both ends. Every edge
+   therefore gets a color < Δ, i.e. rounds <= max degree. *)
+let color_edges ~n_src ~n_dst (edges : (int * int) array) =
+  let ne = Array.length edges in
+  let deg_s = Array.make (max 1 n_src) 0 in
+  let deg_d = Array.make (max 1 n_dst) 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg_s.(u) <- deg_s.(u) + 1;
+      deg_d.(v) <- deg_d.(v) + 1)
+    edges;
+  let delta =
+    max (Array.fold_left max 0 deg_s) (Array.fold_left max 0 deg_d)
+  in
+  let width = max 1 delta in
+  (* src_at.(u).(c) / dst_at.(v).(c): edge id colored [c] at that
+     vertex, or -1. *)
+  let src_at = Array.make_matrix (max 1 n_src) width (-1) in
+  let dst_at = Array.make_matrix (max 1 n_dst) width (-1) in
+  let colors = Array.make (max 1 ne) (-1) in
+  let free_at mat x =
+    let c = ref 0 in
+    while mat.(x).(!c) >= 0 do
+      incr c
+    done;
+    !c
+  in
+  Array.iteri
+    (fun e (u, v) ->
+      let a = free_at src_at u in
+      let b = free_at dst_at v in
+      let c =
+        if a = b || dst_at.(v).(a) < 0 then a
+        else begin
+          (* Walk the α/β path from v: α-edge at a receiver, β-edge at
+             a sender, alternating. Collect, then flip in two passes
+             (clear-then-set avoids ordering hazards at shared
+             vertices). *)
+          let path = ref [] in
+          let continue_ = ref true in
+          let at_dst = ref true in
+          let vertex = ref v in
+          while !continue_ do
+            let edge =
+              if !at_dst then dst_at.(!vertex).(a)
+              else src_at.(!vertex).(b)
+            in
+            if edge < 0 then continue_ := false
+            else begin
+              path := edge :: !path;
+              let eu, ev = edges.(edge) in
+              vertex := (if !at_dst then eu else ev);
+              at_dst := not !at_dst
+            end
+          done;
+          let path = List.rev !path in
+          List.iter
+            (fun e' ->
+              let eu, ev = edges.(e') in
+              let c' = colors.(e') in
+              if src_at.(eu).(c') = e' then src_at.(eu).(c') <- -1;
+              if dst_at.(ev).(c') = e' then dst_at.(ev).(c') <- -1)
+            path;
+          List.iter
+            (fun e' ->
+              let eu, ev = edges.(e') in
+              let c' = if colors.(e') = a then b else a in
+              colors.(e') <- c';
+              src_at.(eu).(c') <- e';
+              dst_at.(ev).(c') <- e')
+            path;
+          a
+        end
+      in
+      colors.(e) <- c;
+      src_at.(u).(c) <- e;
+      dst_at.(v).(c) <- e)
+    edges;
+  (colors, delta)
+
+let build ~src_layout ~src_section ~dst_layout ~dst_section =
+  let cs = Comm_sets.build ~src_layout ~src_section ~dst_layout ~dst_section in
+  let lower (tr : Comm_sets.transfer) =
+    { src_proc = tr.Comm_sets.src_proc;
+      dst_proc = tr.Comm_sets.dst_proc;
+      elements = tr.Comm_sets.elements;
+      src_side =
+        Pack.build_side ~layout:src_layout ~section:src_section
+          ~proc:tr.Comm_sets.src_proc tr.Comm_sets.runs;
+      dst_side =
+        Pack.build_side ~layout:dst_layout ~section:dst_section
+          ~proc:tr.Comm_sets.dst_proc tr.Comm_sets.runs }
+  in
+  let locals, cross =
+    List.partition
+      (fun (tr : Comm_sets.transfer) ->
+        tr.Comm_sets.src_proc = tr.Comm_sets.dst_proc)
+      cs.Comm_sets.transfers
+  in
+  let locals = List.map lower locals in
+  let cross = Array.of_list (List.map lower cross) in
+  let edges = Array.map (fun tr -> (tr.src_proc, tr.dst_proc)) cross in
+  let colors, delta =
+    color_edges ~n_src:src_layout.Layout.p ~n_dst:dst_layout.Layout.p edges
+  in
+  let rounds =
+    List.init delta (fun c ->
+        Array.to_list cross
+        |> List.filteri (fun e _ -> colors.(e) = c))
+    |> List.filter (fun r -> r <> [])
+  in
+  let t =
+    { src_procs = src_layout.Layout.p;
+      dst_procs = dst_layout.Layout.p;
+      total = cs.Comm_sets.total;
+      locals;
+      rounds;
+      max_degree = delta }
+  in
+  Lams_obs.Obs.incr c_builds;
+  Lams_obs.Obs.add c_rounds (List.length rounds);
+  Lams_obs.Obs.observe d_congestion (float_of_int delta);
+  t
+
+let rounds_count t = List.length t.rounds
+
+let cross_elements t =
+  List.fold_left
+    (fun acc round ->
+      List.fold_left (fun acc tr -> acc + tr.elements) acc round)
+    0 t.rounds
+
+let rebase t ~src_delta ~dst_delta =
+  if src_delta = 0 && dst_delta = 0 then t
+  else begin
+    let shift tr =
+      { tr with
+        src_side = Pack.shift tr.src_side src_delta;
+        dst_side = Pack.shift tr.dst_side dst_delta }
+    in
+    { t with
+      locals = List.map shift t.locals;
+      rounds = List.map (List.map shift) t.rounds }
+  end
+
+let validate t =
+  let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  let check_round i round =
+    let seen_src = Hashtbl.create 8 and seen_dst = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc tr ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+            if tr.src_proc = tr.dst_proc then
+              fail "round %d contains self-transfer on %d" i tr.src_proc
+            else if Hashtbl.mem seen_src tr.src_proc then
+              fail "round %d: processor %d sends twice" i tr.src_proc
+            else if Hashtbl.mem seen_dst tr.dst_proc then
+              fail "round %d: processor %d receives twice" i tr.dst_proc
+            else begin
+              Hashtbl.add seen_src tr.src_proc ();
+              Hashtbl.add seen_dst tr.dst_proc ();
+              Ok ()
+            end)
+      (Ok ()) round
+  in
+  let check_sides tr acc =
+    match acc with
+    | Error _ as e -> e
+    | Ok () ->
+        if tr.src_side.Pack.elements <> tr.elements then
+          fail "transfer %d->%d: src side has %d of %d elements" tr.src_proc
+            tr.dst_proc tr.src_side.Pack.elements tr.elements
+        else if tr.dst_side.Pack.elements <> tr.elements then
+          fail "transfer %d->%d: dst side has %d of %d elements" tr.src_proc
+            tr.dst_proc tr.dst_side.Pack.elements tr.elements
+        else Ok ()
+  in
+  let rec rounds_ok i = function
+    | [] -> Ok ()
+    | r :: rest -> begin
+        match check_round i r with
+        | Error _ as e -> e
+        | Ok () -> rounds_ok (i + 1) rest
+      end
+  in
+  match rounds_ok 0 t.rounds with
+  | Error _ as e -> e
+  | Ok () ->
+      let all = t.locals @ List.concat t.rounds in
+      let delivered = List.fold_left (fun a tr -> a + tr.elements) 0 all in
+      if delivered <> t.total then
+        fail "schedule delivers %d of %d elements" delivered t.total
+      else if List.length t.rounds > t.max_degree + 1 then
+        fail "%d rounds exceed max degree %d + 1" (List.length t.rounds)
+          t.max_degree
+      else List.fold_left (fun acc tr -> check_sides tr acc) (Ok ()) all
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d elements (%d local in %d pairs), %d rounds, max degree %d@,"
+    t.total
+    (List.fold_left (fun a tr -> a + tr.elements) 0 t.locals)
+    (List.length t.locals) (List.length t.rounds) t.max_degree;
+  List.iteri
+    (fun i round ->
+      Format.fprintf ppf "  round %d:" i;
+      List.iter
+        (fun tr ->
+          Format.fprintf ppf " %d->%d (%d el, %d+%d blk)" tr.src_proc
+            tr.dst_proc tr.elements
+            (Pack.block_count tr.src_side)
+            (Pack.block_count tr.dst_side))
+        round;
+      Format.fprintf ppf "@,")
+    t.rounds;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** Inspector: lower comm sets into a contention-free communication
+    schedule.
+
+    {!Lams_sim.Comm_sets} says {e what} moves between every processor
+    pair; a schedule says {e when} and {e in what form}. Cross-processor
+    transfers are grouped into rounds by bipartite edge coloring
+    (senders and receivers as the two vertex sets, one color class per
+    round) so that within a round no processor sends twice or receives
+    twice, and König's theorem — in its constructive alternating-path
+    form — bounds the number of rounds by the maximum transfer degree.
+    Each transfer carries pre-computed pack/unpack block lists
+    ({!Pack.side}) so the executor moves one packed buffer per (src,
+    dst) pair per round. *)
+
+type transfer = {
+  src_proc : int;
+  dst_proc : int;
+  elements : int;
+  src_side : Pack.side;  (** gather blocks in [src_proc]'s memory *)
+  dst_side : Pack.side;  (** scatter blocks in [dst_proc]'s memory *)
+}
+
+type round = transfer list
+
+type t = {
+  src_procs : int;
+  dst_procs : int;
+  total : int;  (** elements moved, including processor-local ones *)
+  locals : transfer list;  (** self-transfers, kept out of the rounds *)
+  rounds : round list;
+  max_degree : int;  (** max transfers touching one processor — the
+                         contention lower bound on rounds *)
+}
+
+val build :
+  src_layout:Lams_dist.Layout.t ->
+  src_section:Lams_dist.Section.t ->
+  dst_layout:Lams_dist.Layout.t ->
+  dst_section:Lams_dist.Section.t ->
+  t
+(** Build the schedule for copying [src_section] (under [src_layout])
+    onto [dst_section] (under [dst_layout]), element [j] to element [j].
+    @raise Invalid_argument on empty or count-mismatched sections
+    (propagated from {!Lams_sim.Comm_sets.build}). *)
+
+val rounds_count : t -> int
+
+val cross_elements : t -> int
+(** Elements that actually cross processors (sum over rounds). *)
+
+val rebase : t -> src_delta:int -> dst_delta:int -> t
+(** Shift all local addresses on the source / destination side.
+    Schedules are translation-invariant per side in steps of the cycle
+    span; {!Cache} uses this to serve translated sections from one
+    canonical entry. *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: every round free of send and receive
+    conflicts and of self-transfers, every element delivered exactly
+    once, rounds bounded by [max_degree + 1], and both sides of every
+    transfer sized to its element count. *)
+
+val pp : Format.formatter -> t -> unit
+(** Deterministic rendering: a summary line, then one line per round
+    listing [src->dst (elements, src+dst blocks)]. *)

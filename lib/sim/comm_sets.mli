@@ -27,7 +27,10 @@ type transfer = {
 
 type t = {
   transfers : transfer list;
-      (** only pairs that exchange at least one element *)
+      (** only pairs that exchange at least one element, in ascending
+          lexicographic [(src_proc, dst_proc)] order — deterministic, so
+          downstream consumers (schedule lowering, golden tests, {!pp})
+          can rely on it *)
   total : int;  (** section element count *)
 }
 

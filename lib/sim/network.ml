@@ -10,6 +10,18 @@ type t = {
   mailboxes : message Queue.t array;
   mutable sent : int;
   mutable moved : int;
+  (* Per-link ([src * p + dst]) cumulative traffic and in-flight peaks.
+     [pending_link]/[peak_link] count messages posted but not yet
+     drained; [peak_dst] is the deepest any mailbox ever got — the
+     congestion a single-port receiver would have to serialize. *)
+  link_msgs : int array;
+  link_elems : int array;
+  pending_link : int array;
+  peak_link : int array;
+  peak_dst : int array;
+  (* Guards every mutable field above plus the queues, so executor
+     phases may post/drain from concurrent domains. *)
+  mutex : Mutex.t;
 }
 
 (* Element width for byte accounting: payloads are 64-bit floats. *)
@@ -31,9 +43,22 @@ let c_drains =
   Lams_obs.Obs.counter "sim.network.drains" ~units:"drains"
     ~doc:"mailbox drains (receive_all calls)"
 
+let d_congestion =
+  Lams_obs.Obs.distribution "sim.network.congestion" ~units:"messages"
+    ~doc:"mailbox depth right after each send (in-flight per receiver)"
+
 let create ~p =
   if p <= 0 then invalid_arg "Network.create: p <= 0";
-  { p; mailboxes = Array.init p (fun _ -> Queue.create ()); sent = 0; moved = 0 }
+  { p;
+    mailboxes = Array.init p (fun _ -> Queue.create ());
+    sent = 0;
+    moved = 0;
+    link_msgs = Array.make (p * p) 0;
+    link_elems = Array.make (p * p) 0;
+    pending_link = Array.make (p * p) 0;
+    peak_link = Array.make (p * p) 0;
+    peak_dst = Array.make p 0;
+    mutex = Mutex.create () }
 
 let procs t = t.p
 
@@ -43,29 +68,71 @@ let check_rank t r name =
 let send t ~src ~dst ~tag ~addresses ~payload =
   check_rank t src "send";
   check_rank t dst "send";
-  if Array.length addresses <> Array.length payload then
-    invalid_arg "Network.send: addresses/payload length mismatch";
+  (* An empty address array marks a *packed* message: the receiver knows
+     the placement (from its half of the schedule), so per-element
+     destination addresses are not shipped. *)
+  if Array.length addresses <> 0
+     && Array.length addresses <> Array.length payload
+  then invalid_arg "Network.send: addresses/payload length mismatch";
+  Mutex.lock t.mutex;
   Queue.push { src; tag; addresses; payload } t.mailboxes.(dst);
   t.sent <- t.sent + 1;
   t.moved <- t.moved + Array.length payload;
+  let link = (src * t.p) + dst in
+  t.link_msgs.(link) <- t.link_msgs.(link) + 1;
+  t.link_elems.(link) <- t.link_elems.(link) + Array.length payload;
+  t.pending_link.(link) <- t.pending_link.(link) + 1;
+  if t.pending_link.(link) > t.peak_link.(link) then
+    t.peak_link.(link) <- t.pending_link.(link);
+  let depth = Queue.length t.mailboxes.(dst) in
+  if depth > t.peak_dst.(dst) then t.peak_dst.(dst) <- depth;
+  Mutex.unlock t.mutex;
   Lams_obs.Obs.incr c_messages;
   Lams_obs.Obs.add c_elements (Array.length payload);
-  Lams_obs.Obs.add c_bytes (bytes_per_element * Array.length payload)
+  Lams_obs.Obs.add c_bytes (bytes_per_element * Array.length payload);
+  Lams_obs.Obs.observe d_congestion (float_of_int depth)
 
 let receive_all t ~dst =
   check_rank t dst "receive_all";
   Lams_obs.Obs.incr c_drains;
+  Mutex.lock t.mutex;
   let q = t.mailboxes.(dst) in
   let rec drain acc =
     match Queue.take_opt q with
     | None -> List.rev acc
-    | Some m -> drain (m :: acc)
+    | Some m ->
+        let link = (m.src * t.p) + dst in
+        t.pending_link.(link) <- t.pending_link.(link) - 1;
+        drain (m :: acc)
   in
-  drain []
+  let msgs = drain [] in
+  Mutex.unlock t.mutex;
+  msgs
 
 let pending t ~dst =
   check_rank t dst "pending";
-  Queue.length t.mailboxes.(dst)
+  Mutex.lock t.mutex;
+  let n = Queue.length t.mailboxes.(dst) in
+  Mutex.unlock t.mutex;
+  n
 
 let messages_sent t = t.sent
 let elements_moved t = t.moved
+
+let link_messages t ~src ~dst =
+  check_rank t src "link_messages";
+  check_rank t dst "link_messages";
+  t.link_msgs.((src * t.p) + dst)
+
+let link_elements t ~src ~dst =
+  check_rank t src "link_elements";
+  check_rank t dst "link_elements";
+  t.link_elems.((src * t.p) + dst)
+
+let max_congestion t = Array.fold_left max 0 t.peak_dst
+
+let max_link_in_flight t = Array.fold_left max 0 t.peak_link
+
+let congestion t ~dst =
+  check_rank t dst "congestion";
+  t.peak_dst.(dst)

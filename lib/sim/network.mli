@@ -1,13 +1,18 @@
 (** A deterministic message-passing fabric between simulated processors:
     point-to-point mailboxes with per-link traffic accounting. Stands in
     for the iPSC/860 interconnect when array statements move data between
-    differently-mapped arrays. *)
+    differently-mapped arrays.
+
+    All operations are safe to call from concurrent domains (one mutex
+    per fabric), so executor phases may post and drain in parallel. *)
 
 type message = {
   src : int;
   tag : int;
-  addresses : int array;  (** destination-local addresses *)
-  payload : float array;  (** same length as [addresses] *)
+  addresses : int array;
+      (** destination-local addresses; empty for {e packed} messages,
+          whose placement the receiver derives from its schedule *)
+  payload : float array;  (** same length as [addresses] unless packed *)
 }
 
 type t
@@ -17,10 +22,14 @@ val create : p:int -> t
 
 val procs : t -> int
 
+val bytes_per_element : int
+(** Accounting width of one payload element (8, a double). *)
+
 val send : t -> src:int -> dst:int -> tag:int -> addresses:int array ->
   payload:float array -> unit
-(** Enqueue. @raise Invalid_argument on rank out of range or length
-    mismatch between addresses and payload. *)
+(** Enqueue. An empty [addresses] array marks a packed message (any
+    payload length); otherwise the lengths must match.
+    @raise Invalid_argument on rank out of range or length mismatch. *)
 
 val receive_all : t -> dst:int -> message list
 (** Drain processor [dst]'s mailbox in arrival order. *)
@@ -33,3 +42,26 @@ val messages_sent : t -> int
 
 val elements_moved : t -> int
 (** Total payload elements enqueued since creation. *)
+
+(** {1 Congestion accounting}
+
+    Cumulative per-link traffic plus {e in-flight peaks}: how many
+    messages were simultaneously posted-but-undrained, per link and per
+    receiver. A contention-free round schedule keeps every peak at 1;
+    the unscheduled exchange lets them grow with the transfer degree.
+    Also observed as the [sim.network.congestion] distribution. *)
+
+val link_messages : t -> src:int -> dst:int -> int
+(** Messages ever sent on one (src, dst) link. *)
+
+val link_elements : t -> src:int -> dst:int -> int
+(** Payload elements ever sent on one (src, dst) link. *)
+
+val congestion : t -> dst:int -> int
+(** Peak mailbox depth seen at [dst]. *)
+
+val max_congestion : t -> int
+(** Largest {!congestion} over all receivers. *)
+
+val max_link_in_flight : t -> int
+(** Peak simultaneously-pending messages on any single link. *)

@@ -709,6 +709,118 @@ let prop_random_copy_programs =
       in
       match Driver.crosscheck src with Ok _ -> true | Error _ -> false)
 
+(* --- REDISTRIBUTE directive --- *)
+
+let test_lexer_redistribute () =
+  (* The !HPF$ sentinel lexes the rest of the line as statement tokens;
+     a plain ! comment is still skipped to end of line. *)
+  let toks =
+    Lexer.tokenize "!HPF$ REDISTRIBUTE A (cyclic(4)) onto 2 ! tail\n! gone\nreal A(8)"
+  in
+  let kinds = List.map (fun { Lexer.token; _ } -> token) toks in
+  Alcotest.(check bool) "tokens" true
+    (kinds
+    = [ Lexer.Kw_redistribute; Lexer.Ident "A"; Lexer.Lparen; Lexer.Kw_cyclic;
+        Lexer.Lparen; Lexer.Int 4; Lexer.Rparen; Lexer.Rparen; Lexer.Kw_onto;
+        Lexer.Int 2; Lexer.Newline; Lexer.Kw_real; Lexer.Ident "A";
+        Lexer.Lparen; Lexer.Int 8; Lexer.Rparen; Lexer.Newline; Lexer.Eof ])
+
+let test_parser_redistribute () =
+  (* Parenthesized and bare single-format forms, case-insensitive. *)
+  let prog =
+    Parser.parse
+      "real A(100)\ndistribute A (cyclic(2)) onto 4\n\
+       !HPF$ REDISTRIBUTE A (cyclic(16)) onto (2)\n\
+       !hpf$ redistribute A cyclic(5) onto 6\n"
+  in
+  (match prog with
+  | [ _; _;
+      Ast.Redistribute { name = "A"; formats = [ Ast.Cyclic_k 16 ]; onto = [ 2 ]; _ };
+      Ast.Redistribute { name = "A"; formats = [ Ast.Cyclic_k 5 ]; onto = [ 6 ]; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected redistribute parse");
+  (* A directive with junk after it is a syntax error, not a comment. *)
+  expect_syntax_error "real A(8)\n!HPF$ REDISTRIBUTE A (cyclic(2)) onto\n"
+
+let test_sema_redistribute_errors () =
+  let cases =
+    [ ("!HPF$ REDISTRIBUTE A (cyclic(2)) onto 2\n", "undeclared");
+      ("real A(10)\n!HPF$ REDISTRIBUTE A (cyclic(2)) onto 2\n", "unmapped");
+      ("real M(4, 4)\ndistribute M (block, block) onto (2, 2)\n\
+        !HPF$ REDISTRIBUTE M (cyclic(2)) onto 2\nM(0:3:1, 0:3:1) = 1.0\n",
+       "rank 2");
+      ("real A(10)\ntemplate T(10)\nalign A(i) with T(i)\n\
+        distribute T (block) onto 2\n!HPF$ REDISTRIBUTE A (cyclic(2)) onto 2\n\
+        A(0:9:1) = 1.0\n",
+       "aligned");
+      ("real A(10)\ndistribute A (cyclic(2)) onto 2\n\
+        !HPF$ REDISTRIBUTE A (cyclic(0)) onto 2\nA(0:9:1) = 1.0\n",
+       "cyclic(0)");
+      ("real A(10)\ndistribute A (cyclic(2)) onto 2\n\
+        !HPF$ REDISTRIBUTE A (cyclic(2)) onto 0\nA(0:9:1) = 1.0\n",
+       "onto 0");
+      ("real A(10)\ndistribute A (cyclic(2)) onto 2\n\
+        !HPF$ REDISTRIBUTE A (cyclic(2), cyclic(2)) onto (2, 2)\n\
+        A(0:9:1) = 1.0\n",
+       "format count") ]
+  in
+  List.iter
+    (fun (src, why) -> ignore (analyze_err src : Sema.error list) |> fun () -> ignore why)
+    cases
+
+let test_sema_redistribute_flow () =
+  (* Mappings are flow-sensitive: references after the directive resolve
+     against the new mapping, while [checked.arrays] keeps the initial one. *)
+  let checked =
+    analyze_ok
+      "real A(24)\ndistribute A (cyclic(2)) onto 4\nA(0:23:1) = 1.0\n\
+       !HPF$ REDISTRIBUTE A (cyclic(3)) onto 2\nA(0:23:1) = 2.0\n"
+  in
+  let grid_of = function
+    | Sema.Grid { grid; _ } -> grid
+    | Sema.Aligned_1d _ -> Alcotest.fail "expected a grid mapping"
+  in
+  (match checked.Sema.arrays with
+  | [ info ] -> Alcotest.(check bool) "initial" true (grid_of info.Sema.mapping = [| 4 |])
+  | _ -> Alcotest.fail "expected one array");
+  match checked.Sema.actions with
+  | [ Sema.Assign { lhs = before; _ };
+      Sema.Redistribute { from_; to_ };
+      Sema.Assign { lhs = after; _ } ] ->
+      Alcotest.(check bool) "before" true
+        (grid_of before.Sema.info.Sema.mapping = [| 4 |]);
+      Alcotest.(check bool) "from" true (grid_of from_.Sema.mapping = [| 4 |]);
+      Alcotest.(check bool) "to" true (grid_of to_.Sema.mapping = [| 2 |]);
+      Alcotest.(check bool) "after" true
+        (after.Sema.info.Sema.mapping = to_.Sema.mapping)
+  | _ -> Alcotest.fail "unexpected action shape"
+
+let test_run_redistribute () =
+  let outcome =
+    crosscheck_ok
+      "real A(48)\ndistribute A (cyclic(1)) onto 4\n\
+       A(0:47:1) = 1.0\nA(0:47:2) = 4.0\n\
+       !HPF$ REDISTRIBUTE A (cyclic(6)) onto 3\n\
+       A(1:47:2) = A(0:46:2) + 0.5\n\
+       !HPF$ redistribute A cyclic(4) onto 5\n\
+       print sum A(0:47:1)\nprint A(0:7:1)\n"
+  in
+  (* Evens 4.0, odds become 4.5: sum = 24*4 + 24*4.5 = 204. *)
+  Alcotest.(check (list string)) "outputs" [ "204"; "4 4.5 4 4.5 4 4.5 4 4.5" ]
+    outcome.Driver.outputs;
+  Tutil.check_bool "network was used" true
+    (outcome.Driver.runtime.Runtime.network <> None)
+
+let test_c_backend_rejects_redistribute () =
+  match
+    Emit_program.emit_source
+      "real A(10)\ndistribute A (cyclic(2)) onto 2\nA(0:9:1) = 1.0\n\
+       !HPF$ REDISTRIBUTE A (cyclic(5)) onto 2\nprint sum A(0:9:1)\n"
+  with
+  | Error (`Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "expected Unsupported"
+  | Error (`Failure f) -> Alcotest.failf "compile failure: %a" Driver.pp_failure f
+
 let suite =
   [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
     Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
@@ -730,6 +842,18 @@ let suite =
     Alcotest.test_case "run copy with redistribution" `Quick
       test_run_copy_with_redistribution;
     Alcotest.test_case "run aliasing shift" `Quick test_run_aliasing_shift;
+    Alcotest.test_case "lexer REDISTRIBUTE directive" `Quick
+      test_lexer_redistribute;
+    Alcotest.test_case "parse REDISTRIBUTE forms" `Quick
+      test_parser_redistribute;
+    Alcotest.test_case "sema REDISTRIBUTE rejections" `Quick
+      test_sema_redistribute_errors;
+    Alcotest.test_case "sema REDISTRIBUTE is flow-sensitive" `Quick
+      test_sema_redistribute_flow;
+    Alcotest.test_case "run program with REDISTRIBUTE" `Quick
+      test_run_redistribute;
+    Alcotest.test_case "C backend rejects REDISTRIBUTE" `Quick
+      test_c_backend_rejects_redistribute;
     Alcotest.test_case "run reversal" `Quick test_run_reversal;
     Alcotest.test_case "run aligned array" `Quick test_run_aligned_array;
     Alcotest.test_case "all node-code shapes agree end-to-end" `Quick

@@ -1,0 +1,296 @@
+open Lams_dist
+open Lams_sim
+open Lams_sched
+
+(* Brute-force local-address oracle for one side of a transfer: walk
+   the progressions and place every position with Layout.local_address. *)
+let oracle_addresses ~layout ~section runs =
+  Array.of_list
+    (List.concat_map
+       (fun (run : Comm_sets.progression) ->
+         List.map
+           (fun j -> Layout.local_address layout (Section.nth section j))
+           (Comm_sets.positions run))
+       runs)
+
+let init_src ~n ~p ~k =
+  Darray.of_array ~name:"ss" ~p ~dist:(Distribution.Block_cyclic k)
+    (Array.init n (fun g -> float_of_int ((2 * g) + 1)))
+
+let fresh_dst ~n ~p ~k =
+  Darray.create ~name:"sd" ~n ~p ~dist:(Distribution.Block_cyclic k)
+
+let test_build_golden () =
+  (* The paper-style machine (p=4, k=3) remapped onto cyclic(5). *)
+  let src_layout = Layout.create ~p:4 ~k:3
+  and dst_layout = Layout.create ~p:4 ~k:5 in
+  let sec = Section.make ~lo:0 ~hi:59 ~stride:1 in
+  let sched =
+    Schedule.build ~src_layout ~src_section:sec ~dst_layout ~dst_section:sec
+  in
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Tutil.check_int "total" 60 sched.Schedule.total;
+  Tutil.check_bool "coloring meets the Konig bound" true
+    (Schedule.rounds_count sched <= sched.Schedule.max_degree);
+  Tutil.check_int "local + cross = total" 60
+    (Schedule.cross_elements sched
+    + List.fold_left
+        (fun a (tr : Schedule.transfer) -> a + tr.Schedule.elements)
+        0 sched.Schedule.locals)
+
+let test_pp_golden () =
+  let src_layout = Layout.create ~p:2 ~k:2
+  and dst_layout = Layout.create ~p:2 ~k:3 in
+  let sec = Section.make ~lo:0 ~hi:11 ~stride:1 in
+  let sched =
+    Schedule.build ~src_layout ~src_section:sec ~dst_layout ~dst_section:sec
+  in
+  Alcotest.(check string)
+    "deterministic rendering"
+    "12 elements (6 local in 2 pairs), 1 rounds, max degree 1\n\
+    \  round 0: 0->1 (3 el, 3+3 blk) 1->0 (3 el, 3+3 blk)\n"
+    (Format.asprintf "%a" Schedule.pp sched)
+
+let test_pack_roundtrip_negative_stride () =
+  let layout = Layout.create ~p:3 ~k:4 in
+  let section = Section.make ~lo:70 ~hi:1 ~stride:(-3) in
+  let cs =
+    Comm_sets.build ~src_layout:layout ~src_section:section
+      ~dst_layout:(Layout.create ~p:2 ~k:5)
+      ~dst_section:(Section.make ~lo:0 ~hi:23 ~stride:1)
+  in
+  List.iter
+    (fun (tr : Comm_sets.transfer) ->
+      let side =
+        Pack.build_side ~layout ~section ~proc:tr.Comm_sets.src_proc
+          tr.Comm_sets.runs
+      in
+      Tutil.check_int "side elements" tr.Comm_sets.elements
+        side.Pack.elements;
+      Tutil.check_int_array "block walk = positional oracle"
+        (oracle_addresses ~layout ~section tr.Comm_sets.runs)
+        (Pack.local_addresses side);
+      (* pack into a buffer, unpack into a scratch store: the blocks
+         must move exactly the values the addresses name. *)
+      let extent = Layout.local_extent layout ~n:71 ~proc:tr.Comm_sets.src_proc in
+      let data = Array.init extent (fun a -> float_of_int (1000 + a)) in
+      let buf = Array.make side.Pack.elements 0. in
+      Pack.pack side ~data ~buf;
+      let back = Array.make extent (-1.) in
+      Pack.unpack side ~buf ~data:back;
+      Array.iter
+        (fun a ->
+          Alcotest.(check (float 0.))
+            "roundtrip value" data.(a) back.(a))
+        (Pack.local_addresses side))
+    cs.Comm_sets.transfers
+
+let gen_redistribution =
+  QCheck2.Gen.(
+    let* sp = int_range 1 8 in
+    let* sk = int_range 1 12 in
+    let* dp = int_range 1 8 in
+    let* dk = int_range 1 12 in
+    let* lo = int_range 0 40 in
+    let* count = int_range 1 120 in
+    let* stride = int_range 1 5 in
+    let* reversed = bool in
+    return (sp, sk, dp, dk, lo, count, stride, reversed))
+
+let print_redistribution (sp, sk, dp, dk, lo, count, stride, reversed) =
+  Printf.sprintf "sp=%d sk=%d dp=%d dk=%d lo=%d count=%d stride=%d rev=%b" sp
+    sk dp dk lo count stride reversed
+
+let sections_of (_, _, _, _, lo, count, stride, reversed) =
+  let hi = lo + ((count - 1) * stride) in
+  let src_section = Section.make ~lo ~hi ~stride in
+  let dst_section =
+    if reversed then Section.make ~lo:hi ~hi:lo ~stride:(-stride)
+    else src_section
+  in
+  (src_section, dst_section, hi + 1)
+
+let prop_executor_equals_legacy =
+  Tutil.qtest "scheduled redistribution = legacy copy" gen_redistribution
+    ~print:print_redistribution
+    (fun ((sp, sk, dp, dk, _, _, _, _) as case) ->
+      let src_section, dst_section, n = sections_of case in
+      let src = init_src ~n ~p:sp ~k:sk in
+      let legacy = fresh_dst ~n ~p:dp ~k:dk in
+      let scheduled = fresh_dst ~n ~p:dp ~k:dk in
+      ignore
+        (Section_ops.copy ~src ~src_section ~dst:legacy ~dst_section ()
+          : Network.t);
+      ignore
+        (Executor.redistribute ~src ~src_section ~dst:scheduled ~dst_section
+           ()
+          : Network.t);
+      Darray.equal_contents legacy scheduled)
+
+let prop_rounds_contention_free =
+  Tutil.qtest "rounds are valid and execute contention-free"
+    gen_redistribution ~print:print_redistribution
+    (fun ((sp, sk, dp, dk, _, _, _, _) as case) ->
+      let src_section, dst_section, n = sections_of case in
+      let sched =
+        Schedule.build
+          ~src_layout:(Layout.create ~p:sp ~k:sk)
+          ~src_section
+          ~dst_layout:(Layout.create ~p:dp ~k:dk)
+          ~dst_section
+      in
+      (match Schedule.validate sched with
+      | Ok () -> ()
+      | Error msg -> QCheck2.Test.fail_report msg);
+      let src = init_src ~n ~p:sp ~k:sk in
+      let dst = fresh_dst ~n ~p:dp ~k:dk in
+      let net = Executor.run sched ~src ~dst in
+      Schedule.rounds_count sched <= sched.Schedule.max_degree
+      && Network.max_congestion net <= 1
+      && Network.max_link_in_flight net <= 1)
+
+let test_parallel_equals_sequential () =
+  let src_section = Section.make ~lo:3 ~hi:402 ~stride:3 in
+  let n = 403 in
+  let src = init_src ~n ~p:6 ~k:4 in
+  let seq = fresh_dst ~n ~p:5 ~k:7 in
+  let par = fresh_dst ~n ~p:5 ~k:7 in
+  ignore
+    (Executor.redistribute ~src ~src_section ~dst:seq
+       ~dst_section:src_section ()
+      : Network.t);
+  ignore
+    (Executor.redistribute ~parallel:true ~src ~src_section ~dst:par
+       ~dst_section:src_section ()
+      : Network.t);
+  Tutil.check_bool "parallel executor = sequential" true
+    (Darray.equal_contents seq par)
+
+let test_overlapping_shift () =
+  (* src and dst alias: A(1:99) = A(0:98) must read everything before
+     writing anything, like the legacy two-phase exchange. *)
+  let n = 100 in
+  let a = init_src ~n ~p:4 ~k:3 in
+  let want =
+    Array.init n (fun g ->
+        if g = 0 then float_of_int ((2 * g) + 1)
+        else float_of_int ((2 * (g - 1)) + 1))
+  in
+  ignore
+    (Executor.redistribute ~src:a
+       ~src_section:(Section.make ~lo:0 ~hi:(n - 2) ~stride:1)
+       ~dst:a
+       ~dst_section:(Section.make ~lo:1 ~hi:(n - 1) ~stride:1)
+       ()
+      : Network.t);
+  Alcotest.(check (array (float 0.))) "shifted in place" want (Darray.gather a)
+
+let test_congestion_scheduled_vs_legacy () =
+  (* cyclic(1) -> cyclic(32) on p=8: every destination drains messages
+     from many sources. The unscheduled exchange piles them up in the
+     mailbox; the round schedule never exceeds depth 1. *)
+  let n = 512 in
+  let sec = Section.whole ~n in
+  let src = init_src ~n ~p:8 ~k:1 in
+  let legacy = fresh_dst ~n ~p:8 ~k:32 in
+  let scheduled = fresh_dst ~n ~p:8 ~k:32 in
+  let legacy_net =
+    Section_ops.copy ~src ~src_section:sec ~dst:legacy ~dst_section:sec ()
+  in
+  let sched_net =
+    Executor.redistribute ~src ~src_section:sec ~dst:scheduled
+      ~dst_section:sec ()
+  in
+  Tutil.check_bool "legacy congests" true
+    (Network.max_congestion legacy_net > 1);
+  Tutil.check_int "scheduled stays at depth 1" 1
+    (Network.max_congestion sched_net)
+
+let with_counters f =
+  Lams_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Lams_obs.Obs.set_enabled false) f
+
+let test_cache_hit_on_translation () =
+  Cache.clear ();
+  (* A translation is invisible to the cache iff it is a common multiple
+     of both sides' cycle spans: lcm(4*3, 3*5) = 60. *)
+  let shift = 60 in
+  let n = 200 in
+  let c_hits = Lams_obs.Obs.counter "sched.cache.hits" in
+  let c_misses = Lams_obs.Obs.counter "sched.cache.misses" in
+  with_counters (fun () ->
+      let hits0 = Lams_obs.Obs.counter_value c_hits
+      and misses0 = Lams_obs.Obs.counter_value c_misses in
+      let src = init_src ~n ~p:4 ~k:3 in
+      let run lo =
+        let sec = Section.make ~lo ~hi:(lo + 35) ~stride:1 in
+        let dst = fresh_dst ~n ~p:3 ~k:5 in
+        ignore
+          (Executor.redistribute ~src ~src_section:sec ~dst ~dst_section:sec
+             ()
+            : Network.t);
+        (* The rebased schedule must still place values correctly. *)
+        for g = lo to lo + 35 do
+          Alcotest.(check (float 0.))
+            "rebased placement"
+            (float_of_int ((2 * g) + 1))
+            (Darray.get dst g)
+        done
+      in
+      run 0;
+      run shift;
+      Tutil.check_int "second lookup hits" (hits0 + 1)
+        (Lams_obs.Obs.counter_value c_hits);
+      Tutil.check_int "one inspector run" (misses0 + 1)
+        (Lams_obs.Obs.counter_value c_misses))
+
+let test_cache_eviction () =
+  Cache.clear ();
+  let saved = Cache.capacity () in
+  Fun.protect ~finally:(fun () ->
+      Cache.set_capacity saved;
+      Cache.clear ())
+  @@ fun () ->
+  Cache.set_capacity 2;
+  let src_layout = Layout.create ~p:2 ~k:3 in
+  let find k' =
+    let sec = Section.make ~lo:0 ~hi:29 ~stride:1 in
+    ignore
+      (Cache.find ~src_layout ~src_section:sec
+         ~dst_layout:(Layout.create ~p:2 ~k:k')
+         ~dst_section:sec
+        : Schedule.t)
+  in
+  let c_evictions = Lams_obs.Obs.counter "sched.cache.evictions" in
+  with_counters (fun () ->
+      let ev0 = Lams_obs.Obs.counter_value c_evictions in
+      find 1;
+      find 2;
+      Tutil.check_int "at capacity" 2 (Cache.size ());
+      find 4;
+      Tutil.check_int "still at capacity" 2 (Cache.size ());
+      Tutil.check_int "one eviction" (ev0 + 1)
+        (Lams_obs.Obs.counter_value c_evictions));
+  Cache.clear ();
+  Tutil.check_int "cleared" 0 (Cache.size ())
+
+let suite =
+  [ Alcotest.test_case "schedule golden (p=4 k=3 -> k=5)" `Quick
+      test_build_golden;
+    Alcotest.test_case "schedule pp golden" `Quick test_pp_golden;
+    Alcotest.test_case "pack roundtrip, negative stride" `Quick
+      test_pack_roundtrip_negative_stride;
+    prop_executor_equals_legacy;
+    prop_rounds_contention_free;
+    Alcotest.test_case "parallel executor = sequential" `Quick
+      test_parallel_equals_sequential;
+    Alcotest.test_case "overlapping in-array shift" `Quick
+      test_overlapping_shift;
+    Alcotest.test_case "congestion: scheduled 1 vs legacy > 1" `Quick
+      test_congestion_scheduled_vs_legacy;
+    Alcotest.test_case "cache hit on translated sections" `Quick
+      test_cache_hit_on_translation;
+    Alcotest.test_case "cache eviction accounting" `Quick
+      test_cache_eviction ]

@@ -31,6 +31,32 @@ let test_network () =
     (fun () ->
       Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[| 1 |] ~payload:[||])
 
+let test_network_link_accounting () =
+  let net = Network.create ~p:4 in
+  (* Two messages on one link, undrained: the link and the mailbox both
+     peak at 2. A packed message (empty addresses) carries any payload
+     length. *)
+  Network.send net ~src:0 ~dst:3 ~tag:0 ~addresses:[| 1; 2; 3 |]
+    ~payload:[| 1.; 2.; 3. |];
+  Network.send net ~src:0 ~dst:3 ~tag:1 ~addresses:[||]
+    ~payload:[| 4.; 5. |];
+  Network.send net ~src:1 ~dst:2 ~tag:0 ~addresses:[||] ~payload:[| 9. |];
+  Tutil.check_int "link messages" 2 (Network.link_messages net ~src:0 ~dst:3);
+  Tutil.check_int "link elements" 5 (Network.link_elements net ~src:0 ~dst:3);
+  Tutil.check_int "quiet link" 0 (Network.link_messages net ~src:2 ~dst:0);
+  Tutil.check_int "congestion at 3" 2 (Network.congestion net ~dst:3);
+  Tutil.check_int "congestion at 2" 1 (Network.congestion net ~dst:2);
+  Tutil.check_int "max congestion" 2 (Network.max_congestion net);
+  Tutil.check_int "max link in flight" 2 (Network.max_link_in_flight net);
+  ignore (Network.receive_all net ~dst:3 : Network.message list);
+  (* Peaks are high-water marks: draining does not lower them. *)
+  Tutil.check_int "peak survives drain" 2 (Network.max_congestion net);
+  Alcotest.check_raises "non-packed mismatch still rejected"
+    (Invalid_argument "Network.send: addresses/payload length mismatch")
+    (fun () ->
+      Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[| 1; 2 |]
+        ~payload:[| 1. |])
+
 let test_darray_global_ops () =
   let a = Darray.create ~name:"A" ~n:320 ~p:4 ~dist:(Distribution.Block_cyclic 8) in
   Darray.set a 108 3.25;
@@ -320,6 +346,50 @@ let test_comm_sets_same_layout_stride1 () =
   in
   Tutil.check_int "no cross traffic" 0 (Comm_sets.cross_processor_elements sched)
 
+(* The transfer list order and the pp rendering are part of the
+   contract: schedule lowering and golden tests rely on them. The
+   paper-style machine (p=4, k=3) remapped onto cyclic(5). *)
+let test_comm_sets_golden_table () =
+  let sec = Section.make ~lo:0 ~hi:59 ~stride:1 in
+  let cs =
+    Comm_sets.build
+      ~src_layout:(Layout.create ~p:4 ~k:3)
+      ~src_section:sec
+      ~dst_layout:(Layout.create ~p:4 ~k:5)
+      ~dst_section:sec
+  in
+  Alcotest.(check string)
+    "pp golden"
+    "60 elements, 16 active pairs\n\
+    \  0 -> 0: 4 elements in 4 runs\n\
+    \  0 -> 1: 4 elements in 4 runs\n\
+    \  0 -> 2: 4 elements in 4 runs\n\
+    \  0 -> 3: 3 elements in 3 runs\n\
+    \  1 -> 0: 4 elements in 4 runs\n\
+    \  1 -> 1: 4 elements in 4 runs\n\
+    \  1 -> 2: 3 elements in 3 runs\n\
+    \  1 -> 3: 4 elements in 4 runs\n\
+    \  2 -> 0: 4 elements in 4 runs\n\
+    \  2 -> 1: 3 elements in 3 runs\n\
+    \  2 -> 2: 4 elements in 4 runs\n\
+    \  2 -> 3: 4 elements in 4 runs\n\
+    \  3 -> 0: 3 elements in 3 runs\n\
+    \  3 -> 1: 4 elements in 4 runs\n\
+    \  3 -> 2: 4 elements in 4 runs\n\
+    \  3 -> 3: 4 elements in 4 runs\n"
+    (Format.asprintf "%a" Comm_sets.pp cs);
+  (* Ordering pin: ascending lexicographic (src_proc, dst_proc). *)
+  let pairs =
+    List.map
+      (fun (tr : Comm_sets.transfer) ->
+        (tr.Comm_sets.src_proc, tr.Comm_sets.dst_proc))
+      cs.Comm_sets.transfers
+  in
+  Tutil.check_bool "transfers sorted by (src, dst)" true
+    (List.sort compare pairs = pairs);
+  Tutil.check_int "cross-processor elements" 44
+    (Comm_sets.cross_processor_elements cs)
+
 let test_comm_sets_errors () =
   let lay = Layout.create ~p:2 ~k:4 in
   Alcotest.check_raises "count mismatch"
@@ -482,6 +552,8 @@ let suite =
       test_comm_sets_basic;
     Alcotest.test_case "comm sets: identity copy stays local" `Quick
       test_comm_sets_same_layout_stride1;
+    Alcotest.test_case "comm sets: golden table + pinned order" `Quick
+      test_comm_sets_golden_table;
     Alcotest.test_case "comm sets: validation" `Quick test_comm_sets_errors;
     prop_comm_sets_match_brute;
     prop_copy_scheduled_equals_copy;
@@ -490,6 +562,8 @@ let suite =
     Alcotest.test_case "md comm conformance" `Quick test_md_comm_conformance;
     prop_md_comm_partition;
     Alcotest.test_case "network mailboxes" `Quick test_network;
+    Alcotest.test_case "network link + congestion accounting" `Quick
+      test_network_link_accounting;
     Alcotest.test_case "darray global ops (Figure 1 placement)" `Quick
       test_darray_global_ops;
     Alcotest.test_case "scatter/gather roundtrip" `Quick

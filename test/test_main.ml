@@ -9,6 +9,7 @@ let () =
       ("core", Suite_core.suite);
       ("codegen", Suite_codegen.suite);
       ("sim", Suite_sim.suite);
+      ("sched", Suite_sched.suite);
       ("multidim", Suite_multidim.suite);
       ("hpf", Suite_hpf.suite);
       ("check", Suite_check.suite);
