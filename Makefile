@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json smoke fuzz-quick doc clean
+.PHONY: all check test bench bench-json smoke fuzz-quick chaos-quick doc clean
 
 all:
 	dune build @all
@@ -10,13 +10,15 @@ test:
 
 # CI entry point: full build, full test suite, then the metrics smoke
 # (an instrumented `lams metrics` / `lams verify --metrics` run, see
-# bin/dune) so the observability path is exercised end to end, and the
-# quick differential fuzz campaign (bin/dune @fuzz).
+# bin/dune) so the observability path is exercised end to end, the
+# quick differential fuzz campaign (bin/dune @fuzz), and the quick
+# chaos runs (bin/dune @chaos: scheduled-under-faults vs legacy).
 check:
 	dune build @all
 	dune runtest
 	dune build @smoke
 	dune build @fuzz
+	dune build @chaos
 
 smoke:
 	dune build @smoke
@@ -25,6 +27,14 @@ smoke:
 # acceptance run is `dune exec -- lams fuzz --seed 42 --budget 5000`.
 fuzz-quick:
 	dune build @fuzz
+
+# Quick chaos runs: a lossy fabric with planned crashes (fixed seed,
+# small budget) plus an all-rates-zero run that must stay bit-identical
+# to the plain executor; any scheduled/legacy divergence fails the
+# build. The heavier acceptance sweep is
+# `dune exec -- lams fuzz --seed 42 --budget 1000` (chaos rounds included).
+chaos-quick:
+	dune build @chaos
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,195 @@
+(* The chaos bench (BENCH_chaos.json): what fault tolerance costs.
+
+   Two questions, on the steady-state redistribution of a whole
+   cyclic(k) array onto cyclic(k') (warm schedule, reused fabric):
+
+     - overhead: the reliable protocol forced onto a *perfect* fabric
+       (sequence-numbered headers, acks, the three-phase exchange loop;
+       checksums are skipped exactly because the fabric reports no
+       faults) against the plain executor. The protocol should cost
+       under ~10% here — it is the price of being *able* to lose
+       messages, paid even when none are lost;
+     - degradation: throughput of the reliable path as the drop rate
+       rises (retransmits, backoff waits and eventually downgrades do
+       more work per delivered element), reported as a slowdown against
+       the reliable-on-perfect baseline at the same shape. *)
+
+open Lams_util
+open Lams_sim
+
+(* One untimed warmup (touch every page, fill the schedule cache, let
+   the first run's allocation spike land outside the clock), then the
+   best batch: the overhead signal here is a few percent, well under a
+   shared machine's run-to-run noise, so this bench needs more repeats
+   than the construction benches. *)
+let time_us ?(inner = 3) f =
+  Sys.opaque_identity (ignore (f ()));
+  let batch () =
+    for _ = 1 to inner do
+      Sys.opaque_identity (ignore (f ()))
+    done
+  in
+  Timer.best_of ~repeats:(2 * Config.traversal_repeats) batch
+  /. float_of_int inner
+
+type overhead_row = {
+  p : int;
+  k_src : int;
+  k_dst : int;
+  n : int;
+  plain_us : float;
+  reliable_us : float;
+}
+
+type drop_row = {
+  dp : int;
+  dn : int;
+  drop : float;
+  us : float;
+  baseline_us : float;  (* reliable on a perfect fabric, same shape *)
+}
+
+let transitions = [ (1, 64); (64, 256); (256, 64) ]
+let drop_rates = [ 0.1; 0.3; 0.5 ]
+
+let make_case ~quick ~p (k_src, k_dst) =
+  let elements_per_proc = if quick then 2048 else 8192 in
+  let n = p * elements_per_proc in
+  let src =
+    Darray.create ~name:"S" ~n ~p ~dist:(Lams_dist.Distribution.Block_cyclic k_src)
+  in
+  let dst =
+    Darray.create ~name:"D" ~n ~p ~dist:(Lams_dist.Distribution.Block_cyclic k_dst)
+  in
+  for i = 0 to n - 1 do
+    Darray.set src i (float_of_int i)
+  done;
+  let sec = Lams_dist.Section.whole ~n in
+  let sched =
+    Lams_sched.Cache.find ~src_layout:(Darray.layout src) ~src_section:sec
+      ~dst_layout:(Darray.layout dst) ~dst_section:sec
+  in
+  (src, dst, sched)
+
+let overhead_row ~quick ~p transition =
+  let src, dst, sched = make_case ~quick ~p transition in
+  let net = Network.create ~p in
+  let plain_us =
+    time_us (fun () -> Lams_sched.Executor.run ~net sched ~src ~dst)
+  in
+  Network.reset_stats net;
+  (* An explicit config forces the protocol; the fabric stays perfect,
+     so checksums are skipped and the cost is headers, acks and the
+     exchange loop. *)
+  let reliable_us =
+    time_us (fun () ->
+        Lams_sched.Executor.run ~net
+          ~reliable:Lams_sched.Reliable.default_config sched ~src ~dst)
+  in
+  let k_src, k_dst = transition in
+  { p; k_src; k_dst; n = Darray.size src; plain_us; reliable_us }
+
+let drop_rows ~quick ~p =
+  let src, dst, sched = make_case ~quick ~p (1, 64) in
+  List.map
+    (fun drop ->
+      (* Re-time the perfect-fabric baseline adjacent to each lossy
+         measurement: on a shared machine the noise floor drifts on the
+         scale of one row, and a single stale baseline would skew every
+         slowdown the same way. *)
+      let baseline_net = Network.create ~p in
+      let baseline_us =
+        time_us (fun () ->
+            Lams_sched.Executor.run ~net:baseline_net
+              ~reliable:Lams_sched.Reliable.default_config sched ~src ~dst)
+      in
+      let net = Network.create ~p in
+      Network.set_faults net
+        (Some
+           (Fault_model.create
+              ~rates:{ Fault_model.no_faults with Fault_model.drop }
+              ~seed:42 ()));
+      let us =
+        time_us (fun () -> Lams_sched.Executor.run ~net sched ~src ~dst)
+      in
+      { dp = p; dn = Darray.size src; drop; us; baseline_us })
+    drop_rates
+
+let json_of ~quick overheads drops =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"chaos\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b "  \"reliable_overhead_on_perfect_fabric\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"p\": %d, \"k_src\": %d, \"k_dst\": %d, \"n\": %d, \
+            \"plain_us\": %.3f, \"reliable_us\": %.3f, \
+            \"overhead_pct\": %.1f}%s\n"
+           r.p r.k_src r.k_dst r.n r.plain_us r.reliable_us
+           (100. *. ((r.reliable_us /. r.plain_us) -. 1.))
+           (if i = List.length overheads - 1 then "" else ",")))
+    overheads;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"throughput_vs_drop_rate\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"p\": %d, \"n\": %d, \"drop\": %.2f, \"us\": %.3f, \
+            \"reliable_perfect_us\": %.3f, \"slowdown\": %.2f}%s\n"
+           r.dp r.dn r.drop r.us r.baseline_us (r.us /. r.baseline_us)
+           (if i = List.length drops - 1 then "" else ",")))
+    drops;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run ?(quick = false) ?json () =
+  let overheads =
+    List.concat_map
+      (fun p -> List.map (overhead_row ~quick ~p) transitions)
+      [ 8; 32 ]
+  in
+  print_endline
+    "=== Chaos: reliable protocol overhead on a perfect fabric (us) ===";
+  let t =
+    Ascii_table.create [ "p"; "k->k'"; "n"; "plain"; "reliable"; "overhead" ]
+  in
+  List.iter
+    (fun r ->
+      Ascii_table.add_row t
+        [ string_of_int r.p;
+          Printf.sprintf "%d->%d" r.k_src r.k_dst;
+          string_of_int r.n;
+          Printf.sprintf "%.1f" r.plain_us;
+          Printf.sprintf "%.1f" r.reliable_us;
+          Printf.sprintf "%+.1f%%" (100. *. ((r.reliable_us /. r.plain_us) -. 1.)) ])
+    overheads;
+  print_string (Ascii_table.render t);
+  print_newline ();
+  let drops = List.concat_map (fun p -> drop_rows ~quick ~p) [ 8; 32 ] in
+  print_endline "=== Chaos: reliable throughput vs drop rate (1->64) ===";
+  let t =
+    Ascii_table.create [ "p"; "n"; "drop"; "us"; "vs perfect" ]
+  in
+  List.iter
+    (fun r ->
+      Ascii_table.add_row t
+        [ string_of_int r.dp; string_of_int r.dn;
+          Printf.sprintf "%.2f" r.drop;
+          Printf.sprintf "%.1f" r.us;
+          Printf.sprintf "%.2fx" (r.us /. r.baseline_us) ])
+    drops;
+  print_string (Ascii_table.render t);
+  print_endline
+    "(reliable-on-perfect skips checksums — the fabric reports no faults —\n\
+     so the overhead is acks plus the exchange loop; under loss the\n\
+     retransmit/backoff machinery pays for exactly what it recovers)";
+  match json with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (json_of ~quick overheads drops));
+      Printf.printf "wrote %s\n" file

@@ -8,7 +8,7 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | redistribute | bechamel | all] [--quick] [--json FILE]";
+     | redistribute | chaos | bechamel | all] [--quick] [--json FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -37,6 +37,7 @@ let () =
   let experiments = if experiments = [] then [ "all" ] else experiments in
   let amortize () = Amortize.run ~quick:!quick ?json:!json () in
   let redistribute () = Redistribute.run ~quick:!quick ?json:!json () in
+  let chaos () = Chaos.run ~quick:!quick ?json:!json () in
   List.iter
     (fun name ->
       match String.lowercase_ascii name with
@@ -46,6 +47,7 @@ let () =
       | "ablations" -> Ablations.run ()
       | "amortize" -> amortize ()
       | "redistribute" -> redistribute ()
+      | "chaos" -> chaos ()
       | "bechamel" -> Bechamel_suite.run ()
       | "all" ->
           run_table1_and_figure7 ();
@@ -57,6 +59,8 @@ let () =
           amortize ();
           print_newline ();
           redistribute ();
+          print_newline ();
+          chaos ();
           print_newline ();
           Bechamel_suite.run ()
       | "-h" | "--help" | "help" -> usage ()

@@ -66,6 +66,10 @@ let case_row ~quick ~p (k_src, k_dst) =
     Lams_sched.Cache.find ~src_layout:(Darray.layout src) ~src_section:sec
       ~dst_layout:(Darray.layout dst) ~dst_section:sec
   in
+  (* The fabric is reused across the two timed paths: drop the legacy
+     run's cumulative and peak accounting so the scheduled run's report
+     (and any --metrics snapshot) reflects only its own traffic. *)
+  Network.reset_stats net;
   let sched_us =
     time_us (fun () -> Lams_sched.Executor.run ~net sched ~src ~dst)
   in

@@ -7,6 +7,7 @@
      verify    randomized cross-validation of all algorithms
      fuzz      corner-biased differential fuzzing + fault injection
      run       compile and execute a mini-HPF source file
+     chaos     scheduled redistribution on a lossy fabric vs the legacy oracle
      metrics   run a demo workload and print the observability counters
 
    The table-building subcommands accept --metrics / --metrics-json to
@@ -736,6 +737,255 @@ let run_cmd =
        ~doc:"Compile and execute a mini-HPF source file on the simulated machine.")
     term
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-model PRNG seed.")
+  in
+  let rate name default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"RATE" ~doc)
+  in
+  let drop_arg = rate "drop" 0.1 "Per-send drop probability." in
+  let dup_arg = rate "dup" 0.05 "Per-send duplication probability." in
+  let reorder_arg = rate "reorder" 0.1 "Per-send reorder probability." in
+  let corrupt_arg = rate "corrupt" 0.05 "Per-send bit-flip probability." in
+  let delay_arg = rate "delay" 0.1 "Per-send delayed-delivery probability." in
+  let max_delay_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-delay" ] ~docv:"TICKS"
+          ~doc:"Largest delivery delay, in simulated-time ticks.")
+  in
+  let crash_ranks_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-ranks" ] ~docv:"N"
+          ~doc:
+            "Give the first $(docv) ranks a planned crash on their second \
+             data send (each respawned and replayed from the recovery \
+             budget).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Retry budget: sends per transfer before the protocol \
+             downgrades it to a direct unpack.")
+  in
+  let src_k_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "src-k" ] ~docv:"K" ~doc:"Source distribution cyclic(K).")
+  in
+  let dst_k_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "dst-k" ] ~docv:"K" ~doc:"Destination distribution cyclic(K).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Elements redistributed.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the report as a JSON object.")
+  in
+  let run p src_k dst_k count l s seed drop dup reorder corrupt delay
+      max_delay crash_ranks budget json =
+    let open Lams_sim in
+    if p <= 0 || src_k <= 0 || dst_k <= 0 || count < 2 || l < 0 || s < 1
+       || budget < 1 || crash_ranks < 0 || max_delay < 1
+    then begin
+      Printf.eprintf "error: invalid machine/section/budget arguments\n";
+      1
+    end
+    else begin
+      Lams_obs.Obs.set_enabled true;
+      Lams_obs.Obs.reset ();
+      let rates =
+        { Fault_model.drop; duplicate = dup; reorder; corrupt; delay }
+      in
+      let crash_ranks = min crash_ranks p in
+      let faulty = Fault_model.some_faults rates || crash_ranks > 0 in
+      let hi = l + (s * (count - 1)) in
+      let n = hi + 1 in
+      let sec = Section.make ~lo:l ~hi ~stride:s in
+      let src =
+        Darray.of_array ~name:"src" ~p
+          ~dist:(Distribution.Block_cyclic src_k)
+          (Array.init n (fun j -> (2. *. float_of_int j) +. 1.))
+      in
+      let fresh_dst name =
+        Darray.create ~name ~n ~p ~dist:(Distribution.Block_cyclic dst_k)
+      in
+      (* The oracle: the legacy element-wise exchange on a perfect
+         fabric. *)
+      let dst_legacy = fresh_dst "legacy" in
+      ignore
+        (Section_ops.copy ~src ~src_section:sec ~dst:dst_legacy
+           ~dst_section:sec ()
+          : Network.t);
+      (* The plain scheduled baseline (the seed path): round count and
+         message count to compare the chaos run against. *)
+      let sched =
+        Lams_sched.Cache.find ~src_layout:(Darray.layout src)
+          ~src_section:sec ~dst_layout:(Darray.layout dst_legacy)
+          ~dst_section:sec
+      in
+      let dst_base = fresh_dst "baseline" in
+      let base_net = Network.create ~p in
+      ignore (Lams_sched.Executor.run ~net:base_net sched ~src ~dst:dst_base
+               : Network.t);
+      (* The chaos run: same schedule, lossy fabric, reliable protocol,
+         crash respawns. With every rate zero and no crashes this is the
+         identical plain path — bit-identical messages and results. *)
+      let chaos_net = Network.create ~p in
+      let dst_chaos = fresh_dst "chaos" in
+      if faulty then begin
+        let crashes = List.init crash_ranks (fun i -> (i, 2)) in
+        let fm = Fault_model.create ~rates ~max_delay ~crashes ~seed () in
+        Network.set_faults chaos_net (Some fm);
+        ignore
+          (Lams_sched.Executor.run ~net:chaos_net
+             ~reliable:(Lams_sched.Reliable.config_of_budget budget)
+             ~respawns:(max 1 (2 * crash_ranks))
+             sched ~src ~dst:dst_chaos
+            : Network.t)
+      end
+      else
+        ignore (Lams_sched.Executor.run ~net:chaos_net sched ~src ~dst:dst_chaos
+                 : Network.t);
+      let converged = Darray.equal_contents dst_legacy dst_chaos in
+      let quiet = Network.in_flight chaos_net = 0 in
+      let identical =
+        (not faulty)
+        && Darray.equal_contents dst_base dst_chaos
+        && Network.messages_sent chaos_net = Network.messages_sent base_net
+      in
+      let snap = Lams_obs.Obs.snapshot () in
+      let c name = Option.value ~default:0 (Lams_obs.Obs.find_counter snap name) in
+      let backoff_p95 =
+        match Lams_obs.Obs.find snap "sched.reliable.backoff" with
+        | Some { Lams_obs.Obs.value = Lams_obs.Obs.Distribution d; _ }
+          when d.Lams_obs.Obs.count > 0 ->
+            Some d.Lams_obs.Obs.p95
+        | _ -> None
+      in
+      let fc = Network.fault_counts chaos_net in
+      let rounds = Lams_sched.Schedule.rounds_count sched in
+      let ok = converged && quiet in
+      if json then begin
+        let b v = if v then "true" else "false" in
+        Printf.printf
+          "{\"ok\": %s, \"converged\": %s, \"fabric_quiet\": %s,\n \
+           \"seed\": %d, \"p\": %d, \"src_k\": %d, \"dst_k\": %d, \
+           \"count\": %d,\n \
+           \"rates\": {\"drop\": %g, \"dup\": %g, \"reorder\": %g, \
+           \"corrupt\": %g, \"delay\": %g},\n \
+           \"crash_ranks\": %d, \"budget\": %d, \"rounds\": %d,\n \
+           \"baseline_messages\": %d, \"chaos_messages\": %d, \
+           \"identical_to_baseline\": %s,\n \
+           \"faults\": {\"dropped\": %d, \"duplicated\": %d, \"reordered\": \
+           %d, \"corrupted\": %d, \"delayed\": %d, \"crashes\": %d},\n \
+           \"reliable\": {\"retransmits\": %d, \"acks\": %d, \"dup_drops\": \
+           %d, \"corrupt_drops\": %d, \"stale_drops\": %d, \"downgrades\": \
+           %d, \"backoff_p95\": %s},\n \
+           \"recovery\": {\"crashes\": %d, \"respawns\": %d, \"exhausted\": \
+           %d, \"legacy_fallbacks\": %d}}\n"
+          (b ok) (b converged) (b quiet) seed p src_k dst_k count drop dup
+          reorder corrupt delay crash_ranks budget rounds
+          (Network.messages_sent base_net)
+          (Network.messages_sent chaos_net)
+          (b identical) fc.Network.dropped fc.Network.duplicated
+          fc.Network.reordered fc.Network.corrupted fc.Network.delayed
+          fc.Network.crashes
+          (c "sched.reliable.retransmits")
+          (c "sched.reliable.acks")
+          (c "sched.reliable.dup_drops")
+          (c "sched.reliable.corrupt_drops")
+          (c "sched.reliable.stale_drops")
+          (c "sched.reliable.downgrades")
+          (match backoff_p95 with
+          | Some v -> Printf.sprintf "%g" v
+          | None -> "null")
+          (c "spmd.recovery.crashes")
+          (c "spmd.recovery.respawns")
+          (c "spmd.recovery.exhausted")
+          (c "sched.executor.legacy_fallbacks")
+      end
+      else begin
+        Printf.printf
+          "chaos: p=%d cyclic(%d)->cyclic(%d), %d elements, seed %d\n"
+          p src_k dst_k count seed;
+        Printf.printf
+          "rates: drop=%g dup=%g reorder=%g corrupt=%g delay=%g (max %d \
+           ticks), crash-ranks=%d, budget=%d\n"
+          drop dup reorder corrupt delay max_delay crash_ranks budget;
+        Printf.printf "schedule: %d rounds, %d baseline messages\n" rounds
+          (Network.messages_sent base_net);
+        if faulty then begin
+          Printf.printf
+            "injected: %d dropped, %d duplicated, %d reordered, %d \
+             corrupted, %d delayed, %d crashes\n"
+            fc.Network.dropped fc.Network.duplicated fc.Network.reordered
+            fc.Network.corrupted fc.Network.delayed fc.Network.crashes;
+          Printf.printf
+            "protocol: %d retransmits, %d acks, %d dup drops, %d corrupt \
+             drops, %d stale drops, %d downgrades%s\n"
+            (c "sched.reliable.retransmits")
+            (c "sched.reliable.acks")
+            (c "sched.reliable.dup_drops")
+            (c "sched.reliable.corrupt_drops")
+            (c "sched.reliable.stale_drops")
+            (c "sched.reliable.downgrades")
+            (match backoff_p95 with
+            | Some v -> Printf.sprintf ", backoff p95 %g ticks" v
+            | None -> "");
+          Printf.printf
+            "recovery: %d crashes, %d respawns, %d exhausted, %d legacy \
+             fallbacks; %d chaos messages over %d ticks\n"
+            (c "spmd.recovery.crashes")
+            (c "spmd.recovery.respawns")
+            (c "spmd.recovery.exhausted")
+            (c "sched.executor.legacy_fallbacks")
+            (Network.messages_sent chaos_net)
+            (Network.now chaos_net)
+        end
+        else
+          Printf.printf
+            "all rates zero, no crashes: plain scheduled path (%d \
+             messages), bit-identical to baseline: %b\n"
+            (Network.messages_sent chaos_net)
+            identical;
+        Printf.printf "result: %s\n"
+          (if not converged then "DIVERGED from the legacy oracle"
+           else if not quiet then "converged, but the fabric is NOT quiet"
+           else "converged (scheduled-under-faults = legacy-on-perfect)")
+      end;
+      if ok then 0 else 1
+    end
+  in
+  let term =
+    Term.(
+      const run $ procs_arg $ src_k_arg $ dst_k_arg $ count_arg $ lower_arg
+      $ stride_arg $ seed_arg $ drop_arg $ dup_arg $ reorder_arg
+      $ corrupt_arg $ delay_arg $ max_delay_arg $ crash_ranks_arg
+      $ budget_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run one scheduled redistribution on a deterministic lossy \
+          fabric (seeded drop/duplicate/reorder/corrupt/delay, planned \
+          rank crashes) through the reliable-delivery protocol, and \
+          check the result against the legacy exchange on a perfect \
+          network. Exits 1 on divergence or a non-quiet fabric.")
+    term
+
 (* --- metrics --- *)
 
 let metrics_cmd =
@@ -828,4 +1078,4 @@ let () =
        (Cmd.group info
           [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd;
             schedule_cmd; stats_cmd; explain_cmd; verify_cmd; fuzz_cmd;
-            run_cmd; metrics_cmd ]))
+            run_cmd; chaos_cmd; metrics_cmd ]))

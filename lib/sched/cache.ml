@@ -34,6 +34,31 @@ let canonical_side layout (sec : Section.t) =
   in
   (sec0, local_shift)
 
+(* Debug re-validation of rebased schedules served from the hit path:
+   off in normal runs (the rebase is a pure uniform translation), on
+   under LAMS_DEBUG=1 or Cache.set_debug_validate, where every hit
+   re-runs the full structural validator so a canonicalization bug
+   surfaces at the cache boundary instead of as silent data corruption
+   downstream. *)
+let debug_validate =
+  ref
+    (match Sys.getenv_opt "LAMS_DEBUG" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let set_debug_validate b = debug_validate := b
+let debug_validate_enabled () = !debug_validate
+
+let checked_rebase sched ~src_delta ~dst_delta =
+  let rebased = Schedule.rebase sched ~src_delta ~dst_delta in
+  if !debug_validate then
+    (match Schedule.validate rebased with
+    | Ok () -> ()
+    | Error msg ->
+        invalid_arg
+          ("Sched.Cache: rebased schedule failed validation: " ^ msg));
+  rebased
+
 type key = {
   sp : int;
   sk : int;
@@ -88,7 +113,7 @@ let find ~src_layout ~src_section ~dst_layout ~dst_section =
       slot.last_used <- !tick;
       Mutex.unlock table_mutex;
       Lams_obs.Obs.incr c_hits;
-      Schedule.rebase slot.sched ~src_delta:src_shift ~dst_delta:dst_shift
+      checked_rebase slot.sched ~src_delta:src_shift ~dst_delta:dst_shift
   | None ->
       Mutex.unlock table_mutex;
       Lams_obs.Obs.incr c_misses;

@@ -29,3 +29,13 @@ val set_capacity : int -> unit
     capacity immediately. *)
 
 val clear : unit -> unit
+
+val set_debug_validate : bool -> unit
+(** Debug builds only: when on (also via the [LAMS_DEBUG=1]
+    environment variable), every hit re-runs {!Schedule.validate} on
+    the rebased schedule and raises [Invalid_argument] on a violation,
+    so a canonicalization bug surfaces at the cache boundary instead of
+    as silent data corruption downstream. Off by default — the rebase
+    is a pure uniform translation. *)
+
+val debug_validate_enabled : unit -> bool

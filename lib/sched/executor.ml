@@ -9,8 +9,15 @@ let c_executions =
   Lams_obs.Obs.counter "sched.executions" ~units:"schedules"
     ~doc:"schedules executed on the simulated machine"
 
-let run_phase ~parallel ~p f =
-  if parallel then Spmd.run_parallel ~p f else Spmd.run ~p ~f
+let c_legacy_fallbacks =
+  Lams_obs.Obs.counter "sched.executor.legacy_fallbacks" ~units:"runs"
+    ~doc:"scheduled runs abandoned to the legacy Section_ops.copy path \
+          after the crash-respawn budget ran out"
+
+(* Distinguishes concurrent and back-to-back runs sharing one fabric:
+   protocol messages carry the run id, so a straggler from a previous
+   run is dropped instead of misdelivered. *)
+let run_counter = Atomic.make 1
 
 (* Execute a schedule. One pack phase gathers every outgoing buffer —
    all the reads — before any delivery writes, so [src] and [dst] may
@@ -22,8 +29,20 @@ let run_phase ~parallel ~p f =
    round every mailbox holds at most one message —
    Network.max_congestion stays at 1 — and arrival order is
    immaterial, which is what makes the [parallel] phases
-   deterministic. *)
-let run ?net ?(parallel = false) (sched : Schedule.t) ~src ~dst =
+   deterministic.
+
+   On a faulty fabric the rounds run through the {!Reliable} protocol
+   instead (sequence numbers, checksums, ack/retransmit); crashed ranks
+   are respawned from the [respawns] budget, and when that is spent the
+   degradation ladder applies: an aliasing run ([src == dst]) replays
+   every undelivered transfer from the pre-packed buffers (always
+   correct — packing happened before any write), a non-aliasing run
+   re-raises so {!redistribute} can fall back to the legacy oracle
+   exchange. Whatever happens, posted-but-undrained messages are purged
+   before control leaves, so a reused fabric never pins this run's
+   packed buffers. *)
+let run ?net ?(parallel = false) ?reliable ?(respawns = 0)
+    (sched : Schedule.t) ~src ~dst =
   if Darray.procs src <> sched.Schedule.src_procs
      || Darray.procs dst <> sched.Schedule.dst_procs
   then invalid_arg "Executor.run: schedule built for other layouts";
@@ -37,6 +56,15 @@ let run ?net ?(parallel = false) (sched : Schedule.t) ~src ~dst =
         n
   in
   Lams_obs.Obs.incr c_executions;
+  (* A faulty fabric silently enables the protocol; without faults the
+     seed path below stays bit-identical to the plain executor. *)
+  let rel =
+    match reliable with
+    | Some _ as r -> r
+    | None -> if Network.has_faults net then Some Reliable.default_config else None
+  in
+  let budget = if respawns > 0 then Some (Spmd.respawn_budget respawns) else None in
+  let run_phase f = Spmd.run_protected ?budget ~parallel ~p f in
   let locals = Array.of_list sched.Schedule.locals in
   let rounds = Array.of_list (List.map Array.of_list sched.Schedule.rounds) in
   let buf_for (tr : Schedule.transfer) = Array.make tr.Schedule.elements 0. in
@@ -63,42 +91,109 @@ let run ?net ?(parallel = false) (sched : Schedule.t) ~src ~dst =
             ~data:(Local_store.data (Darray.local dst m)))
       locals
   in
-  let send_phase r round m =
-    Array.iteri
-      (fun i (tr : Schedule.transfer) ->
-        if tr.Schedule.src_proc = m then begin
-          Network.send net ~src:m ~dst:tr.Schedule.dst_proc ~tag:r
-            ~addresses:[||] ~payload:round_bufs.(r).(i);
-          Lams_obs.Obs.add c_packed_bytes
-            (Network.bytes_per_element * tr.Schedule.elements)
-        end)
-      round
-  in
-  let recv_phase round m =
-    if Array.exists (fun tr -> tr.Schedule.dst_proc = m) round then
-      List.iter
-        (fun (msg : Network.message) ->
-          match
-            Array.find_opt
-              (fun tr ->
-                tr.Schedule.src_proc = msg.Network.src
-                && tr.Schedule.dst_proc = m)
-              round
-          with
-          | None ->
-              invalid_arg "Executor.run: unscheduled message in round"
-          | Some tr ->
-              Pack.unpack tr.Schedule.dst_side ~buf:msg.Network.payload
-                ~data:(Local_store.data (Darray.local dst m)))
-        (Network.receive_all net ~dst:m)
-  in
-  run_phase ~parallel ~p pack_phase;
-  run_phase ~parallel ~p locals_phase;
-  Array.iteri
-    (fun r round ->
-      run_phase ~parallel ~p (send_phase r round);
-      run_phase ~parallel ~p (recv_phase round))
-    rounds;
+  run_phase pack_phase;
+  run_phase locals_phase;
+  (match rel with
+  | None ->
+      (* The seed path, unchanged: one send and one recv phase per
+         round, bare (headerless) packed messages. *)
+      let send_phase r round m =
+        Array.iteri
+          (fun i (tr : Schedule.transfer) ->
+            if tr.Schedule.src_proc = m then begin
+              Network.send net ~src:m ~dst:tr.Schedule.dst_proc ~tag:r
+                ~addresses:[||] ~payload:round_bufs.(r).(i);
+              Lams_obs.Obs.add c_packed_bytes
+                (Network.bytes_per_element * tr.Schedule.elements)
+            end)
+          round
+      in
+      let recv_phase round m =
+        if Array.exists (fun tr -> tr.Schedule.dst_proc = m) round then
+          List.iter
+            (fun (msg : Network.message) ->
+              match
+                Array.find_opt
+                  (fun tr ->
+                    tr.Schedule.src_proc = msg.Network.src
+                    && tr.Schedule.dst_proc = m)
+                  round
+              with
+              | None ->
+                  invalid_arg "Executor.run: unscheduled message in round"
+              | Some tr ->
+                  Pack.unpack tr.Schedule.dst_side ~buf:msg.Network.payload
+                    ~data:(Local_store.data (Darray.local dst m)))
+            (Network.receive_all net ~dst:m)
+      in
+      (try
+         Array.iteri
+           (fun r round ->
+             run_phase (send_phase r round);
+             run_phase (recv_phase round))
+           rounds
+       with e ->
+         (* Don't leak this run's packed buffers (still referenced by
+            posted-but-undrained messages) into a reused fabric. *)
+         ignore (Network.purge net : int);
+         raise e)
+  | Some cfg ->
+      let run_id = Atomic.fetch_and_add run_counter 1 in
+      let delivered = Array.init p (fun _ -> Hashtbl.create 16) in
+      let dst_data m = Local_store.data (Darray.local dst m) in
+      let width =
+        Array.fold_left (fun acc r -> max acc (Array.length r)) 1 rounds
+      in
+      let seqs =
+        Array.mapi
+          (fun r round -> Array.mapi (fun i _ -> (r * width) + i) round)
+          rounds
+      in
+      (* The bottom rung that is always available in-run: any transfer
+         not yet delivered is unpacked straight from its pre-packed
+         buffer. Packing happened before any write, so this is correct
+         even when [src] and [dst] alias. *)
+      let replay_undelivered () =
+        Array.iteri
+          (fun r round ->
+            Array.iteri
+              (fun i (tr : Schedule.transfer) ->
+                let seq = seqs.(r).(i) in
+                let m = tr.Schedule.dst_proc in
+                if not (Hashtbl.mem delivered.(m) seq) then begin
+                  Hashtbl.add delivered.(m) seq ();
+                  Pack.unpack tr.Schedule.dst_side ~buf:round_bufs.(r).(i)
+                    ~data:(dst_data m);
+                  Reliable.note_downgrade ()
+                end)
+              round)
+          rounds
+      in
+      (try
+         Array.iteri
+           (fun r round ->
+             Reliable.exchange cfg ~net ~p ~run_id ~tag:r ~transfers:round
+               ~seqs:seqs.(r) ~bufs:round_bufs.(r) ~dst_data ~delivered
+               ~run_phase;
+             Array.iter
+               (fun (tr : Schedule.transfer) ->
+                 Lams_obs.Obs.add c_packed_bytes
+                   (Network.bytes_per_element * tr.Schedule.elements))
+               round)
+           rounds;
+         (* Protocol stragglers (delayed duplicates, late acks) must not
+            greet the caller's next exchange on this fabric. *)
+         ignore (Network.purge net : int)
+       with
+      | Spmd.Crash _ when src == dst ->
+          (* Crash budget exhausted mid-protocol on an aliasing run: the
+             legacy fallback would re-read partially overwritten source
+             memory, so finish from the pre-packed buffers instead. *)
+          ignore (Network.purge net : int);
+          replay_undelivered ()
+      | e ->
+          ignore (Network.purge net : int);
+          raise e));
   net
 
 let check_section (a : Darray.t) sec =
@@ -107,7 +202,8 @@ let check_section (a : Darray.t) sec =
   if norm.Section.lo < 0 || norm.Section.hi >= Darray.size a then
     invalid_arg "Executor: section outside the array"
 
-let redistribute ?net ?parallel ~src ~src_section ~dst ~dst_section () =
+let redistribute ?net ?parallel ?reliable ?respawns ~src ~src_section ~dst
+    ~dst_section () =
   check_section src src_section;
   check_section dst dst_section;
   if Section.count src_section <> Section.count dst_section then
@@ -116,4 +212,12 @@ let redistribute ?net ?parallel ~src ~src_section ~dst ~dst_section () =
     Cache.find ~src_layout:(Darray.layout src) ~src_section
       ~dst_layout:(Darray.layout dst) ~dst_section
   in
-  run ?net ?parallel sched ~src ~dst
+  try run ?net ?parallel ?reliable ?respawns sched ~src ~dst
+  with Spmd.Crash _ ->
+    (* The respawn budget ran out and the run could not finish in
+       place: degrade to the legacy oracle exchange on a perfect
+       replacement fabric (re-reading [src] is safe here — the aliasing
+       case was already handled inside [run]) and record the downgrade
+       instead of raising. *)
+    Lams_obs.Obs.incr c_legacy_fallbacks;
+    Section_ops.copy ~src ~src_section ~dst ~dst_section ()

@@ -11,24 +11,56 @@
     ({!Lams_sim.Network.max_congestion} stays at 1) and phase order is
     the only synchronization needed. Messages are packed: sent with
     [addresses = [||]], placement recovered from the receiver's half of
-    the schedule. *)
+    the schedule.
+
+    {b Fault tolerance.} On a fabric with an attached
+    {!Lams_sim.Fault_model} the rounds run through the {!Reliable}
+    protocol (enabled automatically, or explicitly with [~reliable]),
+    and crashed ranks are respawned from the [respawns] budget
+    ({!Lams_sim.Spmd.run_protected}). The degradation ladder, top to
+    bottom:
+
+    + retransmit with backoff until the per-transfer retry budget runs
+      out, then unpack the transfer straight from its pre-packed buffer
+      ([sched.reliable.downgrades]);
+    + a crash outliving the respawn budget on an {e aliasing} run
+      ([src == dst]) replays every undelivered transfer from the
+      pre-packed buffers in-run;
+    + on a non-aliasing run it propagates to {!redistribute}, which
+      falls back to the legacy {!Lams_sim.Section_ops.copy} oracle on a
+      perfect fabric ([sched.executor.legacy_fallbacks]) instead of
+      raising.
+
+    Every rung preserves the exact legacy result. On any exit —
+    normal or raising — posted-but-undrained messages are purged from
+    the fabric, so a reused network neither pins this run's packed
+    buffers nor leaks protocol stragglers into the next exchange. *)
 
 val run :
   ?net:Lams_sim.Network.t ->
   ?parallel:bool ->
+  ?reliable:Reliable.config ->
+  ?respawns:int ->
   Schedule.t ->
   src:Lams_sim.Darray.t ->
   dst:Lams_sim.Darray.t ->
   Lams_sim.Network.t
 (** Execute [sched], copying the scheduled elements of [src] into
     [dst]. Returns the network used (created at machine size when [net]
-    is absent) so callers can reuse it and read its accounting.
+    is absent) so callers can reuse it and read its accounting. With no
+    fault model and no [reliable] config this is the plain seed path —
+    bit-identical results, phases and messages.
     @raise Invalid_argument if the schedule was built for different
-    machine sizes or [net] is too small. *)
+    machine sizes or [net] is too small.
+    @raise Lams_sim.Spmd.Crash when the respawn budget is exhausted on
+    a non-aliasing run (callers wanting graceful degradation go through
+    {!redistribute}). *)
 
 val redistribute :
   ?net:Lams_sim.Network.t ->
   ?parallel:bool ->
+  ?reliable:Reliable.config ->
+  ?respawns:int ->
   src:Lams_sim.Darray.t ->
   src_section:Lams_dist.Section.t ->
   dst:Lams_sim.Darray.t ->
@@ -37,6 +69,9 @@ val redistribute :
   Lams_sim.Network.t
 (** Scheduled replacement for {!Lams_sim.Section_ops.copy}: look the
     schedule up in the {!Cache} and run it. Element [j] of [src_section]
-    lands on element [j] of [dst_section].
+    lands on element [j] of [dst_section]. Never raises
+    {!Lams_sim.Spmd.Crash}: an exhausted respawn budget degrades to the
+    legacy copy on a perfect replacement fabric (whose network is then
+    the one returned) and bumps [sched.executor.legacy_fallbacks].
     @raise Invalid_argument on empty, out-of-bounds or count-mismatched
     sections. *)

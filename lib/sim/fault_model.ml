@@ -1,0 +1,132 @@
+open Lams_util
+
+type rates = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  delay : float;
+}
+
+let no_faults =
+  { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; delay = 0. }
+
+let some_faults r =
+  r.drop > 0. || r.duplicate > 0. || r.reorder > 0. || r.corrupt > 0.
+  || r.delay > 0.
+
+type t = {
+  rates : rates;
+  max_delay : int;
+  seed : int;
+  (* One SplitMix64 stream per link, created on first use from
+     (seed, link) alone so the draw sequence is a pure function of the
+     seed and of that link's send order — concurrent traffic on other
+     links cannot perturb it. *)
+  streams : (int, Prng.t) Hashtbl.t;
+  (* rank -> data sends left before its planned crash fires. *)
+  crash_plan : (int, int) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let check_rate name r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Fault_model.create: %s rate %g outside [0, 1]" name r)
+
+let create ?(rates = no_faults) ?(max_delay = 3) ?(crashes = []) ~seed () =
+  check_rate "drop" rates.drop;
+  check_rate "duplicate" rates.duplicate;
+  check_rate "reorder" rates.reorder;
+  check_rate "corrupt" rates.corrupt;
+  check_rate "delay" rates.delay;
+  if max_delay < 1 then invalid_arg "Fault_model.create: max_delay < 1";
+  let crash_plan = Hashtbl.create 4 in
+  List.iter
+    (fun (rank, nth) ->
+      if rank < 0 || nth < 1 then
+        invalid_arg "Fault_model.create: crash entry needs rank >= 0, nth >= 1";
+      Hashtbl.replace crash_plan rank nth)
+    crashes;
+  { rates; max_delay; seed; streams = Hashtbl.create 16; crash_plan;
+    mutex = Mutex.create () }
+
+let rates t = t.rates
+let seed t = t.seed
+let max_delay t = t.max_delay
+
+type copy = {
+  delay : int;
+  corrupt : (int * int) option;
+}
+
+type verdict = {
+  copies : copy list;
+  reorder : bool;
+}
+
+(* SplitMix64's finalizer, mixing the link id into the seed so adjacent
+   links get unrelated streams. *)
+let link_seed seed link =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (link + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Callers hold [t.mutex]. *)
+let stream t link =
+  match Hashtbl.find_opt t.streams link with
+  | Some g -> g
+  | None ->
+      let g = Prng.create (link_seed t.seed link) in
+      Hashtbl.add t.streams link g;
+      g
+
+let plan_send t ~link ~payload_len =
+  Mutex.lock t.mutex;
+  let g = stream t link in
+  let draw p = p > 0. && Prng.float g 1.0 < p in
+  let dropped = draw t.rates.drop in
+  let dup = draw t.rates.duplicate in
+  let reorder = draw t.rates.reorder in
+  let one_copy () =
+    let delay = if draw t.rates.delay then 1 + Prng.int g t.max_delay else 0 in
+    let corrupt =
+      if draw t.rates.corrupt && payload_len > 0 then
+        Some (Prng.int g payload_len, Prng.int g 52)
+      else None
+    in
+    { delay; corrupt }
+  in
+  (* Drop and duplicate compose: drop kills one copy, duplicate adds
+     one, so drop+duplicate still delivers a single copy. *)
+  let copies =
+    match (dropped, dup) with
+    | true, false -> []
+    | true, true | false, false -> [ one_copy () ]
+    | false, true -> [ one_copy (); one_copy () ]
+  in
+  Mutex.unlock t.mutex;
+  { copies; reorder }
+
+let crash_now t ~rank =
+  Mutex.lock t.mutex;
+  let fire =
+    match Hashtbl.find_opt t.crash_plan rank with
+    | None -> false
+    | Some 1 ->
+        (* Consume before the raise: the respawned rank replays its
+           round without re-hitting the crash site. *)
+        Hashtbl.remove t.crash_plan rank;
+        true
+    | Some n ->
+        Hashtbl.replace t.crash_plan rank (n - 1);
+        false
+  in
+  Mutex.unlock t.mutex;
+  fire
+
+let crashes_pending t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.crash_plan in
+  Mutex.unlock t.mutex;
+  n

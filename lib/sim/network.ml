@@ -1,15 +1,40 @@
 type message = {
   src : int;
   tag : int;
+  header : int array;
   addresses : int array;
   payload : float array;
 }
 
+type fault_counts = {
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  corrupted : int;
+  delayed : int;
+  crashes : int;
+}
+
+let zero_faults =
+  { dropped = 0; duplicated = 0; reordered = 0; corrupted = 0; delayed = 0;
+    crashes = 0 }
+
 type t = {
   p : int;
+  mutable faults : Fault_model.t option;
   mailboxes : message Queue.t array;
+  (* Simulated time: advanced only by the single-threaded orchestrator
+     between phases ([advance]), never by sends or drains, so the
+     maturity of delayed messages is deterministic. *)
+  mutable now : int;
+  (* Per-destination held-back messages as (deliver_at, order, msg),
+     kept sorted; [order] is a global arrival stamp breaking ties. *)
+  delayed : (int * int * message) list array;
+  mutable delayed_count : int;
+  mutable order : int;
   mutable sent : int;
   mutable moved : int;
+  mutable faulted : fault_counts;
   (* Per-link ([src * p + dst]) cumulative traffic and in-flight peaks.
      [pending_link]/[peak_link] count messages posted but not yet
      drained; [peak_dst] is the deepest any mailbox ever got — the
@@ -47,12 +72,42 @@ let d_congestion =
   Lams_obs.Obs.distribution "sim.network.congestion" ~units:"messages"
     ~doc:"mailbox depth right after each send (in-flight per receiver)"
 
+let c_f_dropped =
+  Lams_obs.Obs.counter "sim.network.faults.dropped" ~units:"messages"
+    ~doc:"messages lost by the fault model"
+
+let c_f_duplicated =
+  Lams_obs.Obs.counter "sim.network.faults.duplicated" ~units:"messages"
+    ~doc:"messages cloned by the fault model"
+
+let c_f_reordered =
+  Lams_obs.Obs.counter "sim.network.faults.reordered" ~units:"messages"
+    ~doc:"messages that jumped their mailbox queue"
+
+let c_f_corrupted =
+  Lams_obs.Obs.counter "sim.network.faults.corrupted" ~units:"messages"
+    ~doc:"messages delivered with a flipped payload bit"
+
+let c_f_delayed =
+  Lams_obs.Obs.counter "sim.network.faults.delayed" ~units:"messages"
+    ~doc:"messages held back in simulated time"
+
+let c_f_crashes =
+  Lams_obs.Obs.counter "sim.network.faults.crashes" ~units:"crashes"
+    ~doc:"planned mid-send rank crashes fired by the fault model"
+
 let create ~p =
   if p <= 0 then invalid_arg "Network.create: p <= 0";
   { p;
+    faults = None;
     mailboxes = Array.init p (fun _ -> Queue.create ());
+    now = 0;
+    delayed = Array.make p [];
+    delayed_count = 0;
+    order = 0;
     sent = 0;
     moved = 0;
+    faulted = zero_faults;
     link_msgs = Array.make (p * p) 0;
     link_elems = Array.make (p * p) 0;
     pending_link = Array.make (p * p) 0;
@@ -62,10 +117,82 @@ let create ~p =
 
 let procs t = t.p
 
+let set_faults t fm = t.faults <- fm
+
+let has_faults t = t.faults <> None
+
+let fault_counts t =
+  Mutex.lock t.mutex;
+  let c = t.faulted in
+  Mutex.unlock t.mutex;
+  c
+
 let check_rank t r name =
   if r < 0 || r >= t.p then invalid_arg ("Network." ^ name ^ ": rank out of range")
 
-let send t ~src ~dst ~tag ~addresses ~payload =
+(* Callers hold [t.mutex]. Counts one surviving copy onto the link and
+   into the cumulative traffic, then either queues it or holds it back. *)
+let enqueue_copy t ~dst ~link ~reorder (msg : message)
+    (copy : Fault_model.copy) =
+  let payload, corrupted =
+    match copy.Fault_model.corrupt with
+    | None -> (msg.payload, false)
+    | Some (idx, bit) ->
+        (* Corrupt a private copy: the sender still owns (and may
+           retransmit from) the original buffer. *)
+        let dup = Array.copy msg.payload in
+        let bits = Int64.bits_of_float dup.(idx) in
+        dup.(idx) <- Int64.float_of_bits (Int64.logxor bits (Int64.shift_left 1L bit));
+        (dup, true)
+  in
+  if corrupted then begin
+    t.faulted <- { t.faulted with corrupted = t.faulted.corrupted + 1 };
+    Lams_obs.Obs.incr c_f_corrupted
+  end;
+  let msg = if corrupted then { msg with payload } else msg in
+  t.sent <- t.sent + 1;
+  t.moved <- t.moved + Array.length msg.payload;
+  t.link_msgs.(link) <- t.link_msgs.(link) + 1;
+  t.link_elems.(link) <- t.link_elems.(link) + Array.length msg.payload;
+  t.pending_link.(link) <- t.pending_link.(link) + 1;
+  if t.pending_link.(link) > t.peak_link.(link) then
+    t.peak_link.(link) <- t.pending_link.(link);
+  t.order <- t.order + 1;
+  if copy.Fault_model.delay > 0 then begin
+    t.faulted <- { t.faulted with delayed = t.faulted.delayed + 1 };
+    Lams_obs.Obs.incr c_f_delayed;
+    let entry = (t.now + copy.Fault_model.delay, t.order, msg) in
+    t.delayed.(dst) <-
+      List.sort
+        (fun (a, i, _) (b, j, _) -> if a <> b then compare a b else compare i j)
+        (entry :: t.delayed.(dst));
+    t.delayed_count <- t.delayed_count + 1;
+    Queue.length t.mailboxes.(dst)
+  end
+  else begin
+    let q = t.mailboxes.(dst) in
+    if reorder && Queue.length q > 0 then begin
+      t.faulted <- { t.faulted with reordered = t.faulted.reordered + 1 };
+      Lams_obs.Obs.incr c_f_reordered;
+      (* Insert at a deterministic off-tail position: rebuild the queue
+         with the newcomer second-from-front. Rare path; the queues are
+         round-sized (tiny). *)
+      let rest = List.of_seq (Queue.to_seq q) in
+      Queue.clear q;
+      (match rest with
+      | [] -> Queue.push msg q
+      | first :: others ->
+          Queue.push first q;
+          Queue.push msg q;
+          List.iter (fun m -> Queue.push m q) others)
+    end
+    else Queue.push msg q;
+    let depth = Queue.length q in
+    if depth > t.peak_dst.(dst) then t.peak_dst.(dst) <- depth;
+    depth
+  end
+
+let transmit t ~src ~dst ~tag ~header ~addresses ~payload =
   check_rank t src "send";
   check_rank t dst "send";
   (* An empty address array marks a *packed* message: the receiver knows
@@ -74,28 +201,81 @@ let send t ~src ~dst ~tag ~addresses ~payload =
   if Array.length addresses <> 0
      && Array.length addresses <> Array.length payload
   then invalid_arg "Network.send: addresses/payload length mismatch";
-  Mutex.lock t.mutex;
-  Queue.push { src; tag; addresses; payload } t.mailboxes.(dst);
-  t.sent <- t.sent + 1;
-  t.moved <- t.moved + Array.length payload;
+  (* The crash check runs before the mutex (and before any enqueue): a
+     planned crash kills the rank with the fabric untouched by this
+     send, like a process dying inside the transport call. *)
+  (match t.faults with
+  | Some fm when Array.length payload > 0 && Fault_model.crash_now fm ~rank:src ->
+      Mutex.lock t.mutex;
+      t.faulted <- { t.faulted with crashes = t.faulted.crashes + 1 };
+      Mutex.unlock t.mutex;
+      Lams_obs.Obs.incr c_f_crashes;
+      raise (Spmd.Crash src)
+  | _ -> ());
+  let msg = { src; tag; header; addresses; payload } in
   let link = (src * t.p) + dst in
-  t.link_msgs.(link) <- t.link_msgs.(link) + 1;
-  t.link_elems.(link) <- t.link_elems.(link) + Array.length payload;
-  t.pending_link.(link) <- t.pending_link.(link) + 1;
-  if t.pending_link.(link) > t.peak_link.(link) then
-    t.peak_link.(link) <- t.pending_link.(link);
-  let depth = Queue.length t.mailboxes.(dst) in
-  if depth > t.peak_dst.(dst) then t.peak_dst.(dst) <- depth;
+  let verdict =
+    match t.faults with
+    | None ->
+        { Fault_model.copies = [ { Fault_model.delay = 0; corrupt = None } ];
+          reorder = false }
+    | Some fm -> Fault_model.plan_send fm ~link ~payload_len:(Array.length payload)
+  in
+  Mutex.lock t.mutex;
+  (match verdict.Fault_model.copies with
+  | [] ->
+      t.faulted <- { t.faulted with dropped = t.faulted.dropped + 1 };
+      Lams_obs.Obs.incr c_f_dropped
+  | _ :: _ :: _ ->
+      t.faulted <- { t.faulted with duplicated = t.faulted.duplicated + 1 };
+      Lams_obs.Obs.incr c_f_duplicated
+  | [ _ ] -> ());
+  let depth =
+    List.fold_left
+      (fun acc copy ->
+        max acc
+          (enqueue_copy t ~dst ~link ~reorder:verdict.Fault_model.reorder msg
+             copy))
+      0 verdict.Fault_model.copies
+  in
   Mutex.unlock t.mutex;
-  Lams_obs.Obs.incr c_messages;
-  Lams_obs.Obs.add c_elements (Array.length payload);
-  Lams_obs.Obs.add c_bytes (bytes_per_element * Array.length payload);
-  Lams_obs.Obs.observe d_congestion (float_of_int depth)
+  List.iter
+    (fun _ ->
+      Lams_obs.Obs.incr c_messages;
+      Lams_obs.Obs.add c_elements (Array.length payload);
+      Lams_obs.Obs.add c_bytes (bytes_per_element * Array.length payload))
+    verdict.Fault_model.copies;
+  if verdict.Fault_model.copies <> [] then
+    Lams_obs.Obs.observe d_congestion (float_of_int depth)
+
+let send t ~src ~dst ~tag ~addresses ~payload =
+  transmit t ~src ~dst ~tag ~header:[||] ~addresses ~payload
+
+(* Callers hold [t.mutex]. Move matured held-back messages for [dst]
+   into its mailbox (at the front, oldest deliver_at first: they were
+   "on the wire" before anything enqueued this phase). *)
+let mature t ~dst =
+  match t.delayed.(dst) with
+  | [] -> ()
+  | entries ->
+      let ready, still =
+        List.partition (fun (at, _, _) -> at <= t.now) entries
+      in
+      if ready <> [] then begin
+        t.delayed.(dst) <- still;
+        t.delayed_count <- t.delayed_count - List.length ready;
+        let q = t.mailboxes.(dst) in
+        let tail = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        List.iter (fun (_, _, m) -> Queue.push m q) ready;
+        List.iter (fun m -> Queue.push m q) tail
+      end
 
 let receive_all t ~dst =
   check_rank t dst "receive_all";
   Lams_obs.Obs.incr c_drains;
   Mutex.lock t.mutex;
+  mature t ~dst;
   let q = t.mailboxes.(dst) in
   let rec drain acc =
     match Queue.take_opt q with
@@ -112,9 +292,62 @@ let receive_all t ~dst =
 let pending t ~dst =
   check_rank t dst "pending";
   Mutex.lock t.mutex;
+  mature t ~dst;
   let n = Queue.length t.mailboxes.(dst) in
   Mutex.unlock t.mutex;
   n
+
+(* --- Simulated time ------------------------------------------------- *)
+
+let now t =
+  Mutex.lock t.mutex;
+  let n = t.now in
+  Mutex.unlock t.mutex;
+  n
+
+let advance t ~ticks =
+  if ticks < 0 then invalid_arg "Network.advance: ticks < 0";
+  Mutex.lock t.mutex;
+  t.now <- t.now + ticks;
+  Mutex.unlock t.mutex
+
+let horizon t =
+  Mutex.lock t.mutex;
+  let h =
+    Array.fold_left
+      (fun acc entries ->
+        List.fold_left
+          (fun acc (at, _, _) ->
+            match acc with Some b when b <= at -> acc | _ -> Some at)
+          acc entries)
+      None t.delayed
+  in
+  Mutex.unlock t.mutex;
+  h
+
+let in_flight t =
+  Mutex.lock t.mutex;
+  let n =
+    Array.fold_left (fun acc q -> acc + Queue.length q) t.delayed_count
+      t.mailboxes
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let purge t =
+  Mutex.lock t.mutex;
+  let n =
+    Array.fold_left (fun acc q -> acc + Queue.length q) t.delayed_count
+      t.mailboxes
+  in
+  Array.iter Queue.clear t.mailboxes;
+  Array.fill t.delayed 0 t.p [];
+  t.delayed_count <- 0;
+  Array.fill t.pending_link 0 (t.p * t.p) 0;
+  Mutex.unlock t.mutex;
+  n
+
+(* --- Accounting ----------------------------------------------------- *)
 
 let messages_sent t = t.sent
 let elements_moved t = t.moved
@@ -136,3 +369,34 @@ let max_link_in_flight t = Array.fold_left max 0 t.peak_link
 let congestion t ~dst =
   check_rank t dst "congestion";
   t.peak_dst.(dst)
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  t.sent <- 0;
+  t.moved <- 0;
+  t.faulted <- zero_faults;
+  Array.fill t.link_msgs 0 (t.p * t.p) 0;
+  Array.fill t.link_elems 0 (t.p * t.p) 0;
+  Array.fill t.peak_link 0 (t.p * t.p) 0;
+  Array.fill t.peak_dst 0 t.p 0;
+  (* Keep the in-flight accounting consistent with what is actually
+     still queued or held back, so a drain after the reset cannot drive
+     pending_link negative. *)
+  Array.fill t.pending_link 0 (t.p * t.p) 0;
+  Array.iteri
+    (fun dst q ->
+      Queue.iter
+        (fun (m : message) ->
+          let link = (m.src * t.p) + dst in
+          t.pending_link.(link) <- t.pending_link.(link) + 1)
+        q)
+    t.mailboxes;
+  Array.iteri
+    (fun dst entries ->
+      List.iter
+        (fun (_, _, (m : message)) ->
+          let link = (m.src * t.p) + dst in
+          t.pending_link.(link) <- t.pending_link.(link) + 1)
+        entries)
+    t.delayed;
+  Mutex.unlock t.mutex

@@ -3,42 +3,115 @@
     for the iPSC/860 interconnect when array statements move data between
     differently-mapped arrays.
 
+    By default the fabric is perfect — no loss, duplication, reordering,
+    corruption or delay. Attach a {!Fault_model} at creation to make it
+    lossy: each send then draws its fate from the model's per-link
+    seeded streams, and delivery may be held back in {e simulated time}
+    (an integer clock advanced only by {!advance}, never by traffic, so
+    fault sequences replay exactly from a seed).
+
     All operations are safe to call from concurrent domains (one mutex
     per fabric), so executor phases may post and drain in parallel. *)
 
 type message = {
   src : int;
   tag : int;
+  header : int array;
+      (** protocol metadata (e.g. {!Lams_sched.Reliable} sequence
+          numbers and checksums); [[||]] for bare data messages *)
   addresses : int array;
       (** destination-local addresses; empty for {e packed} messages,
           whose placement the receiver derives from its schedule *)
   payload : float array;  (** same length as [addresses] unless packed *)
 }
 
+type fault_counts = {
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  corrupted : int;
+  delayed : int;
+  crashes : int;
+}
+
 type t
 
 val create : p:int -> t
-(** @raise Invalid_argument if [p <= 0]. *)
+(** A perfect fabric for [p] processors.
+    @raise Invalid_argument if [p <= 0]. *)
 
 val procs : t -> int
+
+val set_faults : t -> Fault_model.t option -> unit
+(** Attach (or detach with [None]) a fault model. Do this while the
+    fabric is quiet — between runs, not mid-phase. *)
+
+val has_faults : t -> bool
+(** Is a fault model attached (even an all-zero-rates one)? The
+    reliable protocol verifies checksums exactly when this holds. *)
+
+val fault_counts : t -> fault_counts
+(** Faults injected since creation (or the last {!reset_stats});
+    all zero on a perfect fabric. Also the [sim.network.faults.*]
+    {!Lams_obs.Obs} counters. *)
 
 val bytes_per_element : int
 (** Accounting width of one payload element (8, a double). *)
 
+val transmit : t -> src:int -> dst:int -> tag:int -> header:int array ->
+  addresses:int array -> payload:float array -> unit
+(** Enqueue. An empty [addresses] array marks a packed message (any
+    payload length); otherwise the lengths must match. Under a fault
+    model the message may be dropped, cloned, corrupted (into a private
+    copy — the caller's buffer is never touched), reordered or held
+    back; a planned crash raises {!Spmd.Crash} {e before} anything is
+    enqueued.
+    @raise Invalid_argument on rank out of range or length mismatch.
+    @raise Spmd.Crash on a planned mid-send rank crash. *)
+
 val send : t -> src:int -> dst:int -> tag:int -> addresses:int array ->
   payload:float array -> unit
-(** Enqueue. An empty [addresses] array marks a packed message (any
-    payload length); otherwise the lengths must match.
-    @raise Invalid_argument on rank out of range or length mismatch. *)
+(** {!transmit} with an empty header. *)
 
 val receive_all : t -> dst:int -> message list
-(** Drain processor [dst]'s mailbox in arrival order. *)
+(** Drain processor [dst]'s mailbox in arrival order; held-back
+    messages whose delivery time has matured are included (oldest
+    first, ahead of the queue). *)
 
 val pending : t -> dst:int -> int
-(** Messages waiting for [dst]. *)
+(** Messages deliverable to [dst] right now (matured ones included,
+    still-delayed ones not). *)
+
+(** {1 Simulated time}
+
+    An integer tick clock, [0] at creation. Only {!advance} moves it —
+    sends and drains never do — so the orchestrator alone decides when
+    held-back messages mature and when retransmit timeouts fire, which
+    keeps fault replay deterministic under parallel phases. *)
+
+val now : t -> int
+
+val advance : t -> ticks:int -> unit
+(** @raise Invalid_argument if [ticks < 0]. *)
+
+val horizon : t -> int option
+(** Earliest delivery time among held-back messages, [None] if none —
+    the next instant at which waiting could change anything. *)
+
+val in_flight : t -> int
+(** Messages posted but not yet drained, queued and held-back alike. *)
+
+val purge : t -> int
+(** Discard every undrained message (queued and held-back) and zero the
+    in-flight accounting; returns how many were discarded. Cumulative
+    traffic counters are kept. The executor uses this to release packed
+    buffers still referenced by undelivered messages when a round
+    raises, and to clear protocol stragglers before handing a reused
+    fabric back to its caller. *)
 
 val messages_sent : t -> int
-(** Total messages enqueued since creation. *)
+(** Total messages enqueued since creation (fault-surviving copies:
+    dropped messages are not counted, duplicates count twice). *)
 
 val elements_moved : t -> int
 (** Total payload elements enqueued since creation. *)
@@ -65,3 +138,12 @@ val max_congestion : t -> int
 
 val max_link_in_flight : t -> int
 (** Peak simultaneously-pending messages on any single link. *)
+
+val reset_stats : t -> unit
+(** Zero the cumulative and peak accounting (sent/moved totals,
+    per-link traffic, congestion and in-flight peaks, fault counts)
+    without touching queued traffic or the clock; the in-flight counts
+    are recomputed from what is actually still queued. Pair with
+    {!Lams_obs.Obs.reset} between back-to-back measured runs on a
+    reused fabric, so the first run's peaks cannot skew the second's
+    report. *)

@@ -213,6 +213,67 @@ let run_collect ~p ~f =
   check_p p;
   Array.init p f
 
+(* --- Crash recovery -------------------------------------------------
+
+   A worker domain that dies mid-phase (the fault model's planned
+   crashes, surfaced as [Crash rank]) is respawned in place: the rank's
+   node program is re-run from the top of the phase. That is only
+   correct when the phase is replay-idempotent — which the scheduled
+   executor's phases are: packing rewrites the same buffers, resends
+   are absorbed by the reliable protocol's sequence-number dedup. The
+   respawn budget is shared across the whole job (an [Atomic]), so a
+   crash storm cannot loop forever: once it is spent, the [Crash]
+   propagates and the caller walks down the degradation ladder. *)
+
+exception Crash of int
+
+type respawn_budget = int Atomic.t
+
+let respawn_budget n = Atomic.make (max 0 n)
+
+let respawns_left (b : respawn_budget) = max 0 (Atomic.get b)
+
+let c_crashes =
+  Lams_obs.Obs.counter "spmd.recovery.crashes" ~units:"crashes"
+    ~doc:"worker ranks that died mid-phase (Spmd.Crash)"
+
+let c_respawns =
+  Lams_obs.Obs.counter "spmd.recovery.respawns" ~units:"respawns"
+    ~doc:"crashed ranks respawned and their phase replayed"
+
+let c_exhausted =
+  Lams_obs.Obs.counter "spmd.recovery.exhausted" ~units:"crashes"
+    ~doc:"crashes surfaced because the respawn budget was spent"
+
+let run_protected ?budget ?(parallel = false) ~p f =
+  check_p p;
+  let g =
+    match budget with
+    | None -> f
+    | Some b ->
+        fun m ->
+          let rec attempt () =
+            try f m
+            with Crash _ as e ->
+              Lams_obs.Obs.incr c_crashes;
+              (* fetch_and_add may briefly overdraw under parallel crash
+                 storms; the restore keeps the budget non-negative and
+                 the overdraw only means one extra respawn, never an
+                 unbounded loop. *)
+              if Atomic.fetch_and_add b (-1) > 0 then begin
+                Lams_obs.Obs.incr c_respawns;
+                attempt ()
+              end
+              else begin
+                Atomic.incr b;
+                Lams_obs.Obs.incr c_exhausted;
+                raise e
+              end
+          in
+          attempt ()
+  in
+  if parallel then run_parallel ~p g else run ~p ~f:g
+
 let barrier_phases ~p ~phases =
   check_p p;
   List.iter (fun phase -> run ~p ~f:phase) phases

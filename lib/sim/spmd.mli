@@ -45,6 +45,35 @@ val run_timed : p:int -> f:(int -> unit) -> timing
 val run_collect : p:int -> f:(int -> 'a) -> 'a array
 (** Gather each rank's result. *)
 
+(** {1 Crash recovery}
+
+    The fault model ({!Fault_model}) can kill a worker rank mid-phase;
+    the death is surfaced as [Crash rank]. {!run_protected} respawns the
+    rank in place — its phase function is re-run from the top — which is
+    correct exactly when the phase is replay-idempotent (the scheduled
+    executor's phases are: packed buffers are rewritten with the same
+    values, resent messages are absorbed by the reliable protocol's
+    dedup). Crashes, respawns and budget exhaustions are the
+    [spmd.recovery.*] {!Lams_obs.Obs} counters. *)
+
+exception Crash of int
+(** Rank [m]'s worker died mid-phase. *)
+
+type respawn_budget
+
+val respawn_budget : int -> respawn_budget
+(** A budget shared by every phase of one job (clamped to [>= 0]);
+    [respawn_budget 0] never respawns. *)
+
+val respawns_left : respawn_budget -> int
+
+val run_protected :
+  ?budget:respawn_budget -> ?parallel:bool -> p:int -> (int -> unit) -> unit
+(** {!run} (or {!run_parallel} with [~parallel:true]) with crash
+    recovery: a rank raising [Crash] is re-run while [budget] lasts;
+    with the budget spent (or absent) the [Crash] propagates like any
+    other exception. Non-[Crash] exceptions are never retried. *)
+
 val barrier_phases : p:int -> phases:(int -> unit) list -> unit
 (** Run a list of phases with an (implicit) global barrier between them:
     phase [i] runs on every rank before phase [i+1] starts on any rank —

@@ -13,5 +13,6 @@ let () =
       ("multidim", Suite_multidim.suite);
       ("hpf", Suite_hpf.suite);
       ("check", Suite_check.suite);
+      ("chaos", Suite_chaos.suite);
       ("stress", Suite_stress.suite);
       ("errors", Suite_errors.suite) ]
