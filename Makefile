@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json smoke fuzz-quick chaos-quick doc clean
+.PHONY: all check test bench bench-json smoke fuzz-quick chaos-quick \
+	native-quick doc clean
 
 all:
 	dune build @all
@@ -19,6 +20,7 @@ check:
 	dune build @smoke
 	dune build @fuzz
 	dune build @chaos
+	dune build @native
 
 smoke:
 	dune build @smoke
@@ -36,6 +38,14 @@ fuzz-quick:
 chaos-quick:
 	dune build @chaos
 
+# Native conformance acceptance sweep: 500 corner-biased instances
+# compiled with the system cc and diffed bit-for-bit against the
+# interpreter, plus every supported example program. Skips cleanly
+# (exit 0) on hosts without a C compiler; the smaller always-on pass
+# is `dune build @native` (see bin/dune).
+native-quick:
+	dune exec -- lams native-check --seed 42 --budget 500
+
 bench:
 	dune exec bench/main.exe
 
@@ -46,6 +56,7 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- amortize --quick --json BENCH_amortize.json
 	dune exec bench/main.exe -- redistribute --quick --json BENCH_redistribute.json
+	dune exec bench/main.exe -- codegen --quick --json BENCH_codegen.json
 
 doc:
 	dune build @doc

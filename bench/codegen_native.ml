@@ -1,0 +1,253 @@
+(* The compiled-vs-interpreted node-code bench (BENCH_codegen.json):
+   the paper's §6.2 numbers come from compiled node programs on iPSC/860
+   nodes, while our Table 2 reproduction times the OCaml interpretation
+   of the same shapes. This bench closes that gap: for each (k, s)
+   configuration and each node-code variant (Figure 8 (a)-(d) plus the
+   table-free form) it measures
+
+     - interpreted: [Shapes.assign] / the table-free OCaml walk over one
+       processor's local memory, and
+     - compiled: the very text [Emit_c] emits, built with the system cc
+       at -O2 and self-timed in-process (CLOCK_MONOTONIC around an inner
+       loop, best of several batches — process startup excluded),
+
+   both walking one processor's share of A(l:n-1:s) with n >= 10^6
+   elements. Reported as nanoseconds per assigned element and Melem/s.
+   Hosts without a C compiler get the interpreted column and null for
+   the compiled one (the committed artifact comes from a full run). *)
+
+open Lams_util
+open Lams_codegen
+module H = Lams_native.Harness
+
+type row = {
+  k : int;
+  s : int;
+  n : int;
+  accesses : int;
+  variant : string;
+  interp_ns : float;
+  compiled_ns : float option;  (** None = no C compiler *)
+}
+
+let p = 4
+let l = 0
+
+(* (k, s) grid: the paper stride regimes — dense stride 1, the running
+   example's s > k, s < k with coarse blocks, and s just past pk
+   (one element per row, the worst case for table reuse). *)
+let configs = [ (8, 1); (8, 9); (32, 5); (4, 7); (16, 65) ]
+
+let variants =
+  [ ("a", H.Shape Shapes.Shape_a);
+    ("b", H.Shape Shapes.Shape_b);
+    ("c", H.Shape Shapes.Shape_c);
+    ("d", H.Shape Shapes.Shape_d);
+    ("tf", H.Table_free) ]
+
+(* Table-free interpreted walk: the Enumerate cursor is the OCaml
+   equivalent of the emitted R/L-test loop. *)
+let table_free_assign pr ~m ~u mem value =
+  Lams_core.Enumerate.iter_bounded pr ~m ~u ~f:(fun _g local ->
+      mem.(local) <- value)
+
+let time_interp pr plan v =
+  let mem = Array.make (Plan.local_extent_needed plan) 0. in
+  let m = plan.Plan.m and u = plan.Plan.u in
+  let value = ref 0. in
+  let run () =
+    value := !value +. 1.;
+    match v with
+    | H.Shape sh -> Shapes.assign sh plan mem !value
+    | H.Table_free -> table_free_assign pr ~m ~u mem !value
+  in
+  run ();
+  (* warm *)
+  let inner = Config.traversal_inner in
+  let batch () =
+    for _ = 1 to inner do
+      Sys.opaque_identity (run ())
+    done
+  in
+  let us = Timer.best_of ~repeats:Config.traversal_repeats batch in
+  us *. 1000. /. float_of_int (inner * Plan.access_count plan)
+
+(* One C translation unit per configuration: all five kernels plus a
+   self-timing main that prints "variant <id> ns_per_elem <float>" per
+   variant. The assigned value changes every inner iteration, so the
+   stores cannot be hoisted out of the timed loop. *)
+let bench_source plan ~reps ~inner =
+  let b = Buffer.create 8192 in
+  let add = Buffer.add_string b in
+  let addf fmt = Printf.ksprintf add fmt in
+  add "#define _POSIX_C_SOURCE 199309L\n#include <stdio.h>\n#include <time.h>\n\n";
+  addf "static double mem[%d];\n\n" (Plan.local_extent_needed plan);
+  List.iter
+    (fun (id, v) ->
+      (match v with
+      | H.Shape sh ->
+          add (Emit_c.full_function sh plan ~name:("kernel_" ^ id))
+      | H.Table_free ->
+          add (Emit_c.table_free_function plan ~name:("kernel_" ^ id)));
+      add "\n")
+    variants;
+  addf
+    "static double bench(void (*kernel)(double *, double))\n\
+     {\n\
+    \  struct timespec t0, t1;\n\
+    \  double best = 1e300, value = 0.0;\n\
+    \  kernel(mem, value); /* warm */\n\
+    \  for (int rep = 0; rep < %d; rep++) {\n\
+    \    clock_gettime(CLOCK_MONOTONIC, &t0);\n\
+    \    for (int it = 0; it < %d; it++) {\n\
+    \      value += 1.0;\n\
+    \      kernel(mem, value);\n\
+    \    }\n\
+    \    clock_gettime(CLOCK_MONOTONIC, &t1);\n\
+    \    double ns = (t1.tv_sec - t0.tv_sec) * 1e9 + (t1.tv_nsec - t0.tv_nsec);\n\
+    \    ns /= %d;\n\
+    \    if (ns < best) best = ns;\n\
+    \  }\n\
+    \  return best / %d.0;\n\
+     }\n\n"
+    reps inner inner (Plan.access_count plan);
+  add "int main(void)\n{\n";
+  List.iter
+    (fun (id, _) ->
+      addf "  printf(\"variant %s ns_per_elem %%.4f\\n\", bench(kernel_%s));\n"
+        id id)
+    variants;
+  add "  return 0;\n}\n";
+  Buffer.contents b
+
+let compiled_times cc plan ~reps ~inner =
+  let dir = H.workspace ~prefix:"lams-bench-codegen" in
+  let src = Filename.concat dir "bench.c" in
+  let exe = Filename.concat dir "bench" in
+  Out_channel.with_open_text src (fun oc ->
+      Out_channel.output_string oc (bench_source plan ~reps ~inner));
+  let result =
+    match H.compile ~cc ~src ~exe with
+    | Error e -> Error e
+    | Ok () -> (
+        match H.run_exe ~timeout:300. exe with
+        | Error e -> Error e
+        | Ok out ->
+            String.split_on_char '\n' out
+            |> List.filter_map (fun line ->
+                   try
+                     Scanf.sscanf line "variant %s ns_per_elem %f"
+                       (fun id ns -> Some (id, ns))
+                   with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+            |> Result.ok)
+  in
+  (match result with Ok _ -> () | Error _ -> ());
+  (* Keep nothing: the bench artifact is the JSON, not the workspace. *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  result
+
+let config_rows ~quick cc (k, s) =
+  let n = if quick then 1 lsl 18 else 1 lsl 22 in
+  let pr = Lams_core.Problem.make ~p ~k ~l ~s in
+  let u = n - 1 in
+  (* Processor 1: an interior processor (0 can be special-cased by the
+     start scan). Every (k, s) in the grid gives it work. *)
+  let plan =
+    match Plan.build_uncached pr ~m:1 ~u with
+    | Some plan -> plan
+    | None -> failwith "bench configuration owns nothing"
+  in
+  let reps = if quick then 3 else 7 in
+  let inner =
+    (* Aim each inner batch at ~2M assigned elements so batches are
+       long enough to time but the whole grid stays quick. *)
+    max 1 (2_000_000 / max 1 (Plan.access_count plan))
+  in
+  let compiled =
+    match cc with
+    | None -> Error "no C compiler"
+    | Some cc -> compiled_times cc plan ~reps ~inner
+  in
+  List.map
+    (fun (id, v) ->
+      let interp_ns = time_interp pr plan v in
+      let compiled_ns =
+        match compiled with
+        | Error _ -> None
+        | Ok times -> List.assoc_opt id times
+      in
+      { k; s; n; accesses = Plan.access_count plan; variant = id; interp_ns;
+        compiled_ns })
+    variants
+
+let mels ns = 1000. /. ns
+
+let json_of ~quick rows =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"codegen_native\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf "  \"p\": %d,\n  \"l\": %d,\n  \"processor\": 1,\n" p l);
+  Buffer.add_string b "  \"cases\": [\n";
+  List.iteri
+    (fun i r ->
+      let compiled_fields =
+        match r.compiled_ns with
+        | None -> "\"compiled_ns_per_elem\": null, \"speedup\": null"
+        | Some c ->
+            Printf.sprintf
+              "\"compiled_ns_per_elem\": %.4f, \"compiled_melem_s\": %.1f, \
+               \"speedup\": %.2f"
+              c (mels c) (r.interp_ns /. c)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"k\": %d, \"s\": %d, \"n\": %d, \"accesses\": %d, \
+            \"variant\": \"%s\", \"interp_ns_per_elem\": %.4f, \
+            \"interp_melem_s\": %.1f, %s}%s\n"
+           r.k r.s r.n r.accesses r.variant r.interp_ns (mels r.interp_ns)
+           compiled_fields
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run ?(quick = false) ?json () =
+  let cc = H.cc () in
+  (match cc with
+  | Some cc -> Printf.printf "codegen_native: cc=%s\n" cc
+  | None ->
+      print_endline
+        "codegen_native: no C compiler found; interpreted column only");
+  let rows = List.concat_map (config_rows ~quick cc) configs in
+  print_endline
+    "=== Node code: interpreted vs compiled C, ns per assigned element ===";
+  let t =
+    Ascii_table.create
+      [ "k"; "s"; "accesses"; "variant"; "interp"; "compiled"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Ascii_table.add_row t
+        [ string_of_int r.k; string_of_int r.s; string_of_int r.accesses;
+          r.variant; Printf.sprintf "%.2f" r.interp_ns;
+          (match r.compiled_ns with
+          | Some c -> Printf.sprintf "%.2f" c
+          | None -> "-");
+          (match r.compiled_ns with
+          | Some c -> Printf.sprintf "%.1fx" (r.interp_ns /. c)
+          | None -> "-") ])
+    rows;
+  print_string (Ascii_table.render t);
+  match json with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (json_of ~quick rows));
+      Printf.printf "wrote %s\n" file

@@ -8,7 +8,8 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | redistribute | chaos | bechamel | all] [--quick] [--json FILE]";
+     | redistribute | chaos | codegen | bechamel | all] [--quick] [--json \
+     FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -38,6 +39,7 @@ let () =
   let amortize () = Amortize.run ~quick:!quick ?json:!json () in
   let redistribute () = Redistribute.run ~quick:!quick ?json:!json () in
   let chaos () = Chaos.run ~quick:!quick ?json:!json () in
+  let codegen () = Codegen_native.run ~quick:!quick ?json:!json () in
   List.iter
     (fun name ->
       match String.lowercase_ascii name with
@@ -48,6 +50,7 @@ let () =
       | "amortize" -> amortize ()
       | "redistribute" -> redistribute ()
       | "chaos" -> chaos ()
+      | "codegen" | "codegen_native" -> codegen ()
       | "bechamel" -> Bechamel_suite.run ()
       | "all" ->
           run_table1_and_figure7 ();
@@ -61,6 +64,8 @@ let () =
           redistribute ();
           print_newline ();
           chaos ();
+          print_newline ();
+          codegen ();
           print_newline ();
           Bechamel_suite.run ()
       | "-h" | "--help" | "help" -> usage ()

@@ -636,17 +636,27 @@ let fuzz_cmd =
             "Skip the simulator checks (parallel fill, cross-layout copy) \
              and fuzz only the table/FSM/plan matrix.")
   in
+  let no_native_arg =
+    Arg.(
+      value & flag
+      & info [ "no-native" ]
+          ~doc:
+            "Skip the compiled-C conformance rounds (emitted node code \
+             built with the system cc and diffed against the \
+             interpreter); they are already skipped silently when no C \
+             compiler is installed.")
+  in
   let json_arg =
     Arg.(
       value & flag
       & info [ "json" ] ~doc:"Print the campaign report as a JSON object.")
   in
-  let run seed budget max_p max_k max_s no_faults no_sim json metrics
-      metrics_json =
+  let run seed budget max_p max_k max_s no_faults no_sim no_native json
+      metrics metrics_json =
     with_metrics ~metrics ~json:metrics_json @@ fun () ->
     let cfg =
       { Lams_check.Check.seed; budget; max_p; max_k; max_s;
-        faults = not no_faults; sim = not no_sim }
+        faults = not no_faults; sim = not no_sim; native = not no_native }
     in
     let progress =
       if json then fun _ -> ()
@@ -661,7 +671,7 @@ let fuzz_cmd =
   let term =
     Term.(
       const run $ seed_arg $ budget_arg $ max_p_arg $ max_k_arg $ max_s_arg
-      $ no_faults_arg $ no_sim_arg $ json_arg $ metrics_flag
+      $ no_faults_arg $ no_sim_arg $ no_native_arg $ json_arg $ metrics_flag
       $ metrics_json_arg)
   in
   Cmd.v
@@ -673,6 +683,221 @@ let fuzz_cmd =
           cached plans, simulator fills/copies), with domain-pool fault \
           injection. Failures shrink to a minimal counterexample with a \
           ready-to-paste $(b,lams explain) repro line.")
+    term
+
+(* --- native-check --- *)
+
+let native_check_cmd =
+  let module H = Lams_native.Harness in
+  let budget_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Corner-biased instances to compile with the system C \
+             compiler and diff against the interpreter.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let max_p_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-p" ] ~docv:"P" ~doc:"Largest processor count.")
+  in
+  let max_k_arg =
+    Arg.(
+      value & opt int 24 & info [ "max-k" ] ~docv:"K" ~doc:"Largest block size.")
+  in
+  let max_s_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-s" ] ~docv:"S" ~doc:"Largest stride.")
+  in
+  let no_programs_arg =
+    Arg.(
+      value & flag
+      & info [ "no-programs" ]
+          ~doc:"Skip the whole-program checks over $(docv)." ~docv:"DIR")
+  in
+  let programs_dir_arg =
+    Arg.(
+      value
+      & opt string "examples/programs"
+      & info [ "programs-dir" ] ~docv:"DIR"
+          ~doc:"Directory of mini-HPF programs to check end to end.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Kill a compiled binary after this long.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the campaign report as a JSON object.")
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let run seed budget max_p max_k max_s no_programs programs_dir timeout json
+      metrics metrics_json =
+    with_metrics ~metrics ~json:metrics_json @@ fun () ->
+    match H.cc () with
+    | None ->
+        (* Degrade to a clean skip: hosts without a C compiler must not
+           fail the build. *)
+        if json then
+          print_string
+            "{\n  \"skipped\": \"no C compiler\",\n  \"divergence\": null\n}\n"
+        else
+          print_endline
+            "native-check: no C compiler found (cc/gcc/clang); skipping.";
+        0
+    | Some compiler ->
+        let rng = Lams_util.Prng.create (Int64.of_int seed) in
+        let compared = ref 0 in
+        let instances = ref 0 in
+        let failure = ref None in
+        (try
+           for i = 1 to budget do
+             let case = Lams_check.Check.gen_case rng ~max_p ~max_k ~max_s in
+             let pr = Lams_check.Check.case_problem case in
+             incr instances;
+             (match H.check_problem ~timeout pr ~u:case.u with
+             | H.Agree { compared = c } -> compared := !compared + c
+             | H.No_cc | H.Unsupported _ -> ()
+             | (H.Diverged _ | H.Tool_error _) as bad ->
+                 failure := Some (i, case, bad);
+                 raise Exit);
+             if (not json) && i mod 50 = 0 then
+               Printf.eprintf "native-check: %d/%d instances...\n%!" i budget
+           done
+         with Exit -> ());
+        let program_results =
+          if no_programs || not (Sys.file_exists programs_dir) then []
+          else
+            Sys.readdir programs_dir |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".hpf")
+            |> List.sort compare
+            |> List.map (fun f ->
+                   let source =
+                     In_channel.with_open_text
+                       (Filename.concat programs_dir f)
+                     In_channel.input_all
+                   in
+                   (f, H.check_program ~timeout ~name:f source))
+        in
+        let program_failure =
+          List.find_opt
+            (fun (_, o) ->
+              match o with
+              | H.Diverged _ | H.Tool_error _ -> true
+              | H.Agree _ | H.No_cc | H.Unsupported _ -> false)
+            program_results
+        in
+        let pp_out o = Format.asprintf "%a" H.pp_outcome o in
+        if json then begin
+          let b = Buffer.create 512 in
+          Buffer.add_string b "{\n";
+          Buffer.add_string b
+            (Printf.sprintf
+               "  \"seed\": %d,\n  \"budget\": %d,\n  \"cc\": \"%s\",\n"
+               seed budget (json_escape compiler));
+          Buffer.add_string b
+            (Printf.sprintf
+               "  \"instances\": %d,\n  \"kernel_cases_compared\": %d,\n"
+               !instances !compared);
+          Buffer.add_string b "  \"programs\": {\n";
+          List.iteri
+            (fun i (f, o) ->
+              Buffer.add_string b
+                (Printf.sprintf "    \"%s\": \"%s\"%s\n" (json_escape f)
+                   (json_escape (pp_out o))
+                   (if i = List.length program_results - 1 then "" else ",")))
+            program_results;
+          Buffer.add_string b "  },\n";
+          (match (!failure, program_failure) with
+          | Some (i, case, bad), _ ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "  \"divergence\": {\n    \"instance\": %d,\n    \
+                    \"case\": \"p=%d k=%d l=%d s=%d u=%d\",\n    \
+                    \"outcome\": \"%s\",\n    \"repro\": \"lams \
+                    native-check --seed %d --budget %d --max-p %d --max-k \
+                    %d --max-s %d\"\n  }\n"
+                   i case.Lams_check.Check.p case.Lams_check.Check.k
+                   case.Lams_check.Check.l case.Lams_check.Check.s
+                   case.Lams_check.Check.u
+                   (json_escape (pp_out bad))
+                   seed budget max_p max_k max_s)
+          | None, Some (f, bad) ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "  \"divergence\": {\n    \"program\": \"%s\",\n    \
+                    \"outcome\": \"%s\"\n  }\n"
+                   (json_escape f)
+                   (json_escape (pp_out bad)))
+          | None, None -> Buffer.add_string b "  \"divergence\": null\n");
+          Buffer.add_string b "}\n";
+          print_string (Buffer.contents b)
+        end
+        else begin
+          Printf.printf
+            "native-check: cc=%s, %d instances, %d kernel cases \
+             bit-identical to the interpreter\n"
+            compiler !instances !compared;
+          List.iter
+            (fun (f, o) -> Printf.printf "  program %-18s %s\n" f (pp_out o))
+            program_results;
+          (match !failure with
+          | Some (i, case, bad) ->
+              Printf.printf "FAILED at instance %d: %s\n" i (pp_out bad);
+              Printf.printf
+                "repro: lams native-check --seed %d --budget %d --max-p %d \
+                 --max-k %d --max-s %d   # diverges at instance %d\n"
+                seed budget max_p max_k max_s i;
+              Printf.printf "instance: p=%d k=%d l=%d s=%d u=%d\n"
+                case.Lams_check.Check.p case.Lams_check.Check.k
+                case.Lams_check.Check.l case.Lams_check.Check.s
+                case.Lams_check.Check.u
+          | None -> ());
+          match program_failure with
+          | Some (f, bad) ->
+              Printf.printf "FAILED on program %s: %s\n" f (pp_out bad)
+          | None -> ()
+        end;
+        if !failure = None && program_failure = None then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ budget_arg $ max_p_arg $ max_k_arg $ max_s_arg
+      $ no_programs_arg $ programs_dir_arg $ timeout_arg $ json_arg
+      $ metrics_flag $ metrics_json_arg)
+  in
+  Cmd.v
+    (Cmd.info "native-check"
+       ~doc:
+         "Compile the emitted C node code with the system C compiler and \
+          run it: corner-biased instances through all four Figure 8 \
+          shapes plus the table-free variant, diffing visited addresses \
+          and final memories bit-for-bit against the interpreter, then \
+          every supported example program end to end. Skips cleanly when \
+          no C compiler is installed; exits 1 with a repro line on any \
+          divergence.")
     term
 
 (* --- run --- *)
@@ -1078,4 +1303,4 @@ let () =
        (Cmd.group info
           [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd;
             schedule_cmd; stats_cmd; explain_cmd; verify_cmd; fuzz_cmd;
-            run_cmd; chaos_cmd; metrics_cmd ]))
+            native_check_cmd; run_cmd; chaos_cmd; metrics_cmd ]))

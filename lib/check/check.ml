@@ -20,6 +20,10 @@ let c_fault_rounds =
   Lams_obs.Obs.counter "check.fault_rounds" ~units:"rounds"
     ~doc:"domain-pool fault-injection / contention rounds"
 
+let c_native_rounds =
+  Lams_obs.Obs.counter "check.native_rounds" ~units:"rounds"
+    ~doc:"compiled-C conformance rounds (table, table-free vs interpreter)"
+
 (* --- Cases --------------------------------------------------------- *)
 
 type case = { p : int; k : int; l : int; s : int; u : int }
@@ -635,6 +639,38 @@ let fault_round rng =
     Lams_obs.Obs.incr c_mismatches;
     Some mm
 
+(* Compiled-C conformance round: hand the case to the native harness,
+   which compiles all five node-code variants (Figure 8 tables plus the
+   table-free form) with the system cc and diffs addresses and final
+   memories bit-for-bit against the interpreter. No C compiler on the
+   host -> the round silently degrades to a no-op. Tool errors (the
+   emitted C failed to compile, the binary crashed or timed out) are
+   reported as mismatches too: the emitter producing uncompilable text
+   is exactly the regression this round exists to catch. *)
+let native_round case =
+  Lams_obs.Obs.incr c_native_rounds;
+  let label = function
+    | Lams_native.Harness.Diverged d ->
+        Some
+          ( (if d.Lams_native.Harness.m >= 0 then d.Lams_native.Harness.m
+             else -1),
+            Printf.sprintf "%s %s: %s" d.Lams_native.Harness.variant
+              d.Lams_native.Harness.what d.Lams_native.Harness.detail )
+    | Lams_native.Harness.Tool_error e -> Some (-1, e)
+    | Lams_native.Harness.Agree _ | Lams_native.Harness.No_cc
+    | Lams_native.Harness.Unsupported _ ->
+        None
+  in
+  match
+    label
+      (Lams_native.Harness.check_problem ~timeout:30. (case_problem case)
+         ~u:case.u)
+  with
+  | None -> None
+  | Some (m, detail) ->
+      Lams_obs.Obs.incr c_mismatches;
+      Some { case; m; oracle = "interpreter"; candidate = "compiled-c"; detail }
+
 (* --- The harness --------------------------------------------------- *)
 
 type config = {
@@ -645,6 +681,7 @@ type config = {
   max_s : int;
   faults : bool;
   sim : bool;
+  native : bool;
 }
 
 let default_config =
@@ -654,20 +691,26 @@ let default_config =
     max_k = 48;
     max_s = 4096;
     faults = true;
-    sim = true }
+    sim = true;
+    native = true }
 
 type report = {
   config : config;
   cases : int;
   fault_rounds : int;
+  native_rounds : int;
   failure : (mismatch * shrunk) option;
 }
 
 let run ?(progress = fun _ -> ()) cfg =
   let rng = Prng.create (Int64.of_int cfg.seed) in
   let fault_rng = Prng.split rng in
-  let cases = ref 0 and fault_rounds = ref 0 in
+  let cases = ref 0 and fault_rounds = ref 0 and native_rounds = ref 0 in
   let failure = ref None in
+  (* Each native round costs a cc invocation (~0.1s); budget them so a
+     quick 400-case campaign gains at most ~1s of wall time. *)
+  let max_native_rounds = 8 in
+  let native_enabled = cfg.native && Lams_native.Harness.cc () <> None in
   (try
      for i = 1 to cfg.budget do
        if i mod 500 = 0 then progress i;
@@ -689,12 +732,24 @@ let run ?(progress = fun _ -> ()) cfg =
              failure := Some (mm, { minimal = mm; steps = 0 });
              raise Exit
          | None -> ()
+       end;
+       if native_enabled && i mod 100 = 0 && !native_rounds < max_native_rounds
+       then begin
+         incr native_rounds;
+         match native_round case with
+         | Some mm ->
+             (* Native mismatches shrink through check_case only when the
+                interpreter also disagrees with itself; report unshrunk. *)
+             failure := Some (mm, { minimal = mm; steps = 0 });
+             raise Exit
+         | None -> ()
        end
      done
    with Exit -> ());
   { config = cfg;
     cases = !cases;
     fault_rounds = !fault_rounds;
+    native_rounds = !native_rounds;
     failure = !failure }
 
 (* --- Reporting ----------------------------------------------------- *)
@@ -729,8 +784,10 @@ let report_json r =
     (Printf.sprintf "  \"seed\": %d,\n  \"budget\": %d,\n" r.config.seed
        r.config.budget);
   Buffer.add_string b
-    (Printf.sprintf "  \"cases\": %d,\n  \"fault_rounds\": %d,\n" r.cases
-       r.fault_rounds);
+    (Printf.sprintf
+       "  \"cases\": %d,\n  \"fault_rounds\": %d,\n  \"native_rounds\": \
+        %d,\n"
+       r.cases r.fault_rounds r.native_rounds);
   Buffer.add_string b
     (Printf.sprintf "  \"mismatches\": %d"
        (match r.failure with None -> 0 | Some _ -> 1));
@@ -750,9 +807,9 @@ let pp_report ppf r =
   match r.failure with
   | None ->
       Format.fprintf ppf
-        "OK: %d cases (seed %d), %d fault rounds, every implementation \
-         pair agrees"
-        r.cases r.config.seed r.fault_rounds
+        "OK: %d cases (seed %d), %d fault rounds, %d native rounds, \
+         every implementation pair agrees"
+        r.cases r.config.seed r.fault_rounds r.native_rounds
   | Some (orig, sh) ->
       Format.fprintf ppf
         "@[<v>MISMATCH after %d cases (seed %d):@ %a@ shrunk (%d steps) \

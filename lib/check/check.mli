@@ -110,16 +110,24 @@ type config = {
           redistribution vs the legacy exchange plus the schedule's
           round-validity invariants) on cases small enough to
           materialize *)
+  native : bool;
+      (** interleave compiled-C conformance rounds (every 100 cases,
+          capped at 8 per campaign): the current case's emitted node
+          code — all four Figure 8 shapes plus the table-free variant —
+          compiled with the system cc and diffed bit-for-bit against
+          the interpreter via {!Lams_native.Harness.check_problem}.
+          Silently skipped when the host has no C compiler. *)
 }
 
 val default_config : config
 (** [seed = 42], [budget = 1000], [max_p = 12], [max_k = 48],
-    [max_s = 4096], [faults = true], [sim = true]. *)
+    [max_s = 4096], [faults = true], [sim = true], [native = true]. *)
 
 type report = {
   config : config;
   cases : int;  (** pipeline cases actually executed *)
   fault_rounds : int;
+  native_rounds : int;  (** compiled-C conformance rounds executed *)
   failure : (mismatch * shrunk) option;
       (** original mismatch and its shrunk form; [None] = clean run *)
 }

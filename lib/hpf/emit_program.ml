@@ -119,7 +119,9 @@ let emit_movement em arrays ~idx ~sub ~(dst : Sema.ref_info)
   let dst_section = section_of dst and src_section = section_of src in
   let count = Section.count src_section in
   if count > max_copy_elements then
-    bail "a large copy"
+    bail
+      (Printf.sprintf "a %d-element copy from %s into %s" count src_a.name
+         dst_a.name)
       (Printf.sprintf "static schedules are capped at %d elements"
          max_copy_elements);
   em.staged <- max em.staged count;
@@ -186,7 +188,7 @@ let emit_movement em arrays ~idx ~sub ~(dst : Sema.ref_info)
 let plain_gather e = e
 let plain_scatter _dst staged = staged
 
-let emit (checked : Sema.checked) =
+let emit ?(dump_arrays = false) (checked : Sema.checked) =
   try
     let arrays = resolve_arrays checked in
     let em =
@@ -312,6 +314,22 @@ let emit (checked : Sema.checked) =
                  (Section.count sec) sec.Section.lo sec.Section.stride
                  (emit_read_expr a ~g:"g")))
       checked.Sema.actions;
+    (* Final-state dumps for the native conformance harness: one
+       [=array NAME N] header per array followed by its full global
+       contents, read owner-computes like the prints. %.17g round-trips
+       doubles exactly, so the harness can compare bit-for-bit. *)
+    if dump_arrays then
+      List.iter
+        (fun a ->
+          buf_add em.main
+            (Printf.sprintf "  printf(\"=array %s %d\\n\");\n" a.name a.n);
+          buf_add em.main
+            (Printf.sprintf
+               "  for (int g = 0; g < %d; g++)\n\
+               \    printf(\"%%s%%.17g\", g ? \" \" : \"\", %s);\n\
+               \  printf(\"\\n\");\n"
+               a.n (emit_read_expr a ~g:"g")))
+        arrays;
     let out = Buffer.create 8192 in
     buf_add out "/* Generated by lams compile-c: SPMD node programs for a\n";
     buf_add out "   mini-HPF source, sequentialised per processor. */\n";
@@ -329,11 +347,11 @@ let emit (checked : Sema.checked) =
     Ok (Buffer.contents out)
   with Bail u -> Error u
 
-let emit_source source =
+let emit_source ?dump_arrays source =
   match Driver.compile source with
   | Error f -> Error (`Failure f)
   | Ok checked -> begin
-      match emit checked with
+      match emit ?dump_arrays checked with
       | Ok text -> Ok text
       | Error u -> Error (`Unsupported u)
     end

@@ -27,10 +27,16 @@
 
 type unsupported = { what : string; hint : string }
 
-val emit : Sema.checked -> (string, unsupported) result
-(** The complete C program text ([main] included). *)
+val emit : ?dump_arrays:bool -> Sema.checked -> (string, unsupported) result
+(** The complete C program text ([main] included). With
+    [~dump_arrays:true] (default [false]) the program additionally
+    prints, after its last statement, one [=array NAME N] header per
+    array followed by the array's full global contents as
+    space-separated [%.17g] values — the canonical final-state format
+    the native conformance harness ({!Lams_native.Harness}) diffs
+    against {!Runtime.gather}. *)
 
-val emit_source : string -> (string, [ `Failure of Driver.failure | `Unsupported of unsupported ]) result
+val emit_source : ?dump_arrays:bool -> string -> (string, [ `Failure of Driver.failure | `Unsupported of unsupported ]) result
 (** Convenience: parse + analyse + emit from source text. *)
 
 val pp_unsupported : Format.formatter -> unsupported -> unit

@@ -1,0 +1,13 @@
+void node_code(double *local, double value)
+{
+enum { startmem = 5, lastmem = 77, length = 8, startoffset = 5 };
+static const int deltaM[8] = { 3, 12, 15, 12, 3, 12, 3, 12 };
+static const int deltaOff[8] = { 12, 12, 12, 12, 15, 3, 3, 3 };
+static const int NextOffset[8] = { 4, 5, 6, 7, 3, 0, 1, 2 };
+  int base = startmem, i = startoffset;
+  while (base <= lastmem) {
+    local[base] = value;
+    base += deltaOff[i];
+    i = NextOffset[i];
+  }
+}

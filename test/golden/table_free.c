@@ -1,0 +1,17 @@
+void node_code(double *local, double value)
+{
+  /* R = (4, 1), L = (5, -1); no gap tables stored */
+  enum { startmem = 5, lastmem = 77, startoff = 13,
+         window_lo = 8, window_hi = 16 };
+  int base = startmem, off = startoff;
+  while (base <= lastmem) {
+    local[base] = value;
+    if (off + 4 < window_hi) {
+      off += 4; base += 12;   /* step R */
+    } else if (off - 5 >= window_lo) {
+      off -= 5; base += 3;   /* step -L */
+    } else {
+      off += -1; base += 15;   /* step R - L */
+    }
+  }
+}

@@ -1,0 +1,6 @@
+void node_code(double *local, double value)
+{
+  /* single reachable offset: constant gap of 4 cells */
+  for (int base = 0; base <= 28; base += 4)
+    local[base] = value;
+}

@@ -269,6 +269,45 @@ let test_runs_cover_addresses () =
     [ (4, 8, 4, 9, 1, 319); (4, 8, 0, 1, 2, 319); (2, 4, 0, 3, 0, 100);
       (1, 5, 0, 2, 0, 57); (8, 16, 3, 5, 5, 2000) ]
 
+(* Descending (stride < 0) sections reach the emitter through
+   normalization: [Problem.of_section] reverses them to positive
+   stride, and plan, runs and emitted loops all walk the ascending
+   normalized addresses. The pack layer mirrors these runs into
+   [step = -1] blocks for buffer traversal order; this pins the emit
+   side as the exact ascending complement, and — when a C compiler is
+   present — compiles the emitted loops and checks they visit the same
+   addresses bit-for-bit. *)
+let test_runs_descending_sections () =
+  List.iter
+    (fun (p, k, lo, hi, stride) ->
+      let lay = Layout.create ~p ~k in
+      let sec = Section.make ~lo ~hi ~stride in
+      let pr = Problem.of_section lay sec in
+      let u = (Section.normalize sec).Section.hi in
+      for m = 0 to p - 1 do
+        match Plan.build_uncached pr ~m ~u with
+        | None -> ()
+        | Some plan ->
+            let want = expected_locals pr ~m ~u in
+            let flattened =
+              Runs.fold_runs plan ~init:[] ~f:(fun acc r -> r :: acc)
+              |> List.rev
+              |> List.concat_map (fun { Runs.start_local; length } ->
+                     List.init length (fun t -> start_local + t))
+              |> Array.of_list
+            in
+            Tutil.check_int_array
+              (Printf.sprintf "descending runs flatten (m=%d)" m)
+              want flattened
+      done;
+      match Lams_native.Harness.check_problem pr ~u with
+      | Lams_native.Harness.Agree _ | Lams_native.Harness.No_cc -> ()
+      | o ->
+          Alcotest.failf "descending emit (p=%d k=%d %d:%d:%d): %a" p k lo hi
+            stride Lams_native.Harness.pp_outcome o)
+    [ (3, 5, 88, 4, -7); (4, 8, 319, 4, -9); (2, 3, 50, 0, -1);
+      (5, 2, 99, 1, -14) ]
+
 let prop_runs_flatten =
   Tutil.qtest ~count:150 "runs always flatten back to the address sequence"
     QCheck2.Gen.(
@@ -332,6 +371,8 @@ let suite =
       test_runs_stride1;
     Alcotest.test_case "runs: coverage, maximality, fill" `Quick
       test_runs_cover_addresses;
+    Alcotest.test_case "runs: descending sections normalize and emit" `Quick
+      test_runs_descending_sections;
     prop_runs_flatten;
     Alcotest.test_case "plan absence cases" `Quick test_plan_none_cases;
     Alcotest.test_case "shapes agree on the paper example" `Quick

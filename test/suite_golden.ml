@@ -1,0 +1,121 @@
+(* Golden snapshot tests for the C emitter: the exact text of
+   [Emit_c.full_function] (all four Figure 8 shapes) and
+   [Emit_c.table_free_function] (general and degenerate-basis forms) on
+   fixed instances, pinned against checked-in fixtures under
+   test/golden/. Any emitter change — intentional or not — shows up as
+   a readable text diff instead of a silent behaviour change; the
+   native conformance harness then proves the new text still runs
+   correctly.
+
+   Intentional changes are promoted with one command:
+
+     LAMS_UPDATE_GOLDEN=1 dune runtest --force
+
+   which rewrites the source fixtures in place (the failing test then
+   passes and the diff lands in review like any other change).
+
+   The plans are built with [Plan.build_uncached]: the cached path
+   shares delta arrays whose unreached residue classes fill in lazily,
+   so its emitted text can depend on what else warmed the cache during
+   the test run — the uncached oracle is deterministic. *)
+
+open Lams_codegen
+
+(* The paper's running example (§2): processor 1's share of
+   A(4:319:9) under cyclic(8) on 4 processors. *)
+let paper_plan () =
+  let pr = Lams_core.Problem.make ~p:4 ~k:8 ~l:4 ~s:9 in
+  match Plan.build_uncached pr ~m:1 ~u:319 with
+  | Some plan -> plan
+  | None -> Alcotest.fail "paper instance: processor 1 owns nothing"
+
+(* d = gcd(s, pk) = 8 >= k = 4: no R/L basis exists and the table-free
+   emitter degenerates to a single constant-gap loop. *)
+let degenerate_plan () =
+  let pr = Lams_core.Problem.make ~p:2 ~k:4 ~l:0 ~s:8 in
+  match Plan.build_uncached pr ~m:0 ~u:63 with
+  | Some plan -> plan
+  | None -> Alcotest.fail "degenerate instance: processor 0 owns nothing"
+
+(* Fixture resolution works from either the dune runtest cwd
+   (_build/default/test, fixtures copied next to the binary, source
+   tree three levels up) or the repo root (dune exec). Reads prefer
+   the local copy; promotion always writes the source tree. *)
+let read_dirs = [ "golden"; "test/golden"; "../../../test/golden" ]
+let promote_dirs = [ "../../../test/golden"; "test/golden"; "golden" ]
+
+let read_fixture fixture =
+  let path d = Filename.concat d fixture in
+  match List.find_opt (fun d -> Sys.file_exists (path d)) read_dirs with
+  | None -> None
+  | Some d ->
+      Some (In_channel.with_open_text (path d) In_channel.input_all)
+
+let promote fixture text =
+  match List.find_opt Sys.file_exists promote_dirs with
+  | None -> None
+  | Some d ->
+      let path = Filename.concat d fixture in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text);
+      Some path
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys when x = y -> go (i + 1) (xs, ys)
+    | x :: _, y :: _ -> Printf.sprintf "line %d: %S vs golden %S" i x y
+    | x :: _, [] -> Printf.sprintf "line %d: %S past end of golden" i x
+    | [], y :: _ -> Printf.sprintf "line %d: golden %S past end of emitted" i y
+    | [], [] -> "identical"
+  in
+  go 1 (la, lb)
+
+let check_golden fixture emit () =
+  let text = emit () in
+  match read_fixture fixture with
+  | Some golden when golden = text -> ()
+  | current -> (
+      if Sys.getenv_opt "LAMS_UPDATE_GOLDEN" = Some "1" then
+        match promote fixture text with
+        | Some path -> Printf.printf "golden: promoted %s\n%!" path
+        | None ->
+            Alcotest.failf "golden %s: no fixture directory to promote into"
+              fixture
+      else
+        match current with
+        | None ->
+            Alcotest.failf
+              "golden %s missing; run LAMS_UPDATE_GOLDEN=1 dune runtest \
+               --force to create it"
+              fixture
+        | Some golden ->
+            Alcotest.failf
+              "golden %s out of date (%s); run LAMS_UPDATE_GOLDEN=1 dune \
+               runtest --force to promote the new text"
+              fixture (first_diff text golden))
+
+let shape_case sh =
+  let fixture =
+    Printf.sprintf "shape_%s.c"
+      (match sh with
+      | Shapes.Shape_a -> "a"
+      | Shapes.Shape_b -> "b"
+      | Shapes.Shape_c -> "c"
+      | Shapes.Shape_d -> "d")
+  in
+  Alcotest.test_case fixture `Quick
+    (check_golden fixture (fun () ->
+         Emit_c.full_function sh (paper_plan ()) ~name:"node_code"))
+
+let suite =
+  List.map shape_case Shapes.all
+  @ [
+      Alcotest.test_case "table_free.c" `Quick
+        (check_golden "table_free.c" (fun () ->
+             Emit_c.table_free_function (paper_plan ()) ~name:"node_code"));
+      Alcotest.test_case "table_free_degenerate.c" `Quick
+        (check_golden "table_free_degenerate.c" (fun () ->
+             Emit_c.table_free_function (degenerate_plan ())
+               ~name:"node_code"));
+    ]

@@ -446,6 +446,34 @@ let test_c_backend_unsupported () =
      distribute B (block) onto 2\nA(0:99999:1) = 0.0\n\
      A(0:99999:1) = B(0:99999:1)\n"
 
+(* The static-schedule cap bail must be actionable: it names the
+   offending copy's element count, both arrays, and the cap itself. *)
+let test_c_backend_copy_cap_message () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let src =
+    "real SRC(100000)\nreal DST(100000)\ndistribute SRC (block) onto 2\n\
+     distribute DST (block) onto 2\nSRC(0:99999:1) = 0.0\n\
+     DST(0:99999:1) = SRC(0:99999:1)\n"
+  in
+  match Emit_program.emit_source src with
+  | Error (`Unsupported u) ->
+      let what = u.Emit_program.what and hint = u.Emit_program.hint in
+      List.iter
+        (fun (label, hay, needle) ->
+          if not (contains hay needle) then
+            Alcotest.failf "bail %s %S does not mention %S" label hay needle)
+        [ ("what", what, "100000-element");
+          ("what", what, "SRC");
+          ("what", what, "DST");
+          ("hint", hint, "65536") ]
+  | Ok _ -> Alcotest.fail "expected the copy cap to bail"
+  | Error (`Failure f) ->
+      Alcotest.failf "compile failure: %a" Driver.pp_failure f
+
 (* --- Forall --- *)
 
 let test_parse_forall () =
@@ -861,6 +889,8 @@ let suite =
     Alcotest.test_case "printer round trip" `Quick test_pp_roundtrip;
     Alcotest.test_case "C backend matches the runtime" `Quick
       test_c_backend_matches_runtime;
+    Alcotest.test_case "C backend copy-cap bail names the copy" `Quick
+      test_c_backend_copy_cap_message;
     Alcotest.test_case "C backend unsupported forms" `Quick
       test_c_backend_unsupported;
     Alcotest.test_case "C backend fuzz (6 random programs)" `Quick

@@ -1,0 +1,166 @@
+(* The native C conformance harness (Lams_native.Harness): toolchain
+   probing and its clean degradation, the deterministic fill stream,
+   and the differential checks themselves — compiled node code and
+   whole programs diffed bit-for-bit against the interpreter. Every
+   test that needs a C compiler accepts [No_cc] as a pass, so the
+   suite skips (never fails) on hosts without one. *)
+
+open Lams_dist
+module H = Lams_native.Harness
+module Problem = Lams_core.Problem
+
+let outcome_line o = Format.asprintf "%a" H.pp_outcome o
+
+(* [Agree] with any count, or a clean skip; anything else fails with
+   the harness's own diagnosis. *)
+let expect_agreement what o =
+  match o with
+  | H.Agree _ | H.No_cc -> ()
+  | o -> Alcotest.failf "%s: %s" what (outcome_line o)
+
+let test_probe_disabled () =
+  Tutil.check_bool "empty LAMS_CC disables the probe"
+    true
+    (H.probe ~env:(Some "") [ "cc"; "gcc" ] = None)
+
+let test_probe_missing () =
+  Tutil.check_bool "nonexistent candidates probe to None" true
+    (H.probe ~env:None [ "lams-definitely-not-a-compiler" ] = None)
+
+let test_fill_deterministic () =
+  let a = Array.make 257 0. and b = Array.make 257 0. in
+  H.fill_array ~seed:77L a;
+  H.fill_array ~seed:77L b;
+  Tutil.check_bool "same seed, same stream" true (a = b);
+  H.fill_array ~seed:78L b;
+  Tutil.check_bool "different seed, different stream" true (a <> b);
+  Array.iter
+    (fun v ->
+      Tutil.check_bool "fill values stay in [1, 1024]" true
+        (v >= 1.0 && v <= 1024.0);
+      Tutil.check_bool "fill values never collide with the sentinel" true
+        (v <> H.sentinel))
+    a
+
+(* The paper's running example: every processor, all five variants. *)
+let test_paper_instance () =
+  let pr = Problem.make ~p:4 ~k:8 ~l:4 ~s:9 in
+  expect_agreement "paper instance" (H.check_problem pr ~u:319)
+
+(* u < l: nobody owns anything, so there is nothing to compile. *)
+let test_empty_section () =
+  let pr = Problem.make ~p:4 ~k:8 ~l:100 ~s:3 in
+  match H.check_problem pr ~u:42 with
+  | H.Agree { compared } -> Tutil.check_int "no cases" 0 compared
+  | H.No_cc -> ()
+  | o -> Alcotest.failf "empty section: %s" (outcome_line o)
+
+(* Degenerate-basis regime (d >= k): the table-free variant emits a
+   single constant-gap loop — make sure that C path runs too. *)
+let test_degenerate_basis () =
+  let pr = Problem.make ~p:2 ~k:4 ~l:0 ~s:8 in
+  expect_agreement "degenerate basis" (H.check_problem pr ~u:63)
+
+(* A descending section: the plan is built on the normalized (reversed,
+   positive-stride) sequence, and the compiled loops must walk exactly
+   those addresses. This is the emit-side closure of the step = -1
+   block path that Runs/Pack cover in-process. *)
+let test_descending_section () =
+  let lay = Layout.create ~p:3 ~k:5 in
+  let sec = Section.make ~lo:88 ~hi:4 ~stride:(-7) in
+  let pr = Problem.of_section lay sec in
+  let u = (Section.normalize sec).Section.hi in
+  expect_agreement "descending section" (H.check_problem pr ~u)
+
+(* Whole program with a descending forall reference (A(319-2*i)): the
+   staged copy loops the program emitter generates from the descending
+   progression must produce the interpreter's exact final state. *)
+let descending_program =
+  "real A(64)\n\
+   real B(64)\n\
+   distribute A (cyclic(4)) onto 4\n\
+   distribute B (block) onto 4\n\
+   A(0:63:1) = 2.0\n\
+   A(1:63:3) = 7.0\n\
+   forall i = 0:20 do B(3*i) = A(62-3*i) + 0.25\n\
+   print sum B(0:63:1)\n\
+   print B(0:31:1)\n"
+
+let test_descending_program () =
+  expect_agreement "descending forall program"
+    (H.check_program ~name:"descending" descending_program)
+
+let test_program_outputs () =
+  let source =
+    "real A(320)\n\
+     distribute A (cyclic(8)) onto 4\n\
+     A(0:319:1) = 0.0\n\
+     A(4:319:9) = 100.0\n\
+     A(2:200:5) = A(2:200:5) + 1.5\n\
+     print sum A(0:319:1)\n\
+     print A(0:31:1)\n"
+  in
+  expect_agreement "program outputs" (H.check_program ~name:"outputs" source)
+
+(* The emitter's unsupported subset must surface as [Unsupported], not
+   as an error (and not run anything). *)
+let test_program_unsupported () =
+  let source =
+    "real M(8, 6)\n\
+     distribute M (cyclic(2), block) onto (2, 2)\n\
+     M(0:7:1, 0:5:1) = 1.0\n\
+     print sum M(0:7:1, 0:5:1)\n"
+  in
+  match H.check_program ~name:"matrix" source with
+  | H.Unsupported _ | H.No_cc -> ()
+  | o -> Alcotest.failf "2-D program: %s" (outcome_line o)
+
+(* Broken source is a tool error (the harness never invents a verdict
+   for a program the pipeline rejects). *)
+let test_program_syntax_error () =
+  match H.check_program ~name:"broken" "real A(\n" with
+  | H.Tool_error _ | H.No_cc -> ()
+  | o -> Alcotest.failf "syntax error: %s" (outcome_line o)
+
+(* Corner instances mirroring the fuzz generator's bias, pinned so the
+   suite exercises them even with the CLI campaign budget at zero. *)
+let test_corner_instances () =
+  List.iter
+    (fun (p, k, l, s, u) ->
+      let pr = Problem.make ~p ~k ~l ~s in
+      expect_agreement
+        (Printf.sprintf "corner p=%d k=%d l=%d s=%d u=%d" p k l s u)
+        (H.check_problem pr ~u))
+    [
+      (1, 1, 0, 1, 63);  (* single processor, unit everything *)
+      (1, 7, 3, 5, 200);  (* p = 1 *)
+      (5, 1, 2, 3, 97);  (* k = 1 *)
+      (4, 8, 4, 32, 319);  (* pk | s: one element per period *)
+      (3, 6, 10, 9, 10);  (* singleton section *)
+      (2, 4, 7, 6, 300);  (* d | k, start past one block *)
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "probe: empty LAMS_CC disables" `Quick
+      test_probe_disabled;
+    Alcotest.test_case "probe: missing candidates" `Quick test_probe_missing;
+    Alcotest.test_case "fill stream deterministic" `Quick
+      test_fill_deterministic;
+    Alcotest.test_case "kernels: paper instance" `Quick test_paper_instance;
+    Alcotest.test_case "kernels: empty section" `Quick test_empty_section;
+    Alcotest.test_case "kernels: degenerate basis" `Quick
+      test_degenerate_basis;
+    Alcotest.test_case "kernels: descending section" `Quick
+      test_descending_section;
+    Alcotest.test_case "kernels: corner instances" `Quick
+      test_corner_instances;
+    Alcotest.test_case "program: descending forall" `Quick
+      test_descending_program;
+    Alcotest.test_case "program: outputs and arrays" `Quick
+      test_program_outputs;
+    Alcotest.test_case "program: unsupported subset" `Quick
+      test_program_unsupported;
+    Alcotest.test_case "program: syntax error" `Quick
+      test_program_syntax_error;
+  ]

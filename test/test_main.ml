@@ -8,6 +8,8 @@ let () =
       ("dist", Suite_dist.suite);
       ("core", Suite_core.suite);
       ("codegen", Suite_codegen.suite);
+      ("golden", Suite_golden.suite);
+      ("native", Suite_native.suite);
       ("sim", Suite_sim.suite);
       ("sched", Suite_sched.suite);
       ("multidim", Suite_multidim.suite);
