@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json smoke fuzz-quick chaos-quick \
-	native-quick doc clean
+.PHONY: all check test bench bench-json bench-dataplane-quick smoke \
+	fuzz-quick chaos-quick native-quick doc clean
 
 all:
 	dune build @all
@@ -21,6 +21,7 @@ check:
 	dune build @fuzz
 	dune build @chaos
 	dune build @native
+	dune build @dataplane
 
 smoke:
 	dune build @smoke
@@ -29,6 +30,13 @@ smoke:
 # acceptance run is `dune exec -- lams fuzz --seed 42 --budget 5000`.
 fuzz-quick:
 	dune build @fuzz
+
+# Data-plane smoke: blit vs element-at-a-time packing at reduced size;
+# the bench itself asserts the steady-state pool contract (hits =
+# transfers, zero misses after warm-up) and spot-checks the delivered
+# contents, so a broken blit path fails the build, not just the numbers.
+bench-dataplane-quick:
+	dune build @dataplane
 
 # Quick chaos runs: a lossy fabric with planned crashes (fixed seed,
 # small budget) plus an all-rates-zero run that must stay bit-identical
@@ -57,6 +65,7 @@ bench-json:
 	dune exec bench/main.exe -- amortize --quick --json BENCH_amortize.json
 	dune exec bench/main.exe -- redistribute --quick --json BENCH_redistribute.json
 	dune exec bench/main.exe -- codegen --quick --json BENCH_codegen.json
+	dune exec bench/main.exe -- dataplane --quick --json BENCH_dataplane.json
 
 doc:
 	dune build @doc

@@ -53,7 +53,7 @@ let table_free () =
       (match Plan.build pr ~m:0 ~u with
       | None -> ()
       | Some plan ->
-          let mem = Array.make (Plan.local_extent_needed plan) 0. in
+          let mem = Fbuf.create (Plan.local_extent_needed plan) in
           let table_us =
             Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
                 Shapes.assign Shapes.Shape_d plan mem 1.)
@@ -61,7 +61,7 @@ let table_free () =
           let free_us =
             Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
                 Enumerate.iter_bounded pr ~m:0 ~u ~f:(fun _ local ->
-                    mem.(local) <- 1.))
+                    Fbuf.set mem local 1.))
           in
           let words = (2 * k) + Array.length plan.Plan.delta_m in
           Ascii_table.add_row t
@@ -160,7 +160,7 @@ let block_transfers () =
       match Plan.build pr ~m:0 ~u with
       | None -> ()
       | Some plan ->
-          let mem = Array.make (Plan.local_extent_needed plan) 0. in
+          let mem = Fbuf.create (Plan.local_extent_needed plan) in
           let runs = Runs.of_plan plan in
           let scalar =
             Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
@@ -170,7 +170,7 @@ let block_transfers () =
             Timer.best_of ~repeats:Config.traversal_repeats (fun () ->
                 List.iter
                   (fun { Runs.start_local; length } ->
-                    Array.fill mem start_local length 1.)
+                    Fbuf.fill_range mem ~pos:start_local ~len:length 1.)
                   runs)
           in
           Ascii_table.add_row t

@@ -28,7 +28,7 @@ let table2_tests =
   match Plan.build pr ~m:0 ~u with
   | None -> []
   | Some plan ->
-      let mem = Array.make (Plan.local_extent_needed plan) 0. in
+      let mem = Lams_util.Fbuf.create (Plan.local_extent_needed plan) in
       List.map
         (fun shape ->
           Test.make

@@ -47,12 +47,12 @@ let variants =
 
 (* Table-free interpreted walk: the Enumerate cursor is the OCaml
    equivalent of the emitted R/L-test loop. *)
-let table_free_assign pr ~m ~u mem value =
+let table_free_assign pr ~m ~u (mem : Fbuf.t) value =
   Lams_core.Enumerate.iter_bounded pr ~m ~u ~f:(fun _g local ->
-      mem.(local) <- value)
+      Fbuf.set mem local value)
 
 let time_interp pr plan v =
-  let mem = Array.make (Plan.local_extent_needed plan) 0. in
+  let mem = Fbuf.create (Plan.local_extent_needed plan) in
   let m = plan.Plan.m and u = plan.Plan.u in
   let value = ref 0. in
   let run () =

@@ -8,8 +8,8 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | redistribute | chaos | codegen | bechamel | all] [--quick] [--json \
-     FILE]";
+     | redistribute | dataplane | chaos | codegen | bechamel | all] [--quick] \
+     [--json FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -38,6 +38,7 @@ let () =
   let experiments = if experiments = [] then [ "all" ] else experiments in
   let amortize () = Amortize.run ~quick:!quick ?json:!json () in
   let redistribute () = Redistribute.run ~quick:!quick ?json:!json () in
+  let dataplane () = Dataplane.run ~quick:!quick ?json:!json () in
   let chaos () = Chaos.run ~quick:!quick ?json:!json () in
   let codegen () = Codegen_native.run ~quick:!quick ?json:!json () in
   List.iter
@@ -49,6 +50,7 @@ let () =
       | "ablations" -> Ablations.run ()
       | "amortize" -> amortize ()
       | "redistribute" -> redistribute ()
+      | "dataplane" -> dataplane ()
       | "chaos" -> chaos ()
       | "codegen" | "codegen_native" -> codegen ()
       | "bechamel" -> Bechamel_suite.run ()
@@ -62,6 +64,8 @@ let () =
           amortize ();
           print_newline ();
           redistribute ();
+          print_newline ();
+          dataplane ();
           print_newline ();
           chaos ();
           print_newline ();

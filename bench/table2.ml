@@ -32,7 +32,7 @@ let measure_row ~k ~s =
   in
   (* One reusable local store: processors run one after another, so peak
      host memory stays one node's worth. *)
-  let mem = Array.make max_extent 0. in
+  let mem = Fbuf.create max_extent in
   let per_shape =
     List.map
       (fun shape ->

@@ -23,7 +23,7 @@ let count plan = fold_runs plan ~init:0 ~f:(fun acc _ -> acc + 1)
 
 let fill_by_runs plan mem v =
   fold_runs plan ~init:() ~f:(fun () { start_local; length } ->
-      Array.fill mem start_local length v)
+      Lams_util.Fbuf.fill_range mem ~pos:start_local ~len:length v)
 
 let average_run_length plan =
   let runs, elems =

@@ -23,8 +23,8 @@ val count : Plan.t -> int
 (** Number of runs ([= List.length (of_plan plan)] without building the
     list). *)
 
-val fill_by_runs : Plan.t -> float array -> float -> unit
-(** The block-transfer version of the Figure 8 kernel: one [Array.fill]
+val fill_by_runs : Plan.t -> Lams_util.Fbuf.t -> float -> unit
+(** The block-transfer version of the Figure 8 kernel: one bulk fill
     per run. Produces the same memory state as [Shapes.assign]. *)
 
 val average_run_length : Plan.t -> float

@@ -16,8 +16,8 @@ let of_string str =
   | "d" | "8d" | "8(d)" | "lookup" -> Some Shape_d
   | _ -> None
 
-let check_mem (p : Plan.t) mem =
-  if Array.length mem < Plan.local_extent_needed p then
+let check_mem (p : Plan.t) (mem : Lams_util.Fbuf.t) =
+  if Lams_util.Fbuf.length mem < Plan.local_extent_needed p then
     invalid_arg "Shapes: local memory shorter than the plan's extent"
 
 (* The assign_* kernels use unsafe array accesses to match the bounds-
@@ -27,23 +27,23 @@ let check_mem (p : Plan.t) mem =
    [visit] path. *)
 
 (* --- Figure 8(a): base += deltaM[i]; i = (i+1) mod length --- *)
-let assign_a (p : Plan.t) (mem : float array) v =
+let assign_a (p : Plan.t) (mem : Lams_util.Fbuf.t) v =
   let delta = p.Plan.delta_m and length = p.Plan.length in
   let last = p.Plan.last_local in
   let base = ref p.Plan.start_local and i = ref 0 in
   while !base <= last do
-    Array.unsafe_set mem !base v;
+    Lams_util.Fbuf.unsafe_set mem !base v;
     base := !base + Array.unsafe_get delta !i;
     i := (!i + 1) mod length
   done
 
 (* --- Figure 8(b): i++; if (i == length) i = 0 --- *)
-let assign_b (p : Plan.t) (mem : float array) v =
+let assign_b (p : Plan.t) (mem : Lams_util.Fbuf.t) v =
   let delta = p.Plan.delta_m and length = p.Plan.length in
   let last = p.Plan.last_local in
   let base = ref p.Plan.start_local and i = ref 0 in
   while !base <= last do
-    Array.unsafe_set mem !base v;
+    Lams_util.Fbuf.unsafe_set mem !base v;
     base := !base + Array.unsafe_get delta !i;
     incr i;
     if !i = length then i := 0
@@ -52,14 +52,14 @@ let assign_b (p : Plan.t) (mem : float array) v =
 (* --- Figure 8(c): for over one period inside while(TRUE), goto done --- *)
 exception Done
 
-let assign_c (p : Plan.t) (mem : float array) v =
+let assign_c (p : Plan.t) (mem : Lams_util.Fbuf.t) v =
   let delta = p.Plan.delta_m and length = p.Plan.length in
   let last = p.Plan.last_local in
   let base = ref p.Plan.start_local in
   (try
      while true do
        for i = 0 to length - 1 do
-         Array.unsafe_set mem !base v;
+         Lams_util.Fbuf.unsafe_set mem !base v;
          base := !base + Array.unsafe_get delta i;
          if !base > last then raise_notrace Done
        done
@@ -67,12 +67,12 @@ let assign_c (p : Plan.t) (mem : float array) v =
    with Done -> ())
 
 (* --- Figure 8(d): two-table lookup indexed by local offset --- *)
-let assign_d (p : Plan.t) (mem : float array) v =
+let assign_d (p : Plan.t) (mem : Lams_util.Fbuf.t) v =
   let delta = p.Plan.delta_by_offset and next = p.Plan.next_offset in
   let last = p.Plan.last_local in
   let base = ref p.Plan.start_local and i = ref p.Plan.start_offset in
   while !base <= last do
-    Array.unsafe_set mem !base v;
+    Lams_util.Fbuf.unsafe_set mem !base v;
     base := !base + Array.unsafe_get delta !i;
     i := Array.unsafe_get next !i
   done

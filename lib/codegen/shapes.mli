@@ -25,9 +25,9 @@ val name : t -> string
 val of_string : string -> t option
 (** Accepts "a" | "8a" | "8(a)" (case-insensitive), etc. *)
 
-val assign : t -> Plan.t -> float array -> float -> unit
+val assign : t -> Plan.t -> Lams_util.Fbuf.t -> float -> unit
 (** [assign shape plan mem v] performs the paper's measured kernel
-    [A(l:u:s) = v] on the local array. Dedicated tight loop per shape (no
+    [A(l:u:s) = v] on the local memory. Dedicated tight loop per shape (no
     closures) so the benchmark measures the shape, not the harness.
     @raise Invalid_argument if [mem] is shorter than
     [Plan.local_extent_needed plan]. *)

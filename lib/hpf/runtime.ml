@@ -142,7 +142,7 @@ let md_fill md stores sections v =
     let coords = Proc_grid.coords_of_rank grid r in
     let data = Local_store.data stores.(r) in
     Md_array.traverse_owned md ~sections:normalized ~coords
-      ~f:(fun ~global:_ ~local -> data.(local) <- v)
+      ~f:(fun ~global:_ ~local -> Lams_util.Fbuf.set data local v)
   done
 
 let c_statements =
@@ -282,7 +282,8 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
                       in
                       let n = tr.Md_comm.elements in
                       let addresses = Array.make n 0
-                      and payload = Array.make n 0. in
+                      and payload = Lams_util.Fbuf.uninit n in
+                      let sdata = Local_store.data sstores.(src_rank) in
                       let at = ref 0 in
                       Md_comm.iter_positions tr ~f:(fun pos ->
                           for d = 0 to rank - 1 do
@@ -294,22 +295,24 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
                           addresses.(!at) <-
                             Md_array.local_address dmd
                               ~coords:tr.Md_comm.dst_coords dst_idx;
-                          payload.(!at) <-
-                            Local_store.get sstores.(src_rank)
-                              (Md_array.local_address smd
-                                 ~coords:tr.Md_comm.src_coords src_idx);
+                          Lams_util.Fbuf.unsafe_set payload !at
+                            (Lams_util.Fbuf.get sdata
+                               (Md_array.local_address smd
+                                  ~coords:tr.Md_comm.src_coords src_idx));
                           incr at);
                       Network.send net ~src:src_rank ~dst:dst_rank ~tag:2
                         ~addresses ~payload)
                     sched.Md_comm.transfers;
                   (* Phase 2: receivers drain. *)
                   for r = 0 to Proc_grid.size dst_grid - 1 do
+                    let ddata = Local_store.data dstores.(r) in
                     List.iter
                       (fun (msg : Network.message) ->
                         Array.iteri
                           (fun idx addr ->
-                            Local_store.set dstores.(r) addr
-                              msg.Network.payload.(idx))
+                            Lams_util.Fbuf.set ddata addr
+                              (Lams_util.Fbuf.unsafe_get msg.Network.payload
+                                 idx))
                           msg.Network.addresses)
                       (Network.receive_all net ~dst:r)
                   done;

@@ -127,9 +127,9 @@ let run_exe ?(timeout = 60.) exe =
 let sentinel = -5.0
 let sentinel_lit = "-5.0"
 
-let fill_array ~seed arr =
+let fill_array ~seed (arr : Lams_util.Fbuf.t) =
   let state = ref seed in
-  for i = 0 to Array.length arr - 1 do
+  for i = 0 to Lams_util.Fbuf.length arr - 1 do
     state := Int64.add !state 0x9e3779b97f4a7c15L;
     let z = !state in
     let z =
@@ -141,7 +141,7 @@ let fill_array ~seed arr =
         0x94d049bb133111ebL
     in
     let z = Int64.logxor z (Int64.shift_right_logical z 31) in
-    arr.(i) <- Int64.to_float (Int64.logand z 1023L) +. 1.0
+    Lams_util.Fbuf.set arr i (Int64.to_float (Int64.logand z 1023L) +. 1.0)
   done
 
 let c_prelude =
@@ -386,15 +386,17 @@ let compare_case pr ~u (m, plan) v (got : kernel_case) =
           (Printf.sprintf "compiled extent %d <> %d"
              (Array.length got.kmem) ext)
       else begin
-        let expected = Array.make ext 0. in
+        let expected = Lams_util.Fbuf.create ext in
         fill_array ~seed:(seed_for m) expected;
         (match v with
         | Shape sh -> Shapes.assign sh plan expected sentinel
-        | Table_free -> Array.iter (fun a -> expected.(a) <- sentinel) enum);
+        | Table_free ->
+            Array.iter (fun a -> Lams_util.Fbuf.set expected a sentinel) enum);
         let bad = ref None in
         (try
            for i = 0 to ext - 1 do
-             if not (float_eq got.kmem.(i) expected.(i)) then begin
+             if not (float_eq got.kmem.(i) (Lams_util.Fbuf.get expected i))
+             then begin
                bad := Some i;
                raise Exit
              end
@@ -405,7 +407,7 @@ let compare_case pr ~u (m, plan) v (got : kernel_case) =
         | Some i ->
             diverged "memory"
               (Printf.sprintf "local[%d]: compiled %.17g <> interpreter %.17g"
-                 i got.kmem.(i) expected.(i))
+                 i got.kmem.(i) (Lams_util.Fbuf.get expected i))
       end
 
 let check_problem ?(timeout = 60.) ?(max_extent = 200_000) pr ~u =

@@ -68,7 +68,7 @@ val sentinel : float
     every fill value, so the visited address set is recoverable from
     the final memory image. *)
 
-val fill_array : seed:int64 -> float array -> unit
+val fill_array : seed:int64 -> Lams_util.Fbuf.t -> unit
 (** Overwrite the array with the seeded SplitMix64 fill stream:
     doubles in [[1., 1024.]], identical to what the generated C
     [reset()] produces for the same seed. *)

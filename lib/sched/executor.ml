@@ -1,6 +1,8 @@
 open Lams_dist
 open Lams_sim
 
+type packing = Blit | Elementwise
+
 let c_packed_bytes =
   Lams_obs.Obs.counter "sched.packed_bytes" ~units:"bytes"
     ~doc:"payload bytes moved through packed round messages"
@@ -41,7 +43,7 @@ let run_counter = Atomic.make 1
    exchange. Whatever happens, posted-but-undrained messages are purged
    before control leaves, so a reused fabric never pins this run's
    packed buffers. *)
-let run ?net ?(parallel = false) ?reliable ?(respawns = 0)
+let run ?net ?(parallel = false) ?reliable ?(respawns = 0) ?(packing = Blit)
     (sched : Schedule.t) ~src ~dst =
   if Darray.procs src <> sched.Schedule.src_procs
      || Darray.procs dst <> sched.Schedule.dst_procs
@@ -65,14 +67,30 @@ let run ?net ?(parallel = false) ?reliable ?(respawns = 0)
   in
   let budget = if respawns > 0 then Some (Spmd.respawn_budget respawns) else None in
   let run_phase f = Spmd.run_protected ?budget ~parallel ~p f in
+  let pack_side, unpack_side =
+    match packing with
+    | Blit -> (Pack.pack, Pack.unpack)
+    | Elementwise -> (Pack.pack_elementwise, Pack.unpack_elementwise)
+  in
   let locals = Array.of_list sched.Schedule.locals in
   let rounds = Array.of_list (List.map Array.of_list sched.Schedule.rounds) in
-  let buf_for (tr : Schedule.transfer) = Array.make tr.Schedule.elements 0. in
+  (* Payload buffers come from the per-domain pool: packing overwrites
+     every cell (a side's blocks partition [0, elements)), so reuse
+     needs no zeroing, and a steady-state exchange allocates no payload
+     garbage at all. They are released in the [finally] below, after the
+     fabric has been drained or purged — nothing can still reference
+     them. *)
+  let buf_for (tr : Schedule.transfer) = Pool.acquire tr.Schedule.elements in
   let local_bufs = Array.map buf_for locals in
   let round_bufs = Array.map (Array.map buf_for) rounds in
+  let release_bufs () =
+    Array.iter Pool.release local_bufs;
+    Array.iter (Array.iter Pool.release) round_bufs
+  in
+  Fun.protect ~finally:release_bufs @@ fun () ->
   let pack_from m (tr : Schedule.transfer) buf =
     if tr.Schedule.src_proc = m then
-      Pack.pack tr.Schedule.src_side
+      pack_side tr.Schedule.src_side
         ~data:(Local_store.data (Darray.local src m))
         ~buf
   in
@@ -87,7 +105,7 @@ let run ?net ?(parallel = false) ?reliable ?(respawns = 0)
     Array.iteri
       (fun i (tr : Schedule.transfer) ->
         if tr.Schedule.src_proc = m then
-          Pack.unpack tr.Schedule.dst_side ~buf:local_bufs.(i)
+          unpack_side tr.Schedule.dst_side ~buf:local_bufs.(i)
             ~data:(Local_store.data (Darray.local dst m)))
       locals
   in
@@ -122,7 +140,7 @@ let run ?net ?(parallel = false) ?reliable ?(respawns = 0)
               | None ->
                   invalid_arg "Executor.run: unscheduled message in round"
               | Some tr ->
-                  Pack.unpack tr.Schedule.dst_side ~buf:msg.Network.payload
+                  unpack_side tr.Schedule.dst_side ~buf:msg.Network.payload
                     ~data:(Local_store.data (Darray.local dst m)))
             (Network.receive_all net ~dst:m)
       in
@@ -202,8 +220,8 @@ let check_section (a : Darray.t) sec =
   if norm.Section.lo < 0 || norm.Section.hi >= Darray.size a then
     invalid_arg "Executor: section outside the array"
 
-let redistribute ?net ?parallel ?reliable ?respawns ~src ~src_section ~dst
-    ~dst_section () =
+let redistribute ?net ?parallel ?reliable ?respawns ?packing ~src
+    ~src_section ~dst ~dst_section () =
   check_section src src_section;
   check_section dst dst_section;
   if Section.count src_section <> Section.count dst_section then
@@ -212,7 +230,7 @@ let redistribute ?net ?parallel ?reliable ?respawns ~src ~src_section ~dst
     Cache.find ~src_layout:(Darray.layout src) ~src_section
       ~dst_layout:(Darray.layout dst) ~dst_section
   in
-  try run ?net ?parallel ?reliable ?respawns sched ~src ~dst
+  try run ?net ?parallel ?reliable ?respawns ?packing sched ~src ~dst
   with Spmd.Crash _ ->
     (* The respawn budget ran out and the run could not finish in
        place: degrade to the legacy oracle exchange on a perfect

@@ -34,13 +34,26 @@
     Every rung preserves the exact legacy result. On any exit —
     normal or raising — posted-but-undrained messages are purged from
     the fabric, so a reused network neither pins this run's packed
-    buffers nor leaks protocol stragglers into the next exchange. *)
+    buffers nor leaks protocol stragglers into the next exchange.
+
+    {b Payload buffers} come from the per-domain {!Pool} and are
+    released on every exit path, so a steady-state exchange (schedule
+    cached, pool warm) performs zero payload allocations —
+    [sched.pool.hits] advances by exactly the transfer count. *)
+
+type packing =
+  | Blit  (** contiguous runs move as [memmove]-speed blits (default) *)
+  | Elementwise
+      (** element-at-a-time marshalling on the same buffers — the
+          pre-blit data plane, kept as an adjacent baseline for benches
+          and differential tests *)
 
 val run :
   ?net:Lams_sim.Network.t ->
   ?parallel:bool ->
   ?reliable:Reliable.config ->
   ?respawns:int ->
+  ?packing:packing ->
   Schedule.t ->
   src:Lams_sim.Darray.t ->
   dst:Lams_sim.Darray.t ->
@@ -61,6 +74,7 @@ val redistribute :
   ?parallel:bool ->
   ?reliable:Reliable.config ->
   ?respawns:int ->
+  ?packing:packing ->
   src:Lams_sim.Darray.t ->
   src_section:Lams_dist.Section.t ->
   dst:Lams_sim.Darray.t ->

@@ -1,3 +1,4 @@
+open Lams_util
 open Lams_dist
 open Lams_core
 open Lams_codegen
@@ -67,7 +68,93 @@ let blocks_of_progression ~layout ~section ~proc ~buf_pos
         blocks
   end
 
+(* {!Lams_sim.Comm_sets} describes a transfer as residue classes of
+   traversal positions modulo the lcm of the two cycle periods. Packing
+   one class at a time walks the data class-major — consecutive buffer
+   cells sit one whole period apart in memory, so every block collapses
+   to a single element and the blit data plane never gets a run to
+   move. The buffer layout is private to the schedule (both sides are
+   lowered from the same runs list), which leaves us free to
+   re-enumerate the same position set differently: consecutive residues
+   fuse into intervals, and one interval at one period offset is a
+   contiguous traversal segment — exactly an (l:h:s) sub-problem whose
+   access sequence the AM table lowers to runs with real lengths.
+
+   Classes arrive sorted by [first] and share one period; counts along
+   a fused interval are non-increasing (count = 1 + (total-1-first)/P),
+   so the residues still alive at period offset [t] are a prefix of the
+   interval — the guard below splits the interval wherever either
+   assumption fails, which only costs block length, never correctness.
+   Returns [None] (caller falls back to class-major packing) when the
+   classes disagree on the period. *)
+let traversal_segments (runs : Lams_sim.Comm_sets.progression list) =
+  match runs with
+  | [] -> Some []
+  | { Lams_sim.Comm_sets.period; _ } :: _
+    when List.exists
+           (fun r -> r.Lams_sim.Comm_sets.period <> period)
+           runs ->
+      None
+  | { Lams_sim.Comm_sets.period; _ } :: _ when period = 1 ->
+      (* A period-1 class is already one contiguous segment. *)
+      Some
+        (List.map
+           (fun r ->
+             (r.Lams_sim.Comm_sets.first, r.Lams_sim.Comm_sets.count))
+           runs)
+  | { Lams_sim.Comm_sets.period; _ } :: _ ->
+      let arr = Array.of_list runs in
+      let n = Array.length arr in
+      let first i = arr.(i).Lams_sim.Comm_sets.first in
+      let count i = arr.(i).Lams_sim.Comm_sets.count in
+      let segs = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let j = ref (!i + 1) in
+        while
+          !j < n
+          && first !j = first (!j - 1) + 1
+          && count !j <= count (!j - 1)
+        do
+          incr j
+        done;
+        let base = first !i and width = !j - !i in
+        let t = ref 0 and len = ref width in
+        while !len > 0 do
+          while !len > 0 && count (!i + !len - 1) <= !t do
+            decr len
+          done;
+          if !len > 0 then segs := (base + (!t * period), !len) :: !segs;
+          incr t
+        done;
+        i := !j
+      done;
+      (* Traversal order: segments of different intervals interleave
+         across periods, so sort by position, then fuse any that turn
+         out adjacent (intervals as wide as the period tile the
+         traversal seamlessly). *)
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> compare a b) !segs
+      in
+      Some
+        (List.fold_left
+           (fun acc (j0, len) ->
+             match acc with
+             | (pj, pl) :: rest when pj + pl = j0 -> (pj, pl + len) :: rest
+             | _ -> (j0, len) :: acc)
+           [] sorted
+        |> List.rev)
+
 let build_side ~layout ~section ~proc runs =
+  let progressions =
+    match traversal_segments runs with
+    | Some segs ->
+        List.map
+          (fun (j0, len) ->
+            { Lams_sim.Comm_sets.first = j0; period = 1; count = len })
+          segs
+    | None -> runs
+  in
   let buf_pos = ref 0 in
   let blocks =
     List.concat_map
@@ -77,30 +164,104 @@ let build_side ~layout ~section ~proc runs =
         in
         buf_pos := !buf_pos + run.Lams_sim.Comm_sets.count;
         bs)
-      runs
+      progressions
   in
   let blocks =
     List.sort (fun a b -> compare a.buf_pos b.buf_pos) blocks
   in
   { blocks; elements = !buf_pos }
 
+(* Both strides are single blits: step = 1 is a straight memmove; a
+   step = -1 block covers local addresses [start_local - length + 1,
+   start_local] read (or written) descending, which the reversed blit
+   maps onto an ascending buffer span in one pass. *)
 let pack side ~data ~buf =
   List.iter
     (fun { buf_pos; start_local; length; step } ->
-      if step = 1 then Array.blit data start_local buf buf_pos length
+      if step = 1 then
+        Fbuf.blit ~src:data ~src_pos:start_local ~dst:buf ~dst_pos:buf_pos
+          ~len:length
       else
-        for i = 0 to length - 1 do
-          buf.(buf_pos + i) <- data.(start_local - i)
-        done)
+        Fbuf.rev_blit ~src:data ~src_pos:(start_local - length + 1) ~dst:buf
+          ~dst_pos:buf_pos ~len:length)
     side.blocks
 
 let unpack side ~buf ~data =
   List.iter
     (fun { buf_pos; start_local; length; step } ->
+      if step = 1 then
+        Fbuf.blit ~src:buf ~src_pos:buf_pos ~dst:data ~dst_pos:start_local
+          ~len:length
+      else
+        Fbuf.rev_blit ~src:buf ~src_pos:buf_pos ~dst:data
+          ~dst_pos:(start_local - length + 1) ~len:length)
+    side.blocks
+
+(* Element-at-a-time variants on the same buffers: the adjacent
+   before/after baseline for `bench/dataplane.ml` (what the data plane
+   did before the blit conversion, minus boxing). *)
+let pack_elementwise side ~data ~buf =
+  List.iter
+    (fun { buf_pos; start_local; length; step } ->
+      if step = 1 then
+        for i = 0 to length - 1 do
+          Fbuf.set buf (buf_pos + i) (Fbuf.get data (start_local + i))
+        done
+      else
+        for i = 0 to length - 1 do
+          Fbuf.set buf (buf_pos + i) (Fbuf.get data (start_local - i))
+        done)
+    side.blocks
+
+let unpack_elementwise side ~buf ~data =
+  List.iter
+    (fun { buf_pos; start_local; length; step } ->
+      if step = 1 then
+        for i = 0 to length - 1 do
+          Fbuf.set data (start_local + i) (Fbuf.get buf (buf_pos + i))
+        done
+      else
+        for i = 0 to length - 1 do
+          Fbuf.set data (start_local - i) (Fbuf.get buf (buf_pos + i))
+        done)
+    side.blocks
+
+(* Legacy [float array] marshalling (kept for oracles and traces). The
+   step = -1 arm hoists the bounds checks out of the loop — the block
+   extremes cover every access — and runs unsafe, mirroring the reversed
+   blit. *)
+let check_floats_block name ~data_len ~buf_len { buf_pos; start_local; length; step } =
+  let lo_local = if step = 1 then start_local else start_local - length + 1 in
+  if
+    buf_pos < 0 || length < 0
+    || buf_pos > buf_len - length
+    || lo_local < 0
+    || lo_local > data_len - length
+  then invalid_arg name
+
+let pack_floats side ~data ~buf =
+  List.iter
+    (fun ({ buf_pos; start_local; length; step } as b) ->
+      check_floats_block "Pack.pack_floats" ~data_len:(Array.length data)
+        ~buf_len:(Array.length buf) b;
+      if step = 1 then Array.blit data start_local buf buf_pos length
+      else
+        for i = 0 to length - 1 do
+          Array.unsafe_set buf (buf_pos + i)
+            (Array.unsafe_get data (start_local - i))
+        done)
+    side.blocks
+
+let unpack_floats side ~buf ~data =
+  List.iter
+    (fun ({ buf_pos; start_local; length; step } as b) ->
+      check_floats_block "Pack.unpack_floats" ~data_len:(Array.length data)
+        ~buf_len:(Array.length buf) b;
       if step = 1 then Array.blit buf buf_pos data start_local length
       else
         for i = 0 to length - 1 do
-          data.(start_local - i) <- buf.(buf_pos + i)
+          Array.unsafe_set data (start_local - i)
+            (Array.unsafe_get buf (buf_pos + i))
         done)
     side.blocks
 

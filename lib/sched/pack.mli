@@ -30,17 +30,43 @@ val build_side :
   Lams_sim.Comm_sets.progression list ->
   side
 (** Lower one side of a transfer (its owner [proc]'s view) to blocks.
-    Buffer positions follow the transfer's traversal order: progressions
-    in list order, positions ascending within each.
+    The packed buffer holds the transfer's elements in {e traversal
+    order} (ascending position). The comm-set residue classes are first
+    re-enumerated as maximal contiguous traversal segments —
+    class-major packing would put consecutive buffer cells one whole
+    period apart in memory and collapse every block to a single
+    element — and each segment is lowered through the AM-table run
+    machinery into blocks with real lengths. Both sides of a transfer
+    are built from the same runs list, so they agree on the buffer
+    permutation by construction.
     @raise Invalid_argument if some position is not owned by [proc]
     (a schedule/ownership inconsistency). *)
 
-val pack : side -> data:float array -> buf:float array -> unit
+val pack : side -> data:Lams_util.Fbuf.t -> buf:Lams_util.Fbuf.t -> unit
 (** Gather the side's elements from local memory into the packed
-    buffer. *)
+    buffer. Every block is a single blit: [memmove] for [step = 1], the
+    reversed blit for [step = -1]. *)
 
-val unpack : side -> buf:float array -> data:float array -> unit
-(** Scatter the packed buffer into local memory. *)
+val unpack : side -> buf:Lams_util.Fbuf.t -> data:Lams_util.Fbuf.t -> unit
+(** Scatter the packed buffer into local memory (same blit structure as
+    {!pack}). *)
+
+val pack_elementwise :
+  side -> data:Lams_util.Fbuf.t -> buf:Lams_util.Fbuf.t -> unit
+(** Element-at-a-time {!pack} on the same buffers — the pre-blit data
+    plane, kept as the adjacent baseline for [bench/dataplane.ml] and
+    the differential tests. *)
+
+val unpack_elementwise :
+  side -> buf:Lams_util.Fbuf.t -> data:Lams_util.Fbuf.t -> unit
+
+val pack_floats : side -> data:float array -> buf:float array -> unit
+(** Legacy [float array] marshalling (oracles, traces). The [step = -1]
+    arm hoists its bounds checks and runs the same reversed fast loop as
+    the blit path. @raise Invalid_argument if a block escapes either
+    array. *)
+
+val unpack_floats : side -> buf:float array -> data:float array -> unit
 
 val shift : side -> int -> side
 (** Translate every block's [start_local] (schedule-cache rebase). *)

@@ -1,0 +1,55 @@
+open Lams_util
+
+let c_hits =
+  Lams_obs.Obs.counter "sched.pool.hits" ~units:"buffers"
+    ~doc:"payload buffers reused from the per-domain pool"
+
+let c_misses =
+  Lams_obs.Obs.counter "sched.pool.misses" ~units:"buffers"
+    ~doc:"payload buffers freshly allocated (no pooled buffer of the size)"
+
+let c_releases =
+  Lams_obs.Obs.counter "sched.pool.releases" ~units:"buffers"
+    ~doc:"payload buffers returned to the per-domain pool"
+
+(* Exact-size freelists. Keying on the exact element count keeps
+   [acquire] O(1) with zero waste: the schedule cache re-issues the same
+   transfer sizes run after run, which is precisely when pooling pays. *)
+type pool = {
+  by_size : (int, Fbuf.t list ref) Hashtbl.t;
+  mutable retained : int;  (** elements parked across all freelists *)
+}
+
+let key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { by_size = Hashtbl.create 64; retained = 0 })
+
+let acquire n =
+  if n < 0 then invalid_arg "Pool.acquire: negative size";
+  let pool = Domain.DLS.get key in
+  match Hashtbl.find_opt pool.by_size n with
+  | Some ({ contents = buf :: rest } as cell) ->
+      cell := rest;
+      pool.retained <- pool.retained - n;
+      Lams_obs.Obs.incr c_hits;
+      buf
+  | Some { contents = [] } | None ->
+      Lams_obs.Obs.incr c_misses;
+      Fbuf.uninit n
+
+let release buf =
+  let pool = Domain.DLS.get key in
+  let n = Fbuf.length buf in
+  (match Hashtbl.find_opt pool.by_size n with
+  | Some cell -> cell := buf :: !cell
+  | None -> Hashtbl.replace pool.by_size n (ref [ buf ]));
+  pool.retained <- pool.retained + n;
+  Lams_obs.Obs.incr c_releases
+
+let clear () =
+  let pool = Domain.DLS.get key in
+  Hashtbl.reset pool.by_size;
+  pool.retained <- 0
+
+let retained_bytes () =
+  let pool = Domain.DLS.get key in
+  pool.retained * 8

@@ -1,3 +1,4 @@
+open Lams_util
 open Lams_sim
 
 type config = {
@@ -47,17 +48,18 @@ let magic = 0x1A5C
 let kind_data = 0
 let kind_ack = 1
 
-(* FNV-1a over the run/seq identity and the payload's float images. A
-   flipped mantissa bit anywhere changes the folded value. *)
-let checksum ~run ~seq payload =
+(* FNV-1a over the run/seq identity and the payload's float images,
+   folded straight off the unboxed buffer (no float boxing per element).
+   A flipped mantissa bit anywhere changes the folded value. *)
+let checksum ~run ~seq (payload : Fbuf.t) =
   let fnv_prime = 0x100000001B3L in
   let h =
     ref
       (Int64.logxor 0xCBF29CE484222325L
          (Int64.of_int ((run * 8191) + seq + 1)))
   in
-  for i = 0 to Array.length payload - 1 do
-    let bits = Int64.bits_of_float (Array.unsafe_get payload i) in
+  for i = 0 to Fbuf.length payload - 1 do
+    let bits = Int64.bits_of_float (Fbuf.unsafe_get payload i) in
     h := Int64.mul (Int64.logxor !h bits) fnv_prime
   done;
   Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
@@ -130,7 +132,7 @@ let exchange cfg ~net ~p ~run_id ~tag ~transfers ~seqs ~bufs ~dst_data
         (fun (dst, seq) ->
           Network.transmit net ~src:m ~dst ~tag
             ~header:[| magic; run_id; kind_ack; seq; 0 |] ~addresses:[||]
-            ~payload:[||])
+            ~payload:Fbuf.empty)
         (List.rev to_ack.(m));
       to_ack.(m) <- []
     in

@@ -53,7 +53,7 @@ val default_config : config
 val config_of_budget : int -> config
 (** {!default_config} with [max_attempts] clamped to [>= 1]. *)
 
-val checksum : run:int -> seq:int -> float array -> int
+val checksum : run:int -> seq:int -> Lams_util.Fbuf.t -> int
 (** The header checksum: FNV-1a over [run], [seq] and the payload's
     64-bit float images, masked positive. *)
 
@@ -69,8 +69,8 @@ val exchange :
   tag:int ->
   transfers:Schedule.transfer array ->
   seqs:int array ->
-  bufs:float array array ->
-  dst_data:(int -> float array) ->
+  bufs:Lams_util.Fbuf.t array ->
+  dst_data:(int -> Lams_util.Fbuf.t) ->
   delivered:(int, unit) Hashtbl.t array ->
   run_phase:((int -> unit) -> unit) ->
   unit

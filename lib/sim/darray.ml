@@ -37,11 +37,25 @@ let set t g v =
   let m = Layout.owner t.layout g in
   Local_store.set t.stores.(m) (Layout.local_address t.layout g) v
 
+(* Bulk init/readback go through the raw backing: they are harness and
+   verification paths, and routing them through counted {!get}/{!set}
+   would swamp the access accounting the per-element API exists for. *)
 let of_array ~name ~p ~dist values =
   let t = create ~name ~n:(Array.length values) ~p ~dist in
-  Array.iteri (fun g v -> set t g v) values;
+  Array.iteri
+    (fun g v ->
+      let m = Layout.owner t.layout g in
+      Lams_util.Fbuf.set
+        (Local_store.data t.stores.(m))
+        (Layout.local_address t.layout g) v)
+    values;
   t
 
-let gather t = Array.init t.n (fun g -> get t g)
+let gather t =
+  Array.init t.n (fun g ->
+      let m = Layout.owner t.layout g in
+      Lams_util.Fbuf.get
+        (Local_store.data t.stores.(m))
+        (Layout.local_address t.layout g))
 
 let equal_contents t1 t2 = t1.n = t2.n && gather t1 = gather t2

@@ -1,23 +1,25 @@
-type t = { data : float array; mutable reads : int; mutable writes : int }
+open Lams_util
+
+type t = { data : Fbuf.t; mutable reads : int; mutable writes : int }
 
 let create n =
   if n < 0 then invalid_arg "Local_store.create: negative size";
-  { data = Array.make n 0.; reads = 0; writes = 0 }
+  { data = Fbuf.create n; reads = 0; writes = 0 }
 
-let extent t = Array.length t.data
+let extent t = Fbuf.length t.data
 let data t = t.data
 
 let get t i =
-  if i < 0 || i >= Array.length t.data then
+  if i < 0 || i >= Fbuf.length t.data then
     invalid_arg "Local_store.get: out of bounds";
   t.reads <- t.reads + 1;
-  t.data.(i)
+  Fbuf.unsafe_get t.data i
 
 let set t i v =
-  if i < 0 || i >= Array.length t.data then
+  if i < 0 || i >= Fbuf.length t.data then
     invalid_arg "Local_store.set: out of bounds";
   t.writes <- t.writes + 1;
-  t.data.(i) <- v
+  Fbuf.unsafe_set t.data i v
 
 let reads t = t.reads
 let writes t = t.writes
@@ -26,4 +28,4 @@ let reset_counters t =
   t.reads <- 0;
   t.writes <- 0
 
-let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let fill t v = Fbuf.fill t.data v

@@ -1,6 +1,7 @@
-(** One processor's local memory: a flat [float] store with optional
-    access accounting. The raw array is exposed so the Figure 8 node-code
-    kernels can run on it without indirection — exactly the memory a
+(** One processor's local memory: flat unboxed float64 storage
+    ({!Lams_util.Fbuf.t}) with optional access accounting. The raw
+    bigarray is exposed so the Figure 8 node-code kernels and the packing
+    blits can run on it without indirection — exactly the memory a
     compiler-generated SPMD node program would own. *)
 
 type t
@@ -10,8 +11,8 @@ val create : int -> t
     a negative size. *)
 
 val extent : t -> int
-val data : t -> float array
-(** The backing array (shared, not a copy). *)
+val data : t -> Lams_util.Fbuf.t
+(** The backing buffer (shared, not a copy). *)
 
 val get : t -> int -> float
 (** Counted read. @raise Invalid_argument out of bounds. *)

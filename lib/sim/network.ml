@@ -1,9 +1,11 @@
+open Lams_util
+
 type message = {
   src : int;
   tag : int;
   header : int array;
   addresses : int array;
-  payload : float array;
+  payload : Fbuf.t;
 }
 
 type fault_counts = {
@@ -140,9 +142,10 @@ let enqueue_copy t ~dst ~link ~reorder (msg : message)
     | Some (idx, bit) ->
         (* Corrupt a private copy: the sender still owns (and may
            retransmit from) the original buffer. *)
-        let dup = Array.copy msg.payload in
-        let bits = Int64.bits_of_float dup.(idx) in
-        dup.(idx) <- Int64.float_of_bits (Int64.logxor bits (Int64.shift_left 1L bit));
+        let dup = Fbuf.copy msg.payload in
+        let bits = Int64.bits_of_float (Fbuf.get dup idx) in
+        Fbuf.set dup idx
+          (Int64.float_of_bits (Int64.logxor bits (Int64.shift_left 1L bit)));
         (dup, true)
   in
   if corrupted then begin
@@ -151,9 +154,9 @@ let enqueue_copy t ~dst ~link ~reorder (msg : message)
   end;
   let msg = if corrupted then { msg with payload } else msg in
   t.sent <- t.sent + 1;
-  t.moved <- t.moved + Array.length msg.payload;
+  t.moved <- t.moved + Fbuf.length msg.payload;
   t.link_msgs.(link) <- t.link_msgs.(link) + 1;
-  t.link_elems.(link) <- t.link_elems.(link) + Array.length msg.payload;
+  t.link_elems.(link) <- t.link_elems.(link) + Fbuf.length msg.payload;
   t.pending_link.(link) <- t.pending_link.(link) + 1;
   if t.pending_link.(link) > t.peak_link.(link) then
     t.peak_link.(link) <- t.pending_link.(link);
@@ -199,13 +202,13 @@ let transmit t ~src ~dst ~tag ~header ~addresses ~payload =
      the placement (from its half of the schedule), so per-element
      destination addresses are not shipped. *)
   if Array.length addresses <> 0
-     && Array.length addresses <> Array.length payload
+     && Array.length addresses <> Fbuf.length payload
   then invalid_arg "Network.send: addresses/payload length mismatch";
   (* The crash check runs before the mutex (and before any enqueue): a
      planned crash kills the rank with the fabric untouched by this
      send, like a process dying inside the transport call. *)
   (match t.faults with
-  | Some fm when Array.length payload > 0 && Fault_model.crash_now fm ~rank:src ->
+  | Some fm when Fbuf.length payload > 0 && Fault_model.crash_now fm ~rank:src ->
       Mutex.lock t.mutex;
       t.faulted <- { t.faulted with crashes = t.faulted.crashes + 1 };
       Mutex.unlock t.mutex;
@@ -219,7 +222,7 @@ let transmit t ~src ~dst ~tag ~header ~addresses ~payload =
     | None ->
         { Fault_model.copies = [ { Fault_model.delay = 0; corrupt = None } ];
           reorder = false }
-    | Some fm -> Fault_model.plan_send fm ~link ~payload_len:(Array.length payload)
+    | Some fm -> Fault_model.plan_send fm ~link ~payload_len:(Fbuf.length payload)
   in
   Mutex.lock t.mutex;
   (match verdict.Fault_model.copies with
@@ -242,8 +245,8 @@ let transmit t ~src ~dst ~tag ~header ~addresses ~payload =
   List.iter
     (fun _ ->
       Lams_obs.Obs.incr c_messages;
-      Lams_obs.Obs.add c_elements (Array.length payload);
-      Lams_obs.Obs.add c_bytes (bytes_per_element * Array.length payload))
+      Lams_obs.Obs.add c_elements (Fbuf.length payload);
+      Lams_obs.Obs.add c_bytes (bytes_per_element * Fbuf.length payload))
     verdict.Fault_model.copies;
   if verdict.Fault_model.copies <> [] then
     Lams_obs.Obs.observe d_congestion (float_of_int depth)

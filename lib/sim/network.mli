@@ -22,7 +22,7 @@ type message = {
   addresses : int array;
       (** destination-local addresses; empty for {e packed} messages,
           whose placement the receiver derives from its schedule *)
-  payload : float array;  (** same length as [addresses] unless packed *)
+  payload : Lams_util.Fbuf.t;  (** same length as [addresses] unless packed *)
 }
 
 type fault_counts = {
@@ -59,7 +59,7 @@ val bytes_per_element : int
 (** Accounting width of one payload element (8, a double). *)
 
 val transmit : t -> src:int -> dst:int -> tag:int -> header:int array ->
-  addresses:int array -> payload:float array -> unit
+  addresses:int array -> payload:Lams_util.Fbuf.t -> unit
 (** Enqueue. An empty [addresses] array marks a packed message (any
     payload length); otherwise the lengths must match. Under a fault
     model the message may be dropped, cloned, corrupted (into a private
@@ -70,7 +70,7 @@ val transmit : t -> src:int -> dst:int -> tag:int -> header:int array ->
     @raise Spmd.Crash on a planned mid-send rank crash. *)
 
 val send : t -> src:int -> dst:int -> tag:int -> addresses:int array ->
-  payload:float array -> unit
+  payload:Lams_util.Fbuf.t -> unit
 (** {!transmit} with an empty header. *)
 
 val receive_all : t -> dst:int -> message list

@@ -1,3 +1,4 @@
+open Lams_util
 open Lams_dist
 open Lams_core
 open Lams_codegen
@@ -94,8 +95,12 @@ let copy ?net ~src ~src_section ~dst ~dst_section () =
           let owner = Layout.owner dst_lay (Section.nth dst_section j) in
           counts.(owner) <- counts.(owner) + 1);
       let addresses = Array.map (fun n -> Array.make n 0) counts in
-      let payload = Array.map (fun n -> Array.make n 0.) counts in
+      let payload = Array.map Fbuf.uninit counts in
       let cursor = Array.make p_dst 0 in
+      (* Gather straight from the raw backing: this two-phase oracle is a
+         hot differential path, and the per-element accounting belongs to
+         user-facing element ops, not to bulk transport. *)
+      let data = Local_store.data store in
       Enumerate.iter_bounded src_pr ~m ~u:src_norm.Section.hi
         ~f:(fun g local ->
           let j = position_in src_section g in
@@ -103,7 +108,7 @@ let copy ?net ~src ~src_section ~dst ~dst_section () =
           let owner = Layout.owner dst_lay g_dst in
           let at = cursor.(owner) in
           addresses.(owner).(at) <- Layout.local_address dst_lay g_dst;
-          payload.(owner).(at) <- Local_store.get store local;
+          Fbuf.unsafe_set payload.(owner) at (Fbuf.get data local);
           cursor.(owner) <- at + 1);
       Array.iteri
         (fun owner n ->
@@ -116,11 +121,12 @@ let copy ?net ~src ~src_section ~dst ~dst_section () =
   (* Phase 2: destination owners drain their mailboxes. *)
   let recv_phase m =
     if m < p_dst then begin
-      let store = Darray.local dst m in
+      let data = Local_store.data (Darray.local dst m) in
       List.iter
         (fun (msg : Network.message) ->
           Array.iteri
-            (fun idx addr -> Local_store.set store addr msg.Network.payload.(idx))
+            (fun idx addr ->
+              Fbuf.set data addr (Fbuf.unsafe_get msg.Network.payload idx))
             msg.Network.addresses)
         (Network.receive_all net ~dst:m)
     end
@@ -148,9 +154,9 @@ let copy_scheduled ?net ~src ~src_section ~dst ~dst_section () =
       List.iter
         (fun (tr : Comm_sets.transfer) ->
           if tr.Comm_sets.src_proc = m then begin
-            let store = Darray.local src m in
+            let data = Local_store.data (Darray.local src m) in
             let n = tr.Comm_sets.elements in
-            let addresses = Array.make n 0 and payload = Array.make n 0. in
+            let addresses = Array.make n 0 and payload = Fbuf.uninit n in
             let idx = ref 0 in
             List.iter
               (fun run ->
@@ -159,8 +165,8 @@ let copy_scheduled ?net ~src ~src_section ~dst ~dst_section () =
                     let g_src = Section.nth src_section j
                     and g_dst = Section.nth dst_section j in
                     addresses.(!idx) <- Layout.local_address dst_lay g_dst;
-                    payload.(!idx) <-
-                      Local_store.get store (Layout.local_address src_lay g_src);
+                    Fbuf.unsafe_set payload !idx
+                      (Fbuf.get data (Layout.local_address src_lay g_src));
                     incr idx)
                   (Comm_sets.positions run))
               tr.Comm_sets.runs;
@@ -171,11 +177,12 @@ let copy_scheduled ?net ~src ~src_section ~dst ~dst_section () =
   in
   let recv_phase m =
     if m < p_dst then begin
-      let store = Darray.local dst m in
+      let data = Local_store.data (Darray.local dst m) in
       List.iter
         (fun (msg : Network.message) ->
           Array.iteri
-            (fun idx addr -> Local_store.set store addr msg.Network.payload.(idx))
+            (fun idx addr ->
+              Fbuf.set data addr (Fbuf.unsafe_get msg.Network.payload idx))
             msg.Network.addresses)
         (Network.receive_all net ~dst:m)
     end

@@ -1,0 +1,61 @@
+(** Flat float64 buffers backed by [Bigarray.Array1].
+
+    The whole data plane — local stores, packed payload buffers, network
+    messages — moves through these. A [t] is unboxed C-layout memory, so
+    contiguous copies compile down to [memmove] (see the C stubs) instead
+    of the boxed element loops a [float array] forces on the negative-
+    stride path. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** [create n] is a zero-filled buffer of [n] floats. *)
+
+val uninit : int -> t
+(** [uninit n] is a buffer of [n] floats with unspecified contents. Only
+    for buffers that are fully overwritten before being read (packed
+    payload buffers: the pack blocks partition [0, n)). *)
+
+val empty : t
+(** The shared zero-length buffer (ack payloads and the like). *)
+
+val length : t -> int
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+val unsafe_get : t -> int -> float
+val unsafe_set : t -> int -> float -> unit
+
+val fill : t -> float -> unit
+
+val fill_range : t -> pos:int -> len:int -> float -> unit
+(** Bulk fill of [pos, pos + len): a [Bigarray.Array1.fill] on a sub
+    view. Bounds-checked; raises [Invalid_argument "Fbuf.fill_range"]
+    out of range. *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Forward copy, [memmove] semantics: overlapping ranges are safe.
+    Bounds-checked; raises [Invalid_argument "Fbuf.blit"] out of range. *)
+
+val rev_blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Reversed copy: [dst.(dst_pos + i) <- src.(src_pos + len - 1 - i)] for
+    [0 <= i < len]. This single orientation serves both step = -1 pack
+    directions: packing reads a descending run into an ascending buffer
+    span, unpacking writes an ascending buffer span back into a
+    descending run. Bounds-checked; raises
+    [Invalid_argument "Fbuf.rev_blit"] out of range. The two ranges must
+    not overlap. *)
+
+val sub_blit_to_floats : src:t -> src_pos:int -> dst:float array ->
+  dst_pos:int -> len:int -> unit
+(** Copy out of a buffer into a plain [float array] (boxing bridge for
+    legacy oracles and message traces). *)
+
+val of_array : float array -> t
+val to_array : t -> float array
+val copy : t -> t
+val init : int -> (int -> float) -> t
+val equal : t -> t -> bool
+(** Structural equality on length and bits (NaN = NaN holds, since the
+    comparison is on [Int64] bit patterns). *)

@@ -1,0 +1,34 @@
+/* Blit primitives for Fbuf (float64 c_layout Bigarray.Array1).
+ *
+ * Bounds are validated on the OCaml side; these assume valid ranges.
+ * Both are registered [@@noalloc] — they never allocate or raise.
+ */
+
+#include <string.h>
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+/* Forward copy with memmove semantics (overlap-safe). */
+value lams_fbuf_blit(value vsrc, value vsrc_pos, value vdst, value vdst_pos,
+                     value vlen)
+{
+  const double *src = (const double *)Caml_ba_data_val(vsrc);
+  double *dst = (double *)Caml_ba_data_val(vdst);
+  size_t len = (size_t)Long_val(vlen);
+  memmove(dst + Long_val(vdst_pos), src + Long_val(vsrc_pos),
+          len * sizeof(double));
+  return Val_unit;
+}
+
+/* Reversed copy: dst[dst_pos + i] = src[src_pos + len - 1 - i].
+ * Ranges must not overlap. */
+value lams_fbuf_rev_blit(value vsrc, value vsrc_pos, value vdst,
+                         value vdst_pos, value vlen)
+{
+  const double *src = (const double *)Caml_ba_data_val(vsrc) + Long_val(vsrc_pos);
+  double *dst = (double *)Caml_ba_data_val(vdst) + Long_val(vdst_pos);
+  long len = Long_val(vlen);
+  for (long i = 0; i < len; i++)
+    dst[i] = src[len - 1 - i];
+  return Val_unit;
+}

@@ -73,11 +73,11 @@ let test_acks_do_not_consume_crash_plan () =
   Network.set_faults net (Some fm);
   let ack () =
     Network.transmit net ~src:0 ~dst:1 ~tag:0 ~header:[| 1 |]
-      ~addresses:[||] ~payload:[||]
+      ~addresses:[||] ~payload:Lams_util.Fbuf.empty
   in
   let data () =
     Network.transmit net ~src:0 ~dst:1 ~tag:0 ~header:[||] ~addresses:[||]
-      ~payload:[| 1.; 2. |]
+      ~payload:(Lams_util.Fbuf.of_array [| 1.; 2. |])
   in
   ack ();
   data ();
@@ -320,7 +320,7 @@ let test_purge_on_unscheduled_message () =
   let net = Network.create ~p:4 in
   (* An unscheduled sender for round 0's first receiver. *)
   Network.send net ~src:victim ~dst:victim ~tag:0 ~addresses:[||]
-    ~payload:[| 1. |];
+    ~payload:(Lams_util.Fbuf.of_array [| 1. |]);
   (try
      ignore (Executor.run ~net sched ~src ~dst : Network.t);
      Alcotest.fail "expected the unscheduled message to be rejected"
@@ -329,13 +329,13 @@ let test_purge_on_unscheduled_message () =
 
 let test_reset_stats () =
   let net = Network.create ~p:2 in
-  Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[||] ~payload:[| 1.; 2. |];
-  Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[||] ~payload:[| 3. |];
+  Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[||] ~payload:(Lams_util.Fbuf.of_array [| 1.; 2. |]);
+  Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[||] ~payload:(Lams_util.Fbuf.of_array [| 3. |]);
   ignore (Network.receive_all net ~dst:1 : Network.message list);
   Tutil.check_int "traffic recorded" 2 (Network.messages_sent net);
   Tutil.check_int "peak congestion recorded" 2 (Network.max_congestion net);
   (* One message still queued across the reset. *)
-  Network.send net ~src:1 ~dst:0 ~tag:0 ~addresses:[||] ~payload:[| 4. |];
+  Network.send net ~src:1 ~dst:0 ~tag:0 ~addresses:[||] ~payload:(Lams_util.Fbuf.of_array [| 4. |]);
   Network.reset_stats net;
   Tutil.check_int "sent zeroed" 0 (Network.messages_sent net);
   Tutil.check_int "elements zeroed" 0 (Network.elements_moved net);
@@ -346,10 +346,12 @@ let test_reset_stats () =
     (Network.link_messages net ~src:0 ~dst:1);
   Tutil.check_int "queued message survives" 1 (Network.in_flight net);
   (match Network.receive_all net ~dst:0 with
-  | [ m ] -> Tutil.check_bool "payload intact" true (m.Network.payload = [| 4. |])
+  | [ m ] -> Tutil.check_bool "payload intact" true
+        (Lams_util.Fbuf.equal m.Network.payload
+           (Lams_util.Fbuf.of_array [| 4. |]))
   | _ -> Alcotest.fail "expected exactly one queued message");
   (* Fresh accounting accrues normally after the reset. *)
-  Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[||] ~payload:[| 5. |];
+  Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[||] ~payload:(Lams_util.Fbuf.of_array [| 5. |]);
   Tutil.check_int "fresh traffic counted" 1 (Network.messages_sent net);
   Tutil.check_int "fresh peak counted" 1 (Network.max_congestion net)
 

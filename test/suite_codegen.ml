@@ -50,19 +50,18 @@ let test_assign_writes_exactly_the_section () =
         | None -> ()
         | Some plan ->
             let extent = Layout.local_extent lay ~n:320 ~proc:m in
-            let mem = Array.make extent 0. in
+            let mem = Lams_util.Fbuf.create extent in
             Shapes.assign shape plan mem 100.;
             (* Exactly the owned section elements are 100, others 0. *)
             let owned = expected_locals pr ~m ~u in
             let owned_set = Array.to_list owned in
-            Array.iteri
-              (fun addr v ->
-                let should = List.mem addr owned_set in
-                Alcotest.(check (float 0.))
-                  (Printf.sprintf "%s m=%d addr=%d" (Shapes.name shape) m addr)
-                  (if should then 100. else 0.)
-                  v)
-              mem
+            for addr = 0 to extent - 1 do
+              let should = List.mem addr owned_set in
+              Alcotest.(check (float 0.))
+                (Printf.sprintf "%s m=%d addr=%d" (Shapes.name shape) m addr)
+                (if should then 100. else 0.)
+                (Lams_util.Fbuf.get mem addr)
+            done
       done)
     Shapes.all
 
@@ -72,7 +71,7 @@ let test_memory_too_small_rejected () =
   | Some plan ->
       Alcotest.check_raises "short memory"
         (Invalid_argument "Shapes: local memory shorter than the plan's extent")
-        (fun () -> Shapes.assign Shapes.Shape_a plan (Array.make 3 0.) 1.)
+        (fun () -> Shapes.assign Shapes.Shape_a plan (Lams_util.Fbuf.create 3) 1.)
 
 let test_op_stats () =
   match Plan.build paper ~m:1 ~u:319 with
@@ -211,7 +210,7 @@ let prop_plan_extent_safe =
       match Plan.build pr ~m ~u with
       | None -> true
       | Some plan ->
-          let mem = Array.make (Plan.local_extent_needed plan) 0. in
+          let mem = Lams_util.Fbuf.create (Plan.local_extent_needed plan) in
           List.for_all
             (fun shape ->
               Shapes.assign shape plan mem 1.;
@@ -261,11 +260,11 @@ let test_runs_cover_addresses () =
           in
           check_maximal (Runs.of_plan plan);
           (* fill_by_runs = assign. *)
-          let m1 = Array.make (Plan.local_extent_needed plan) 0.
-          and m2 = Array.make (Plan.local_extent_needed plan) 0. in
+          let m1 = Lams_util.Fbuf.create (Plan.local_extent_needed plan)
+          and m2 = Lams_util.Fbuf.create (Plan.local_extent_needed plan) in
           Shapes.assign Shapes.Shape_d plan m1 5.;
           Runs.fill_by_runs plan m2 5.;
-          Alcotest.(check (array (float 0.))) "same memory" m1 m2)
+          Tutil.check_bool "same memory" true (Lams_util.Fbuf.equal m1 m2))
     [ (4, 8, 4, 9, 1, 319); (4, 8, 0, 1, 2, 319); (2, 4, 0, 3, 0, 100);
       (1, 5, 0, 2, 0, 57); (8, 16, 3, 5, 5, 2000) ]
 

@@ -70,7 +70,7 @@ let suite =
     raises_invalid "Network bad p" (fun () -> Lams_sim.Network.create ~p:0);
     raises_invalid "Network bad rank" (fun () ->
         Lams_sim.Network.send (Lams_sim.Network.create ~p:2) ~src:2 ~dst:0
-          ~tag:0 ~addresses:[||] ~payload:[||]);
+          ~tag:0 ~addresses:[||] ~payload:Lams_util.Fbuf.empty);
     raises_invalid "Darray bad n" (fun () ->
         Lams_sim.Darray.create ~name:"A" ~n:0 ~p:2 ~dist:Distribution.Block);
     raises_invalid "Darray.local bad rank" (fun () ->

@@ -2,16 +2,18 @@ open Lams_dist
 open Lams_sim
 open Lams_sched
 
-(* Brute-force local-address oracle for one side of a transfer: walk
-   the progressions and place every position with Layout.local_address. *)
+(* Brute-force local-address oracle for one side of a transfer: the
+   pack buffer holds the transfer's elements in traversal order, so
+   collect every position the progressions name, sort, and place each
+   with Layout.local_address. *)
 let oracle_addresses ~layout ~section runs =
+  let positions =
+    List.concat_map Comm_sets.positions runs |> List.sort compare
+  in
   Array.of_list
-    (List.concat_map
-       (fun (run : Comm_sets.progression) ->
-         List.map
-           (fun j -> Layout.local_address layout (Section.nth section j))
-           (Comm_sets.positions run))
-       runs)
+    (List.map
+       (fun j -> Layout.local_address layout (Section.nth section j))
+       positions)
 
 let init_src ~n ~p ~k =
   Darray.of_array ~name:"ss" ~p ~dist:(Distribution.Block_cyclic k)
@@ -50,16 +52,20 @@ let test_pp_golden () =
   Alcotest.(check string)
     "deterministic rendering"
     "12 elements (6 local in 2 pairs), 1 rounds, max degree 1\n\
-    \  round 0: 0->1 (3 el, 3+3 blk) 1->0 (3 el, 3+3 blk)\n"
+    \  round 0: 0->1 (3 el, 2+2 blk) 1->0 (3 el, 2+2 blk)\n"
     (Format.asprintf "%a" Schedule.pp sched)
 
-let test_pack_roundtrip_negative_stride () =
+(* Both section strides (descending → step = -1 blocks, ascending →
+   step = 1), each across all three marshalling paths: the blit/rev-blit
+   Fbuf path, its element-at-a-time twin, and the legacy [float array]
+   oracle with the hoisted-bounds reversed loop. All must agree with the
+   positional address oracle and with each other. *)
+let pack_roundtrip ~section ~n =
   let layout = Layout.create ~p:3 ~k:4 in
-  let section = Section.make ~lo:70 ~hi:1 ~stride:(-3) in
   let cs =
     Comm_sets.build ~src_layout:layout ~src_section:section
       ~dst_layout:(Layout.create ~p:2 ~k:5)
-      ~dst_section:(Section.make ~lo:0 ~hi:23 ~stride:1)
+      ~dst_section:(Section.make ~lo:0 ~hi:(Section.count section - 1) ~stride:1)
   in
   List.iter
     (fun (tr : Comm_sets.transfer) ->
@@ -72,20 +78,44 @@ let test_pack_roundtrip_negative_stride () =
       Tutil.check_int_array "block walk = positional oracle"
         (oracle_addresses ~layout ~section tr.Comm_sets.runs)
         (Pack.local_addresses side);
+      Tutil.check_bool "both strides appear in this fixture somewhere" true
+        (List.for_all
+           (fun (b : Pack.block) -> b.Pack.step = 1 || b.Pack.step = -1)
+           side.Pack.blocks);
       (* pack into a buffer, unpack into a scratch store: the blocks
          must move exactly the values the addresses name. *)
-      let extent = Layout.local_extent layout ~n:71 ~proc:tr.Comm_sets.src_proc in
-      let data = Array.init extent (fun a -> float_of_int (1000 + a)) in
-      let buf = Array.make side.Pack.elements 0. in
+      let extent = Layout.local_extent layout ~n ~proc:tr.Comm_sets.src_proc in
+      let data_f = Array.init extent (fun a -> float_of_int (1000 + a)) in
+      let data = Lams_util.Fbuf.of_array data_f in
+      let buf = Lams_util.Fbuf.create side.Pack.elements in
       Pack.pack side ~data ~buf;
-      let back = Array.make extent (-1.) in
+      let buf_el = Lams_util.Fbuf.create side.Pack.elements in
+      Pack.pack_elementwise side ~data ~buf:buf_el;
+      let buf_f = Array.make side.Pack.elements 0. in
+      Pack.pack_floats side ~data:data_f ~buf:buf_f;
+      Tutil.check_bool "blit pack = elementwise pack" true
+        (Lams_util.Fbuf.equal buf buf_el);
+      Tutil.check_bool "blit pack = float-array pack" true
+        (Lams_util.Fbuf.equal buf (Lams_util.Fbuf.of_array buf_f));
+      let back = Lams_util.Fbuf.init extent (fun _ -> -1.) in
       Pack.unpack side ~buf ~data:back;
+      let back_f = Array.make extent (-1.) in
+      Pack.unpack_floats side ~buf:buf_f ~data:back_f;
       Array.iter
         (fun a ->
           Alcotest.(check (float 0.))
-            "roundtrip value" data.(a) back.(a))
+            "roundtrip value" data_f.(a)
+            (Lams_util.Fbuf.get back a);
+          Alcotest.(check (float 0.))
+            "float-array roundtrip value" data_f.(a) back_f.(a))
         (Pack.local_addresses side))
     cs.Comm_sets.transfers
+
+let test_pack_roundtrip_negative_stride () =
+  pack_roundtrip ~section:(Section.make ~lo:70 ~hi:1 ~stride:(-3)) ~n:71
+
+let test_pack_roundtrip_positive_stride () =
+  pack_roundtrip ~section:(Section.make ~lo:1 ~hi:70 ~stride:3) ~n:71
 
 let gen_redistribution =
   QCheck2.Gen.(
@@ -282,6 +312,8 @@ let suite =
     Alcotest.test_case "schedule pp golden" `Quick test_pp_golden;
     Alcotest.test_case "pack roundtrip, negative stride" `Quick
       test_pack_roundtrip_negative_stride;
+    Alcotest.test_case "pack roundtrip, positive stride" `Quick
+      test_pack_roundtrip_positive_stride;
     prop_executor_equals_legacy;
     prop_rounds_contention_free;
     Alcotest.test_case "parallel executor = sequential" `Quick

@@ -17,8 +17,8 @@ let test_local_store () =
 
 let test_network () =
   let net = Network.create ~p:3 in
-  Network.send net ~src:0 ~dst:2 ~tag:7 ~addresses:[| 1; 2 |] ~payload:[| 1.5; 2.5 |];
-  Network.send net ~src:1 ~dst:2 ~tag:8 ~addresses:[| 0 |] ~payload:[| 9. |];
+  Network.send net ~src:0 ~dst:2 ~tag:7 ~addresses:[| 1; 2 |] ~payload:(Lams_util.Fbuf.of_array [| 1.5; 2.5 |]);
+  Network.send net ~src:1 ~dst:2 ~tag:8 ~addresses:[| 0 |] ~payload:(Lams_util.Fbuf.of_array [| 9. |]);
   Tutil.check_int "pending" 2 (Network.pending net ~dst:2);
   Tutil.check_int "sent" 2 (Network.messages_sent net);
   Tutil.check_int "moved" 3 (Network.elements_moved net);
@@ -29,7 +29,7 @@ let test_network () =
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Network.send: addresses/payload length mismatch")
     (fun () ->
-      Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[| 1 |] ~payload:[||])
+      Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[| 1 |] ~payload:Lams_util.Fbuf.empty)
 
 let test_network_link_accounting () =
   let net = Network.create ~p:4 in
@@ -37,10 +37,10 @@ let test_network_link_accounting () =
      peak at 2. A packed message (empty addresses) carries any payload
      length. *)
   Network.send net ~src:0 ~dst:3 ~tag:0 ~addresses:[| 1; 2; 3 |]
-    ~payload:[| 1.; 2.; 3. |];
+    ~payload:(Lams_util.Fbuf.of_array [| 1.; 2.; 3. |]);
   Network.send net ~src:0 ~dst:3 ~tag:1 ~addresses:[||]
-    ~payload:[| 4.; 5. |];
-  Network.send net ~src:1 ~dst:2 ~tag:0 ~addresses:[||] ~payload:[| 9. |];
+    ~payload:(Lams_util.Fbuf.of_array [| 4.; 5. |]);
+  Network.send net ~src:1 ~dst:2 ~tag:0 ~addresses:[||] ~payload:(Lams_util.Fbuf.of_array [| 9. |]);
   Tutil.check_int "link messages" 2 (Network.link_messages net ~src:0 ~dst:3);
   Tutil.check_int "link elements" 5 (Network.link_elements net ~src:0 ~dst:3);
   Tutil.check_int "quiet link" 0 (Network.link_messages net ~src:2 ~dst:0);
@@ -55,7 +55,7 @@ let test_network_link_accounting () =
     (Invalid_argument "Network.send: addresses/payload length mismatch")
     (fun () ->
       Network.send net ~src:0 ~dst:1 ~tag:0 ~addresses:[| 1; 2 |]
-        ~payload:[| 1. |])
+        ~payload:(Lams_util.Fbuf.of_array [| 1. |]))
 
 let test_darray_global_ops () =
   let a = Darray.create ~name:"A" ~n:320 ~p:4 ~dist:(Distribution.Block_cyclic 8) in

@@ -74,11 +74,16 @@ let test_shapes_at_scale () =
       Alcotest.(check bool) "plausible count" true (expected > 90_000);
       List.iter
         (fun shape ->
-          let mem = Array.make (Lams_codegen.Plan.local_extent_needed plan) 0. in
-          Lams_codegen.Shapes.assign shape plan mem 1.;
-          let written =
-            Array.fold_left (fun acc v -> if v = 1. then acc + 1 else acc) 0 mem
+          let mem =
+            Lams_util.Fbuf.create
+              (Lams_codegen.Plan.local_extent_needed plan)
           in
+          Lams_codegen.Shapes.assign shape plan mem 1.;
+          let written = ref 0 in
+          for i = 0 to Lams_util.Fbuf.length mem - 1 do
+            if Lams_util.Fbuf.get mem i = 1. then incr written
+          done;
+          let written = !written in
           Tutil.check_int (Lams_codegen.Shapes.name shape) expected written)
         Lams_codegen.Shapes.all
 

@@ -12,6 +12,7 @@ let () =
       ("native", Suite_native.suite);
       ("sim", Suite_sim.suite);
       ("sched", Suite_sched.suite);
+      ("dataplane", Suite_dataplane.suite);
       ("multidim", Suite_multidim.suite);
       ("hpf", Suite_hpf.suite);
       ("check", Suite_check.suite);
