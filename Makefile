@@ -1,7 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json bench-dataplane-quick smoke \
-	fuzz-quick chaos-quick native-quick doc clean
+.PHONY: all check test bench bench-json bench-dataplane-quick \
+	bench-inspector-quick smoke fuzz-quick chaos-quick native-quick doc \
+	clean
 
 all:
 	dune build @all
@@ -22,6 +23,7 @@ check:
 	dune build @chaos
 	dune build @native
 	dune build @dataplane
+	dune build @inspector
 
 smoke:
 	dune build @smoke
@@ -37,6 +39,13 @@ fuzz-quick:
 # contents, so a broken blit path fails the build, not just the numbers.
 bench-dataplane-quick:
 	dune build @dataplane
+
+# Inspector smoke: the linear joint-cycle walk vs the retired all-pairs
+# CRT oracle at reduced size; the bench asserts the two build
+# structurally identical communication sets and the >= 10x separation
+# on the block-sized rows, so a wrong or slow walk fails the build.
+bench-inspector-quick:
+	dune build @inspector
 
 # Quick chaos runs: a lossy fabric with planned crashes (fixed seed,
 # small budget) plus an all-rates-zero run that must stay bit-identical
@@ -66,6 +75,7 @@ bench-json:
 	dune exec bench/main.exe -- redistribute --quick --json BENCH_redistribute.json
 	dune exec bench/main.exe -- codegen --quick --json BENCH_codegen.json
 	dune exec bench/main.exe -- dataplane --quick --json BENCH_dataplane.json
+	dune exec bench/main.exe -- inspector --quick --json BENCH_inspector.json
 
 doc:
 	dune build @doc

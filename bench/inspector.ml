@@ -1,0 +1,167 @@
+(* The inspector bench (BENCH_inspector.json): Comm_sets.build — the
+   linear joint-cycle walk — against Comm_sets.build_crt, the all-pairs
+   CRT oracle it replaced, on the same layouts and sections, adjacent
+   and structurally verified equal before any number is reported.
+
+   Two regimes per machine size:
+
+     - "block" (k_src = n/p, k_dst = n/4p): block-sized blocks, the
+       regime every coarse redistribution lives in. With stride 1 the
+       owned-class count per window is k, so the CRT oracle performs
+       p^2 * (n/p) * (n/4p) = n^2/4 extended-Euclid solves — the
+       quadratic cliff that forced bench/dataplane.ml to cap its block
+       sizes. The walk does one O(n) sweep.
+     - "fine" (cyclic(64) -> cyclic(256)): the small-k rows the old
+       inspector handled fine; the walk must not regress here (the
+       committed JSON keeps it within noise — in practice it is faster,
+       since the CRT path still probes all p^2 pairs and rebuilds the
+       destination classes once per source processor).
+
+   The quick run (the `inspector` dune alias and the inspector-quick CI
+   job) asserts the structural equality on every row and the >= 10x
+   walk-over-CRT ratio on the block rows — at a true quadratic/linear
+   separation the measured gap is orders of magnitude, so the assert
+   holds on any shared host; fine-row timings are reported, not
+   asserted. *)
+
+open Lams_sim
+
+type regime = Block | Fine
+
+let regime_name = function Block -> "block" | Fine -> "fine"
+
+type row = {
+  regime : regime;
+  p : int;
+  n : int;
+  k_src : int;
+  k_dst : int;
+  transfers : int;
+  runs : int;
+  walk_us : float;
+  crt_us : float;
+}
+
+let count_runs (cs : Comm_sets.t) =
+  List.fold_left
+    (fun acc (tr : Comm_sets.transfer) -> acc + List.length tr.Comm_sets.runs)
+    0 cs.Comm_sets.transfers
+
+(* The CRT side of a block row is seconds, the walk side microseconds:
+   batch sizes per path, best-of over batches for both. *)
+let time_us ~repeats ~inner f =
+  let batch () =
+    for _ = 1 to inner do
+      Sys.opaque_identity (ignore (f ()))
+    done
+  in
+  Lams_util.Timer.best_of ~repeats batch /. float_of_int inner
+
+let case_row ~quick ~regime ~p ~n =
+  let k_src, k_dst =
+    match regime with
+    | Block -> (max 1 (n / p), max 1 (n / (4 * p)))
+    | Fine -> (64, 256)
+  in
+  let src_layout = Lams_dist.Layout.create ~p ~k:k_src
+  and dst_layout = Lams_dist.Layout.create ~p ~k:k_dst in
+  let sec = Lams_dist.Section.whole ~n in
+  let build () =
+    Comm_sets.build ~src_layout ~src_section:sec ~dst_layout ~dst_section:sec
+  in
+  let build_crt () =
+    Comm_sets.build_crt ~src_layout ~src_section:sec ~dst_layout
+      ~dst_section:sec
+  in
+  (* Equal structure first — the timings compare implementations of the
+     same function or they compare nothing. *)
+  let walk = build () in
+  let crt = build_crt () in
+  assert (walk = crt);
+  let walk_us = time_us ~repeats:5 ~inner:(if quick then 3 else 5) build in
+  let crt_us =
+    time_us ~repeats:(if quick then 2 else 3) ~inner:1 build_crt
+  in
+  { regime; p; n; k_src; k_dst;
+    transfers = List.length walk.Comm_sets.transfers;
+    runs = count_runs walk;
+    walk_us; crt_us }
+
+let cases ~quick =
+  if quick then
+    [ (Block, 4, 4096); (Block, 8, 4096); (Fine, 8, 65536) ]
+  else
+    [ (Block, 4, 8192);
+      (Block, 8, 16384);
+      (Block, 16, 16384);
+      (Fine, 8, 1 lsl 20);
+      (Fine, 32, 1 lsl 20) ]
+
+let json_of ~quick rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"inspector\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b "  \"cases\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"regime\": \"%s\", \"p\": %d, \"n\": %d, \"k_src\": %d, \
+            \"k_dst\": %d, \"transfers\": %d, \"runs\": %d, \
+            \"walk_us\": %.3f, \"crt_us\": %.3f, \"speedup\": %.2f}%s\n"
+           (regime_name r.regime) r.p r.n r.k_src r.k_dst r.transfers r.runs
+           r.walk_us r.crt_us (r.crt_us /. r.walk_us)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run ?(quick = false) ?json () =
+  let rows =
+    List.map (fun (regime, p, n) -> case_row ~quick ~regime ~p ~n)
+      (cases ~quick)
+  in
+  print_endline
+    "=== Inspector: linear joint-cycle walk vs all-pairs CRT (us) ===";
+  let t =
+    Lams_util.Ascii_table.create
+      [ "regime"; "p"; "n"; "k->k'"; "transfers"; "runs"; "walk"; "crt";
+        "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Lams_util.Ascii_table.add_row t
+        [ regime_name r.regime;
+          string_of_int r.p;
+          string_of_int r.n;
+          Printf.sprintf "%d->%d" r.k_src r.k_dst;
+          string_of_int r.transfers;
+          string_of_int r.runs;
+          Printf.sprintf "%.1f" r.walk_us;
+          Printf.sprintf "%.1f" r.crt_us;
+          Printf.sprintf "%.1fx" (r.crt_us /. r.walk_us) ])
+    rows;
+  print_string (Lams_util.Ascii_table.render t);
+  print_endline
+    "(walk = one owner-of-residue table per side + one joint-cycle sweep;\n\
+     crt = p^2 processor pairs x src-class x dst-class CRT solves, the\n\
+     destination classes rebuilt once per source processor)";
+  List.iter
+    (fun r ->
+      match r.regime with
+      | Block ->
+          if r.crt_us /. r.walk_us < 10. then
+            failwith
+              (Printf.sprintf
+                 "inspector bench: walk only %.1fx over CRT on block row \
+                  p=%d n=%d (expected >= 10x)"
+                 (r.crt_us /. r.walk_us) r.p r.n)
+      | Fine -> ())
+    rows;
+  match json with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (json_of ~quick rows));
+      Printf.printf "wrote %s\n" file

@@ -8,8 +8,8 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | redistribute | dataplane | chaos | codegen | bechamel | all] [--quick] \
-     [--json FILE]";
+     | redistribute | dataplane | inspector | chaos | codegen | bechamel | \
+     all] [--quick] [--json FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -39,6 +39,7 @@ let () =
   let amortize () = Amortize.run ~quick:!quick ?json:!json () in
   let redistribute () = Redistribute.run ~quick:!quick ?json:!json () in
   let dataplane () = Dataplane.run ~quick:!quick ?json:!json () in
+  let inspector () = Inspector.run ~quick:!quick ?json:!json () in
   let chaos () = Chaos.run ~quick:!quick ?json:!json () in
   let codegen () = Codegen_native.run ~quick:!quick ?json:!json () in
   List.iter
@@ -51,6 +52,7 @@ let () =
       | "amortize" -> amortize ()
       | "redistribute" -> redistribute ()
       | "dataplane" -> dataplane ()
+      | "inspector" -> inspector ()
       | "chaos" -> chaos ()
       | "codegen" | "codegen_native" -> codegen ()
       | "bechamel" -> Bechamel_suite.run ()
@@ -66,6 +68,8 @@ let () =
           redistribute ();
           print_newline ();
           dataplane ();
+          print_newline ();
+          inspector ();
           print_newline ();
           chaos ();
           print_newline ();

@@ -24,6 +24,10 @@ let c_native_rounds =
   Lams_obs.Obs.counter "check.native_rounds" ~units:"rounds"
     ~doc:"compiled-C conformance rounds (table, table-free vs interpreter)"
 
+let c_comm_rounds =
+  Lams_obs.Obs.counter "check.comm_rounds" ~units:"rounds"
+    ~doc:"comm-set inspector rounds (linear joint-cycle walk vs all-pairs CRT)"
+
 (* --- Cases --------------------------------------------------------- *)
 
 type case = { p : int; k : int; l : int; s : int; u : int }
@@ -317,7 +321,7 @@ let sim_checks case =
     (* Scheduled redistribution against the legacy copy: same sections,
        same positional contract, plus the schedule's own structural
        invariants (contention-free rounds, exactly-once delivery,
-       rounds <= max degree + 1). *)
+       rounds <= max degree). *)
     let sched =
       Lams_sched.Schedule.build ~src_layout:(Darray.layout src)
         ~src_section:sec ~dst_layout:(Darray.layout dst) ~dst_section:sec
@@ -643,6 +647,56 @@ let fault_round rng =
     Lams_obs.Obs.incr c_mismatches;
     Some mm
 
+(* Comm-set inspector round: the linear joint-cycle walk
+   (Comm_sets.build) against the all-pairs CRT oracle it replaced
+   (Comm_sets.build_crt), which must be structurally identical — same
+   transfers in the same order, same runs, same elements. Layouts and
+   sections are derived deterministically from the case (so a repro line
+   replays the round), folded down so the quadratic oracle stays cheap;
+   all four stride-sign combinations run, the machines differ
+   (p_src <> p_dst whenever p_src > 1), and short counts keep sections
+   below one joint cycle in play. *)
+let comm_round case =
+  Lams_obs.Obs.incr c_comm_rounds;
+  let open Lams_sim in
+  try
+    let p1 = 1 + ((case.p - 1) mod 8) in
+    let k1 = 1 + ((case.k - 1) mod 24) in
+    let p2 = if p1 = 1 then 1 + (case.k mod 8) else p1 - 1 + (2 * (case.l mod 2)) in
+    let k2 = 1 + ((case.k + case.s) mod 24) in
+    let count = 1 + (abs (case.u - case.l) mod (2 * p1 * k1)) in
+    let s1 = 1 + ((case.s - 1) mod (2 * k1)) in
+    let s2 = 1 + ((case.s + case.l) mod 9) in
+    let l1 = case.l mod ((2 * p1 * k1) + 1) and l2 = case.l mod 10 in
+    let sec lo s rev =
+      if rev then Section.make ~lo:(lo + (s * (count - 1))) ~hi:lo ~stride:(-s)
+      else Section.make ~lo ~hi:(lo + (s * (count - 1))) ~stride:s
+    in
+    let src_layout = Layout.create ~p:p1 ~k:k1
+    and dst_layout = Layout.create ~p:p2 ~k:k2 in
+    List.iter
+      (fun (rev1, rev2) ->
+        let src_section = sec l1 s1 rev1 and dst_section = sec l2 s2 rev2 in
+        let walk =
+          Comm_sets.build ~src_layout ~src_section ~dst_layout ~dst_section
+        in
+        let crt =
+          Comm_sets.build_crt ~src_layout ~src_section ~dst_layout
+            ~dst_section
+        in
+        if walk <> crt then
+          fail case ~m:(-1) ~oracle:"comm_sets.build_crt"
+            ~candidate:"comm_sets.build"
+            (Format.asprintf
+               "@[<v>p=%d k=%d %a -> p=%d k=%d %a:@ walk:@ %a@ crt:@ %a@]"
+               p1 k1 Section.pp src_section p2 k2 Section.pp dst_section
+               Comm_sets.pp walk Comm_sets.pp crt))
+      [ (false, false); (true, false); (false, true); (true, true) ];
+    None
+  with Found mm ->
+    Lams_obs.Obs.incr c_mismatches;
+    Some mm
+
 (* Compiled-C conformance round: hand the case to the native harness,
    which compiles all five node-code variants (Figure 8 tables plus the
    table-free form) with the system cc and diffs addresses and final
@@ -703,6 +757,7 @@ type report = {
   cases : int;
   fault_rounds : int;
   native_rounds : int;
+  comm_rounds : int;
   failure : (mismatch * shrunk) option;
 }
 
@@ -710,6 +765,7 @@ let run ?(progress = fun _ -> ()) cfg =
   let rng = Prng.create (Int64.of_int cfg.seed) in
   let fault_rng = Prng.split rng in
   let cases = ref 0 and fault_rounds = ref 0 and native_rounds = ref 0 in
+  let comm_rounds = ref 0 in
   let failure = ref None in
   (* Each native round costs a cc invocation (~0.1s); budget them so a
      quick 400-case campaign gains at most ~1s of wall time. *)
@@ -727,6 +783,16 @@ let run ?(progress = fun _ -> ()) cfg =
            failure := Some (mm, shrink mm);
            raise Exit
        | None -> ());
+       if i mod 2 = 0 then begin
+         incr comm_rounds;
+         match comm_round case with
+         | Some mm ->
+             (* Inspector mismatches are machine-wide and derive their
+                own layouts from the case; report them unshrunk. *)
+             failure := Some (mm, { minimal = mm; steps = 0 });
+             raise Exit
+         | None -> ()
+       end;
        if cfg.faults && i mod 50 = 0 then begin
          incr fault_rounds;
          match fault_round fault_rng with
@@ -754,6 +820,7 @@ let run ?(progress = fun _ -> ()) cfg =
     cases = !cases;
     fault_rounds = !fault_rounds;
     native_rounds = !native_rounds;
+    comm_rounds = !comm_rounds;
     failure = !failure }
 
 (* --- Reporting ----------------------------------------------------- *)
@@ -790,8 +857,8 @@ let report_json r =
   Buffer.add_string b
     (Printf.sprintf
        "  \"cases\": %d,\n  \"fault_rounds\": %d,\n  \"native_rounds\": \
-        %d,\n"
-       r.cases r.fault_rounds r.native_rounds);
+        %d,\n  \"comm_rounds\": %d,\n"
+       r.cases r.fault_rounds r.native_rounds r.comm_rounds);
   Buffer.add_string b
     (Printf.sprintf "  \"mismatches\": %d"
        (match r.failure with None -> 0 | Some _ -> 1));
@@ -812,8 +879,8 @@ let pp_report ppf r =
   | None ->
       Format.fprintf ppf
         "OK: %d cases (seed %d), %d fault rounds, %d native rounds, \
-         every implementation pair agrees"
-        r.cases r.config.seed r.fault_rounds r.native_rounds
+         %d comm rounds, every implementation pair agrees"
+        r.cases r.config.seed r.fault_rounds r.native_rounds r.comm_rounds
   | Some (orig, sh) ->
       Format.fprintf ppf
         "@[<v>MISMATCH after %d cases (seed %d):@ %a@ shrunk (%d steps) \

@@ -27,9 +27,17 @@
     against cache-capacity churn, and check {!Lams_sim.Section_ops}
     fills and copies against sequential oracles.
 
+    Every second case additionally runs a comm-set inspector round: the
+    linear joint-cycle walk ({!Lams_sim.Comm_sets.build}) against the
+    all-pairs CRT oracle it replaced
+    ({!Lams_sim.Comm_sets.build_crt}), on case-derived layout pairs with
+    all four stride-sign combinations, [p_src <> p_dst], and sections
+    shorter than one joint cycle — the two must be structurally
+    identical.
+
     Progress is observable through {!Lams_obs.Obs} counters:
     [check.cases], [check.mismatches], [check.shrink_steps],
-    [check.fault_rounds]. *)
+    [check.fault_rounds], [check.comm_rounds]. *)
 
 (** {1 Cases} *)
 
@@ -128,6 +136,9 @@ type report = {
   cases : int;  (** pipeline cases actually executed *)
   fault_rounds : int;
   native_rounds : int;  (** compiled-C conformance rounds executed *)
+  comm_rounds : int;
+      (** linear-vs-CRT comm-set inspector rounds executed (every
+          second case) *)
   failure : (mismatch * shrunk) option;
       (** original mismatch and its shrunk form; [None] = clean run *)
 }

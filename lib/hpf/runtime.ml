@@ -272,37 +272,48 @@ let run ?(shape = Lams_codegen.Shapes.Shape_d) ?(parallel = false)
                   let src_idx = Array.make rank 0
                   and dst_idx = Array.make rank 0 in
                   (* Phase 1: senders gather and post one message per
-                     transfer. *)
-                  List.iter
-                    (fun (tr : Md_comm.transfer) ->
-                      let src_rank =
-                        Proc_grid.rank_of_coords src_grid tr.Md_comm.src_coords
-                      and dst_rank =
-                        Proc_grid.rank_of_coords dst_grid tr.Md_comm.dst_coords
-                      in
-                      let n = tr.Md_comm.elements in
-                      let addresses = Array.make n 0
-                      and payload = Lams_util.Fbuf.uninit n in
-                      let sdata = Local_store.data sstores.(src_rank) in
-                      let at = ref 0 in
-                      Md_comm.iter_positions tr ~f:(fun pos ->
-                          for d = 0 to rank - 1 do
-                            src_idx.(d) <-
-                              Section.nth src_ref.Sema.sections.(d) pos.(d);
-                            dst_idx.(d) <-
-                              Section.nth lhs.Sema.sections.(d) pos.(d)
-                          done;
-                          addresses.(!at) <-
-                            Md_array.local_address dmd
-                              ~coords:tr.Md_comm.dst_coords dst_idx;
-                          Lams_util.Fbuf.unsafe_set payload !at
-                            (Lams_util.Fbuf.get sdata
-                               (Md_array.local_address smd
-                                  ~coords:tr.Md_comm.src_coords src_idx));
-                          incr at);
-                      Network.send net ~src:src_rank ~dst:dst_rank ~tag:2
-                        ~addresses ~payload)
-                    sched.Md_comm.transfers;
+                     transfer — rank-major over the pre-indexed groups,
+                     so each sender touches only its own transfers (and
+                     its local store is fetched once per rank, not once
+                     per node pair). *)
+                  Array.iteri
+                    (fun src_rank transfers ->
+                      match transfers with
+                      | [] -> ()
+                      | _ :: _ ->
+                          let sdata = Local_store.data sstores.(src_rank) in
+                          List.iter
+                            (fun (tr : Md_comm.transfer) ->
+                              let dst_rank =
+                                Proc_grid.rank_of_coords dst_grid
+                                  tr.Md_comm.dst_coords
+                              in
+                              let n = tr.Md_comm.elements in
+                              let addresses = Array.make n 0
+                              and payload = Lams_util.Fbuf.uninit n in
+                              let at = ref 0 in
+                              Md_comm.iter_positions tr ~f:(fun pos ->
+                                  for d = 0 to rank - 1 do
+                                    src_idx.(d) <-
+                                      Section.nth src_ref.Sema.sections.(d)
+                                        pos.(d);
+                                    dst_idx.(d) <-
+                                      Section.nth lhs.Sema.sections.(d)
+                                        pos.(d)
+                                  done;
+                                  addresses.(!at) <-
+                                    Md_array.local_address dmd
+                                      ~coords:tr.Md_comm.dst_coords dst_idx;
+                                  Lams_util.Fbuf.unsafe_set payload !at
+                                    (Lams_util.Fbuf.get sdata
+                                       (Md_array.local_address smd
+                                          ~coords:tr.Md_comm.src_coords
+                                          src_idx));
+                                  incr at);
+                              Network.send net ~src:src_rank ~dst:dst_rank
+                                ~tag:2 ~addresses ~payload)
+                            transfers)
+                    (Md_comm.by_src_rank sched ~grid:src_grid);
                   (* Phase 2: receivers drain. *)
                   for r = 0 to Proc_grid.size dst_grid - 1 do
                     let ddata = Local_store.data dstores.(r) in

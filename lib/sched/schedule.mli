@@ -57,8 +57,9 @@ val rebase : t -> src_delta:int -> dst_delta:int -> t
 val validate : t -> (unit, string) result
 (** Structural invariants: every round free of send and receive
     conflicts and of self-transfers, every element delivered exactly
-    once, rounds bounded by [max_degree + 1], and both sides of every
-    transfer sized to its element count. *)
+    once, rounds bounded by [max_degree] (the constructive König
+    coloring guarantees <= Δ colors, so the bound is exact, not Δ+1),
+    and both sides of every transfer sized to its element count. *)
 
 val pp : Format.formatter -> t -> unit
 (** Deterministic rendering: a summary line, then one line per round

@@ -7,10 +7,11 @@
     Element [j] of the assignment reads [SRC(src.lo + j*src.stride)] and
     writes [DST(dst.lo + j*dst.stride)]. On each side, the traversal
     positions owned by one processor form a union of residue classes
-    modulo that side's cycle length [p*k / gcd(|s|, p*k)]; the positions a
-    processor pair [(q, r)] exchanges are therefore the CRT intersections
-    of a source class with a destination class — a union of arithmetic
-    progressions, computed here without enumerating a single element. *)
+    modulo that side's cycle length [p*k / gcd(|s|, p*k)]. Every residue
+    of the joint cycle [L = lcm(cycle_src, cycle_dst)] therefore belongs
+    to exactly one processor pair, and one ascending sweep of the joint
+    cycle emits each pair's progressions directly — no CRT solves, no
+    per-pair probing, and not a single element enumerated. *)
 
 type progression = {
   first : int;  (** smallest traversal position in the run *)
@@ -40,15 +41,43 @@ val build :
   dst_layout:Lams_dist.Layout.t ->
   dst_section:Lams_dist.Section.t ->
   t
-(** @raise Invalid_argument if the sections are empty, have different
-    element counts, or contain negative indices. Cost is
-    [O(k_src/d_src · k_dst/d_dst)] pairs of classes overall — independent
-    of the section length. *)
+(** The linear-time inspector. Cost is
+    [O(cycle_src + cycle_dst + min(L, total))] where
+    [cycle = p*k / gcd(|s|, p*k)] per side and
+    [L = lcm(cycle_src, cycle_dst)]: one owner-of-residue table per side
+    (p Start_finder passes summing to the cycle length) plus a single
+    sweep of the populated prefix of the joint cycle — linear in the
+    communicated structure, never in the processor-pair product. Empty
+    pairs cost nothing. Returns a result structurally identical to
+    {!build_crt} (same transfers, same runs, same order).
+    @raise Invalid_argument if the sections are empty, have different
+    element counts, or contain negative indices. *)
+
+val build_crt :
+  src_layout:Lams_dist.Layout.t ->
+  src_section:Lams_dist.Section.t ->
+  dst_layout:Lams_dist.Layout.t ->
+  dst_section:Lams_dist.Section.t ->
+  t
+(** The legacy all-pairs oracle, kept as the differential baseline for
+    {!build}: probes all [p_src * p_dst] processor pairs, recomputing the
+    destination side's owner classes once per source processor, with one
+    CRT solve per (src class, dst class) pair — i.e.
+    [O(p_src * p_dst * (k_src/d_src) * (k_dst/d_dst))] extended-Euclid
+    solves plus [p_src * (1 + p_dst)] owner-class rebuilds. Quadratic in
+    the machine and in the per-window class counts (the block-sized-k
+    cliff `bench/inspector.ml` measures). Raises like {!build}. *)
 
 val positions : progression -> int list
 (** Materialise a run (test/debug helper). *)
 
 val find : t -> src_proc:int -> dst_proc:int -> transfer option
+
+val by_src : t -> p_src:int -> transfer list array
+(** Transfers grouped by [src_proc] (index = sending processor; each
+    group keeps the ascending [dst_proc] order), so an SPMD send phase
+    reads its own slot instead of filtering the whole O(p²) list on
+    every rank. *)
 
 val cross_processor_elements : t -> int
 (** Elements whose source and destination owners differ — the actual

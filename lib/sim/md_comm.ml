@@ -80,6 +80,15 @@ let build ~src ~src_sections ~dst ~dst_sections =
   Lams_obs.Obs.add c_cross (cross_node_elements t);
   t
 
+let by_src_rank t ~grid =
+  let a = Array.make (max 1 (Proc_grid.size grid)) [] in
+  List.iter
+    (fun tr ->
+      let r = Proc_grid.rank_of_coords grid tr.src_coords in
+      a.(r) <- tr :: a.(r))
+    t.transfers;
+  Array.map List.rev a
+
 let iter_positions transfer ~f =
   let rank = Array.length transfer.dim_runs in
   let pos = Array.make rank 0 in

@@ -32,6 +32,13 @@ val build :
 (** @raise Invalid_argument on rank mismatch between the two sides or
     per-dimension element-count mismatch (shape non-conformance). *)
 
+val by_src_rank : t -> grid:Lams_dist.Proc_grid.t -> transfer list array
+(** Transfers grouped by the sending node's rank on [grid] (transfer
+    order preserved within each slot) — the send side of an exchange
+    reads its own slot instead of scanning the full node-pair list on
+    every rank. @raise Invalid_argument if a transfer's source
+    coordinates do not fit the grid. *)
+
 val iter_positions : transfer -> f:(int array -> unit) -> unit
 (** Visit every exchanged multidimensional position (row-major over the
     per-dimension runs). The position array is reused between calls. *)

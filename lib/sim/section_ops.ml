@@ -147,33 +147,34 @@ let copy_scheduled ?net ~src ~src_section ~dst ~dst_section () =
     Comm_sets.build ~src_layout:src_lay ~src_section ~dst_layout:dst_lay
       ~dst_section
   in
+  (* Pre-index the transfers by sender before spawning phases: each rank
+     reads its own slot instead of filtering the full O(p²) list. *)
+  let by_src = Comm_sets.by_src schedule ~p_src in
   (* Phase 1: each sender walks its transfers' progressions; no ownership
      tests are needed — the schedule already encodes them. *)
   let send_phase m =
     if m < p_src then
+      let data = Local_store.data (Darray.local src m) in
       List.iter
         (fun (tr : Comm_sets.transfer) ->
-          if tr.Comm_sets.src_proc = m then begin
-            let data = Local_store.data (Darray.local src m) in
-            let n = tr.Comm_sets.elements in
-            let addresses = Array.make n 0 and payload = Fbuf.uninit n in
-            let idx = ref 0 in
-            List.iter
-              (fun run ->
-                List.iter
-                  (fun j ->
-                    let g_src = Section.nth src_section j
-                    and g_dst = Section.nth dst_section j in
-                    addresses.(!idx) <- Layout.local_address dst_lay g_dst;
-                    Fbuf.unsafe_set payload !idx
-                      (Fbuf.get data (Layout.local_address src_lay g_src));
-                    incr idx)
-                  (Comm_sets.positions run))
-              tr.Comm_sets.runs;
-            Network.send net ~src:m ~dst:tr.Comm_sets.dst_proc ~tag:1
-              ~addresses ~payload
-          end)
-        schedule.Comm_sets.transfers
+          let n = tr.Comm_sets.elements in
+          let addresses = Array.make n 0 and payload = Fbuf.uninit n in
+          let idx = ref 0 in
+          List.iter
+            (fun run ->
+              List.iter
+                (fun j ->
+                  let g_src = Section.nth src_section j
+                  and g_dst = Section.nth dst_section j in
+                  addresses.(!idx) <- Layout.local_address dst_lay g_dst;
+                  Fbuf.unsafe_set payload !idx
+                    (Fbuf.get data (Layout.local_address src_lay g_src));
+                  incr idx)
+                (Comm_sets.positions run))
+            tr.Comm_sets.runs;
+          Network.send net ~src:m ~dst:tr.Comm_sets.dst_proc ~tag:1
+            ~addresses ~payload)
+        by_src.(m)
   in
   let recv_phase m =
     if m < p_dst then begin

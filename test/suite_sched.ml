@@ -242,6 +242,33 @@ let with_counters f =
   Lams_obs.Obs.set_enabled true;
   Fun.protect ~finally:(fun () -> Lams_obs.Obs.set_enabled false) f
 
+let test_validate_rejects_excess_rounds () =
+  (* A cross swap on p=2, k=1: 0->1 and 1->0, each rank sending and
+     receiving once, so Δ = 1 and the coloring packs both transfers
+     into one round. Splitting them into singleton rounds delivers the
+     same elements conflict-free in 2 rounds > Δ — exactly the slack the
+     old Δ+1 tolerance let through and validate must now reject. *)
+  let lay = Layout.create ~p:2 ~k:1 in
+  let sched =
+    Schedule.build ~src_layout:lay
+      ~src_section:(Section.make ~lo:0 ~hi:1 ~stride:1) ~dst_layout:lay
+      ~dst_section:(Section.make ~lo:1 ~hi:0 ~stride:(-1))
+  in
+  Tutil.check_int "max degree" 1 sched.Schedule.max_degree;
+  (match sched.Schedule.rounds with
+  | [ [ t1; t2 ] ] -> begin
+      let split = { sched with Schedule.rounds = [ [ t1 ]; [ t2 ] ] } in
+      match Schedule.validate split with
+      | Error msg ->
+          Alcotest.(check string)
+            "names the Konig bound" "2 rounds exceed max degree 1" msg
+      | Ok () -> Alcotest.fail "validate accepted rounds > max degree"
+    end
+  | _ -> Alcotest.fail "expected one round of two cross transfers");
+  match Schedule.validate sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
 let test_cache_hit_on_translation () =
   Cache.clear ();
   (* A translation is invisible to the cache iff it is a common multiple
@@ -322,6 +349,8 @@ let suite =
       test_overlapping_shift;
     Alcotest.test_case "congestion: scheduled 1 vs legacy > 1" `Quick
       test_congestion_scheduled_vs_legacy;
+    Alcotest.test_case "validate: rounds > max degree rejected" `Quick
+      test_validate_rejects_excess_rounds;
     Alcotest.test_case "cache hit on translated sections" `Quick
       test_cache_hit_on_translation;
     Alcotest.test_case "cache eviction accounting" `Quick

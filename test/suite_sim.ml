@@ -546,6 +546,62 @@ let prop_comm_sets_match_brute =
         sched.Comm_sets.transfers;
       Array.to_list from_sched = oracle)
 
+(* The linear joint-cycle walk must be structurally indistinguishable
+   from the all-pairs CRT oracle it replaced: same transfers, same runs,
+   same order. Generation is biased so that both stride signs, d | k and
+   d ∤ k on each side, p_src <> p_dst, and sections shorter than one
+   joint cycle all occur. *)
+let prop_comm_sets_build_equals_crt =
+  Tutil.qtest ~count:300 "comm sets: linear walk = all-pairs CRT"
+    QCheck2.Gen.(
+      let* p1 = int_range 1 6 and* p2 = int_range 1 6 in
+      let* k1 = int_range 1 9 and* k2 = int_range 1 9 in
+      (* Multiples of k force d >= k (degenerate classes); free strides
+         keep d ∤ k alive. *)
+      let* s1 =
+        oneof [ int_range 1 12; map (fun x -> k1 * (x + 1)) (int_range 0 2) ]
+      and* s2 =
+        oneof [ int_range 1 12; map (fun x -> k2 * (x + 1)) (int_range 0 2) ]
+      in
+      let* count = oneof [ int_range 1 4; int_range 1 80 ] in
+      let* l1 = int_range 0 9 and* l2 = int_range 0 9 in
+      let* rev1 = bool and* rev2 = bool in
+      return (p1, k1, p2, k2, s1, s2, count, l1, l2, rev1, rev2))
+    (fun (p1, k1, p2, k2, s1, s2, count, l1, l2, rev1, rev2) ->
+      let sec lo s rev =
+        if rev then
+          Section.make ~lo:(lo + (s * (count - 1))) ~hi:lo ~stride:(-s)
+        else Section.make ~lo ~hi:(lo + (s * (count - 1))) ~stride:s
+      in
+      let src_layout = Layout.create ~p:p1 ~k:k1
+      and dst_layout = Layout.create ~p:p2 ~k:k2 in
+      let src_section = sec l1 s1 rev1 and dst_section = sec l2 s2 rev2 in
+      Comm_sets.build ~src_layout ~src_section ~dst_layout ~dst_section
+      = Comm_sets.build_crt ~src_layout ~src_section ~dst_layout ~dst_section)
+
+let test_comm_sets_by_src () =
+  let src_layout = Layout.create ~p:3 ~k:5
+  and dst_layout = Layout.create ~p:4 ~k:2 in
+  let cs =
+    Comm_sets.build ~src_layout
+      ~src_section:(Section.make ~lo:0 ~hi:95 ~stride:5)
+      ~dst_layout
+      ~dst_section:(Section.make ~lo:57 ~hi:0 ~stride:(-3))
+  in
+  let by_src = Comm_sets.by_src cs ~p_src:3 in
+  Tutil.check_int "slots" 3 (Array.length by_src);
+  (* Concatenating the slots in rank order recovers the transfer list
+     exactly: grouping loses neither transfers nor their order. *)
+  Tutil.check_bool "regrouped = original" true
+    (List.concat (Array.to_list by_src) = cs.Comm_sets.transfers);
+  Array.iteri
+    (fun m trs ->
+      List.iter
+        (fun (tr : Comm_sets.transfer) ->
+          Tutil.check_int "right slot" m tr.Comm_sets.src_proc)
+        trs)
+    by_src
+
 let suite =
   [ Alcotest.test_case "local store" `Quick test_local_store;
     Alcotest.test_case "comm sets: mixed layouts + reversal" `Quick
@@ -556,6 +612,9 @@ let suite =
       test_comm_sets_golden_table;
     Alcotest.test_case "comm sets: validation" `Quick test_comm_sets_errors;
     prop_comm_sets_match_brute;
+    prop_comm_sets_build_equals_crt;
+    Alcotest.test_case "comm sets: by_src regroups losslessly" `Quick
+      test_comm_sets_by_src;
     prop_copy_scheduled_equals_copy;
     Alcotest.test_case "md comm sets vs brute (mixed grids + reversal)" `Quick
       test_md_comm_matches_brute;
