@@ -1,8 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all check test bench bench-json bench-dataplane-quick \
-	bench-inspector-quick smoke fuzz-quick chaos-quick native-quick doc \
-	clean
+	bench-inspector-quick smoke fuzz-quick chaos-quick native-quick \
+	serve-quick doc clean
 
 all:
 	dune build @all
@@ -24,6 +24,7 @@ check:
 	dune build @native
 	dune build @dataplane
 	dune build @inspector
+	dune build @serve
 
 smoke:
 	dune build @smoke
@@ -63,6 +64,14 @@ chaos-quick:
 native-quick:
 	dune exec -- lams native-check --seed 42 --budget 500
 
+# Serving gate: fork a `lams serve` daemon on a Unix socket, drive the
+# quick Zipf load through it twice (cold, then warmed), SIGTERM it, and
+# fail on any protocol error or a warmed hit rate below 90%. The full
+# acceptance run is `dune exec bench/main.exe -- serve --json
+# BENCH_serve.json`.
+serve-quick:
+	dune build @serve
+
 bench:
 	dune exec bench/main.exe
 
@@ -76,6 +85,7 @@ bench-json:
 	dune exec bench/main.exe -- codegen --quick --json BENCH_codegen.json
 	dune exec bench/main.exe -- dataplane --quick --json BENCH_dataplane.json
 	dune exec bench/main.exe -- inspector --quick --json BENCH_inspector.json
+	dune exec bench/main.exe -- serve --quick --json BENCH_serve.json
 
 doc:
 	dune build @doc

@@ -8,8 +8,8 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | redistribute | dataplane | inspector | chaos | codegen | bechamel | \
-     all] [--quick] [--json FILE]";
+     | redistribute | dataplane | inspector | chaos | codegen | serve | \
+     bechamel | all] [--quick] [--json FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -42,6 +42,7 @@ let () =
   let inspector () = Inspector.run ~quick:!quick ?json:!json () in
   let chaos () = Chaos.run ~quick:!quick ?json:!json () in
   let codegen () = Codegen_native.run ~quick:!quick ?json:!json () in
+  let serve () = Serve.run ~quick:!quick ?json:!json () in
   List.iter
     (fun name ->
       match String.lowercase_ascii name with
@@ -55,6 +56,7 @@ let () =
       | "inspector" -> inspector ()
       | "chaos" -> chaos ()
       | "codegen" | "codegen_native" -> codegen ()
+      | "serve" -> serve ()
       | "bechamel" -> Bechamel_suite.run ()
       | "all" ->
           run_table1_and_figure7 ();
@@ -74,6 +76,8 @@ let () =
           chaos ();
           print_newline ();
           codegen ();
+          print_newline ();
+          serve ();
           print_newline ();
           Bechamel_suite.run ()
       | "-h" | "--help" | "help" -> usage ()

@@ -457,6 +457,19 @@ let stats_cmd =
           (Lams_sched.Cache.size ())
           (Lams_sched.Cache.capacity ())
           !congestion;
+        let snap = Lams_obs.Obs.snapshot () in
+        let c name =
+          Option.value ~default:0 (Lams_obs.Obs.find_counter snap name)
+        in
+        Printf.printf "schedule cache counters: hits %d, misses %d, evictions %d%s\n"
+          (c "sched.cache.hits") (c "sched.cache.misses")
+          (c "sched.cache.evictions")
+          (if Lams_obs.Obs.enabled () then "" else " (pass --metrics to record)");
+        Printf.printf
+          "schedule pool: %d bytes retained; hits %d, misses %d, releases %d\n"
+          (Lams_sched.Pool.retained_bytes ())
+          (c "sched.pool.hits") (c "sched.pool.misses")
+          (c "sched.pool.releases");
         0
   in
   let term =
@@ -1292,6 +1305,333 @@ let metrics_cmd =
           registry enabled and print every counter, distribution and span.")
     term
 
+(* --- serve / loadgen --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (or connect to) the Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) TCP port $(docv).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to pair with --port.")
+
+let address ~socket ~port ~host : (Lams_serve.Server.address, string) result =
+  match (socket, port) with
+  | Some path, None -> Ok (`Unix path)
+  | None, Some port -> Ok (`Tcp (host, port))
+  | Some _, Some _ -> Error "pass either --socket or --port, not both"
+  | None, None -> Error "pass --socket PATH or --port PORT"
+
+let serve_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Append-only plan log: canonical cache keys are persisted here \
+           and replayed at startup to warm the caches.")
+
+let serve_shards_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "shards" ] ~docv:"N" ~doc:"Cache shards (one mutex each).")
+
+let plan_capacity_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "plan-capacity" ] ~docv:"N" ~doc:"Plan cache capacity (entries).")
+
+let sched_capacity_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "sched-capacity" ] ~docv:"N"
+        ~doc:"Schedule cache capacity (entries).")
+
+let serve_cmd =
+  let run socket port host shards plan_capacity sched_capacity workers
+      batch_max high_water log_path rotate_after =
+    match address ~socket ~port ~host with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok addr -> (
+        let cfg =
+          {
+            Lams_serve.Server.shards;
+            plan_capacity;
+            sched_capacity;
+            workers;
+            batch_max;
+            high_water;
+            log_path;
+            rotate_after;
+          }
+        in
+        try
+          Lams_serve.Server.run cfg addr;
+          0
+        with Unix.Unix_error (e, fn, arg) ->
+          Printf.eprintf "error: %s: %s(%s)\n" (Unix.error_message e) fn arg;
+          1)
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains draining the queue.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Largest request batch one worker drains at once.")
+  in
+  let high_water_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "high-water" ] ~docv:"N"
+          ~doc:
+            "Shed (answer Overloaded) once the queue holds $(docv) \
+             requests; 0 sheds everything.")
+  in
+  let rotate_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "rotate-after" ] ~docv:"N"
+          ~doc:"Compact the plan log every $(docv) appended keys.")
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ serve_shards_arg
+      $ plan_capacity_arg $ sched_capacity_arg $ workers_arg $ batch_arg
+      $ high_water_arg $ serve_log_arg $ rotate_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the plan-compilation daemon: answer access-plan, schedule \
+          and redistribution queries over a length-prefixed binary \
+          protocol, with sharded LRU caches, request batching and a \
+          replayable plan log. Stops cleanly on SIGTERM/SIGINT.")
+    term
+
+let spawn_daemon cfg addr =
+  match Unix.fork () with
+  | 0 ->
+      (try Lams_serve.Server.run cfg addr with _ -> Stdlib.exit 1);
+      Stdlib.exit 0
+  | pid ->
+      let rec wait tries =
+        if tries <= 0 then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          Error "spawned daemon did not come up"
+        end
+        else
+          match Lams_serve.Client.connect addr with
+          | c ->
+              Lams_serve.Client.close c;
+              Ok pid
+          | exception Unix.Unix_error _ ->
+              Unix.sleepf 0.05;
+              wait (tries - 1)
+      in
+      wait 200
+
+let stop_daemon pid =
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> Ok ()
+  | _, Unix.WEXITED n -> Error (Printf.sprintf "daemon exited with code %d" n)
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      Error (Printf.sprintf "daemon terminated by signal %d" n)
+
+let report_json (r : Lams_serve.Loadgen.report) ~warmed =
+  Printf.sprintf
+    "{\"sent\": %d, \"answered\": %d, \"hits\": %d, \"misses\": %d, \
+     \"shed\": %d, \"errors\": %d, \"wall_s\": %.6f, \"throughput\": %.1f, \
+     \"p50_us\": %.2f, \"p95_us\": %.2f, \"p95_hit_us\": %.2f, \
+     \"hit_rate\": %.4f, \"time_to_target_s\": %s, \"warmed\": %b}\n"
+    r.sent r.answered r.hits r.misses r.shed r.errors r.wall_s r.throughput
+    r.p50_us r.p95_us r.p95_hit_us r.hit_rate
+    (match r.time_to_target_s with
+    | None -> "null"
+    | Some s -> Printf.sprintf "%.4f" s)
+    warmed
+
+let loadgen_cmd =
+  let run socket port host clients requests keys theta sched_frac seed quick
+      warmup target_hit_rate min_hit_rate json spawn shards plan_capacity
+      sched_capacity log_path =
+    match address ~socket ~port ~host with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok addr -> (
+        let open Lams_serve in
+        let cfg =
+          if quick then
+            { Loadgen.default_config with requests = 4000; seed }
+          else
+            { Loadgen.clients; requests; keys; theta; sched_frac; seed }
+        in
+        let daemon =
+          if not spawn then Ok None
+          else
+            let scfg =
+              {
+                Server.default_config with
+                shards;
+                plan_capacity;
+                sched_capacity;
+                log_path;
+              }
+            in
+            Result.map Option.some (spawn_daemon scfg addr)
+        in
+        match daemon with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok pid -> (
+            let pass label =
+              let r = Loadgen.run ~target_hit_rate cfg addr in
+              Format.printf "@[<v>--- %s pass ---@,%a@]@." label
+                Loadgen.pp_report r;
+              r
+            in
+            let report =
+              if warmup then begin
+                ignore (pass "cold" : Loadgen.report);
+                pass "warmed"
+              end
+              else pass "load"
+            in
+            (match json with
+            | None -> ()
+            | Some file ->
+                Out_channel.with_open_text file (fun oc ->
+                    output_string oc (report_json report ~warmed:warmup)));
+            let daemon_ok =
+              match pid with
+              | None -> Ok ()
+              | Some pid -> stop_daemon pid
+            in
+            match daemon_ok with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1
+            | Ok () ->
+                if report.Loadgen.errors > 0 then begin
+                  Printf.eprintf "error: %d protocol/request errors\n"
+                    report.Loadgen.errors;
+                  1
+                end
+                else if
+                  min_hit_rate > 0. && report.Loadgen.hit_rate < min_hit_rate
+                then begin
+                  Printf.eprintf "error: hit rate %.3f below the %.3f floor\n"
+                    report.Loadgen.hit_rate min_hit_rate;
+                  1
+                end
+                else 0))
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 20000
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Total requests across all clients (per pass).")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 20000
+      & info [ "keys" ] ~docv:"N" ~doc:"Distinct Zipf-ranked query keys.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 1.2
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew exponent.")
+  in
+  let sched_frac_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "sched-frac" ] ~docv:"F"
+          ~doc:"Fraction of keys mapped to schedule/redistribution queries.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI preset: 8 clients, 4000 requests over 20000 keys.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & flag
+      & info [ "warmup" ]
+          ~doc:
+            "Run the workload twice and report the second (warmed-cache) \
+             pass; --min-hit-rate then gates the warmed pass.")
+  in
+  let target_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "target-hit-rate" ] ~docv:"F"
+          ~doc:"Hit-rate target for the time-to-target metric.")
+  in
+  let min_hit_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-hit-rate" ] ~docv:"F"
+          ~doc:"Exit non-zero if the reported hit rate is below $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the report as JSON to $(docv).")
+  in
+  let spawn_arg =
+    Arg.(
+      value & flag
+      & info [ "spawn" ]
+          ~doc:
+            "Fork a daemon on the given address first, SIGTERM it after \
+             the run and require a clean exit (exercises the \
+             flush-on-shutdown path).")
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ clients_arg
+      $ requests_arg $ keys_arg $ theta_arg $ sched_frac_arg $ seed_arg
+      $ quick_arg $ warmup_arg $ target_arg $ min_hit_arg $ json_arg
+      $ spawn_arg $ serve_shards_arg $ plan_capacity_arg $ sched_capacity_arg
+      $ serve_log_arg)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running $(b,lams serve) daemon with Zipf-skewed plan \
+          and redistribution queries and report throughput, latency \
+          percentiles and cache hit rate.")
+    term
+
 let () =
   let info =
     Cmd.info "lams" ~version:"1.0.0"
@@ -1303,4 +1643,5 @@ let () =
        (Cmd.group info
           [ am_table_cmd; layout_cmd; emit_c_cmd; compile_c_cmd; comm_sets_cmd;
             schedule_cmd; stats_cmd; explain_cmd; verify_cmd; fuzz_cmd;
-            native_check_cmd; run_cmd; chaos_cmd; metrics_cmd ]))
+            native_check_cmd; run_cmd; chaos_cmd; metrics_cmd; serve_cmd;
+            loadgen_cmd ]))

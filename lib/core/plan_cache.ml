@@ -38,6 +38,8 @@ let canonical pr ~u =
   let local_shift = g_shift / Problem.row_len pr * pr.Problem.k in
   (pr0, u - g_shift, g_shift, local_shift)
 
+let canonicalize pr ~u = canonical pr ~u
+
 let build_entry pr ~u =
   let p = pr.Problem.p in
   let tables, fsms =
@@ -107,6 +109,11 @@ let find pr ~u =
        end);
       Mutex.unlock table_mutex;
       { entry; g_shift; local_shift }
+
+let view_of_entry entry ~g_shift ~local_shift = { entry; g_shift; local_shift }
+
+let entry_problem (e : entry) = e.problem
+let entry_u (e : entry) = e.u
 
 let table (v : view) ~m =
   let t = v.entry.tables.(m) in

@@ -23,6 +23,38 @@ type view
     reachable through a view are shared with the cache and with other
     views — treat them as immutable. *)
 
+(** {2 Canonicalization and entry construction}
+
+    Exposed for external caches — the serving daemon's sharded LRU
+    ({!Lams_serve}) keys entries on the canonical tuple and builds them
+    through {!build_entry}, bypassing this module's single global mutex
+    entirely while reusing its construction and rebase logic. *)
+
+type entry
+(** One whole-machine plan at canonical [l]: all [p] gap tables,
+    offset-indexed FSMs and last locations. Immutable once built. *)
+
+val canonicalize : Problem.t -> u:int -> Problem.t * int * int * int
+(** [canonicalize pr ~u] is [(pr0, u0, g_shift, local_shift)]: the
+    problem translated down to [l mod cycle_span], the correspondingly
+    shifted upper bound, and the global/local rebase deltas a view needs
+    on the way back out. [(pr0.p, pr0.k, pr0.s, pr0.l, u0)] is the
+    cache key under which translated sections collide. *)
+
+val build_entry : Problem.t -> u:int -> entry
+(** Build the whole-machine plan for an (already canonical) problem —
+    the generalized shared FSM when [d < k], per-processor tables
+    otherwise. Pure; does not touch the process-wide cache. *)
+
+val view_of_entry : entry -> g_shift:int -> local_shift:int -> view
+(** Rebase an entry with the deltas from {!canonicalize} ([0]/[0] for a
+    canonical query). *)
+
+val entry_problem : entry -> Problem.t
+val entry_u : entry -> int
+(** The canonical problem / upper bound an entry was built for
+    (log-replay and test plumbing). *)
+
 val find : Problem.t -> u:int -> view
 (** Lookup-or-build. Never raises on well-formed problems; the result is
     independent of cache state (hit, miss and eviction all yield the

@@ -34,6 +34,11 @@ let canonical_side layout (sec : Section.t) =
   in
   (sec0, local_shift)
 
+let canonicalize ~src_layout ~src_section ~dst_layout ~dst_section =
+  let src0, src_shift = canonical_side src_layout src_section in
+  let dst0, dst_shift = canonical_side dst_layout dst_section in
+  ((src0, src_shift), (dst0, dst_shift))
+
 (* Debug re-validation of rebased schedules served from the hit path:
    off in normal runs (the rebase is a pure uniform translation), on
    under LAMS_DEBUG=1 or Cache.set_debug_validate, where every hit

@@ -20,6 +20,19 @@ val find :
 (** Serve the schedule for the given redistribution, building and
     inserting it on a miss. *)
 
+val canonicalize :
+  src_layout:Lams_dist.Layout.t ->
+  src_section:Lams_dist.Section.t ->
+  dst_layout:Lams_dist.Layout.t ->
+  dst_section:Lams_dist.Section.t ->
+  (Lams_dist.Section.t * int) * (Lams_dist.Section.t * int)
+(** [(canonical_src, src_local_shift), (canonical_dst, dst_local_shift)]:
+    each side normalized and translated down by its cycle span, with the
+    local-address delta that {!Schedule.rebase} needs on the way out.
+    Exposed for external caches (the serving daemon's sharded LRU keys
+    schedules on the canonical pair without taking this module's global
+    mutex). *)
+
 val size : unit -> int
 val capacity : unit -> int
 val default_capacity : int

@@ -1,0 +1,73 @@
+type t = { fd : Unix.file_descr; mutable next_id : int; mutable open_ : bool }
+
+let connect (addr : Server.address) =
+  let fd =
+    match addr with
+    | `Unix path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path) with
+        | e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e);
+        fd
+    | `Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        (try Unix.connect fd (Unix.ADDR_INET (inet, port)) with
+        | e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e);
+        fd
+  in
+  { fd; next_id = 1; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Wire.write_frame t.fd (Wire.encode_request ~id req);
+  id
+
+let receive t =
+  match Wire.read_frame t.fd with
+  | `Eof -> `Eof
+  | `Error fe -> `Error fe
+  | `Frame payload -> (
+      match Wire.decode_response payload with
+      | Ok (id, resp) -> `Response (id, resp)
+      | Error fe -> `Error fe)
+
+let request t req =
+  let id = send t req in
+  let rec await () =
+    match receive t with
+    | `Eof -> failwith "lams serve: connection closed mid-request"
+    | `Error fe ->
+        failwith
+          (Format.asprintf "lams serve: undecodable reply: %a"
+             Wire.pp_frame_error fe)
+    | `Response (rid, resp) -> if rid = id then resp else await ()
+  in
+  await ()
+
+let plan t r = request t (Wire.Plan r)
+let schedule t r = request t (Wire.Schedule r)
+let redist t r = request t (Wire.Redist r)
+let stats t = request t Wire.Stats
+
+let send_payload t payload = Wire.write_frame t.fd payload
+
+let send_raw t bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write t.fd bytes !off (n - !off)
+  done

@@ -1,0 +1,38 @@
+(** Blocking client for the [lams serve] wire protocol — the load
+    generator's workhorse and the protocol tests' probe.
+
+    One connection, synchronous request/response. Request ids are
+    assigned monotonically per connection and checked against the echoed
+    id on the way back. *)
+
+type t
+
+val connect : Server.address -> t
+(** @raise Unix.Unix_error when the daemon is not reachable. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> Wire.request -> Wire.response
+(** Send and await the matching reply.
+    @raise Failure on EOF or an undecodable reply (daemon gone). *)
+
+val plan : t -> Wire.plan_req -> Wire.response
+val schedule : t -> Wire.sched_req -> Wire.response
+val redist : t -> Wire.sched_req -> Wire.response
+val stats : t -> Wire.response
+
+(** {2 Low-level access (protocol tests)} *)
+
+val send : t -> Wire.request -> int
+(** Frame and send, returning the assigned id. *)
+
+val receive : t -> [ `Response of int * Wire.response | `Eof | `Error of Wire.frame_error ]
+
+val send_payload : t -> bytes -> unit
+(** Length-prefix and send an arbitrary payload — e.g. garbage that is
+    not a valid request. *)
+
+val send_raw : t -> bytes -> unit
+(** Put raw bytes on the wire, no framing — e.g. a truncated frame
+    followed by {!close}. *)

@@ -1,0 +1,43 @@
+(** The daemon's persisted plan log: an append-only text file of
+    canonical cache keys, replayed at startup to warm the stores.
+
+    Each line is one key — [P p k s l u] for a plan,
+    [S sp sk lo hi st dp dk lo hi st] for a schedule — always in
+    canonical form, so replay hits exactly the entries the previous
+    incarnation served. Replay is tolerant: unparsable or invalid lines
+    (a half-written tail after a crash, garbage from a concurrent
+    writer) are skipped, never fatal. Rotation compacts the file down to
+    the keys still live in the stores, via write-to-temp + atomic
+    rename, so a crash mid-rotation leaves either the old log or the new
+    one, never a torn file. *)
+
+type t
+
+val open_log : string -> t
+(** Open (creating if absent) for appending. @raise Sys_error on an
+    unwritable path. *)
+
+val path : t -> string
+
+val append_plan : t -> Store.Plan_store.key -> unit
+(** Thread-safe; buffered (see {!flush}). *)
+
+val append_sched : t -> Store.Sched_store.key -> unit
+
+val appended : t -> int
+(** Entries appended since {!open_log} or the last {!rotate} — the
+    server's rotation trigger. *)
+
+val flush : t -> unit
+
+val close : t -> unit
+(** Flush and close. Idempotent. *)
+
+val replay :
+  string -> plans:Store.Plan_store.t -> scheds:Store.Sched_store.t -> int
+(** Rebuild every key logged at [path] into the given stores (a missing
+    file warms nothing) and return the number of entries warmed. *)
+
+val rotate :
+  t -> plans:Store.Plan_store.t -> scheds:Store.Sched_store.t -> unit
+(** Compact the log to the stores' live keys and reset {!appended}. *)

@@ -1,0 +1,484 @@
+module Obs = Lams_obs.Obs
+module Timer = Lams_util.Timer
+module Stats = Lams_util.Stats
+
+type config = {
+  shards : int;
+  plan_capacity : int;
+  sched_capacity : int;
+  workers : int;
+  batch_max : int;
+  high_water : int;
+  log_path : string option;
+  rotate_after : int;
+}
+
+let default_config =
+  {
+    shards = 8;
+    plan_capacity = 4096;
+    sched_capacity = 1024;
+    workers = 4;
+    batch_max = 64;
+    high_water = 1024;
+    log_path = None;
+    rotate_after = 65536;
+  }
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type counters = {
+  requests : int;
+  hits : int;
+  batched : int;
+  shed : int;
+  protocol_errors : int;
+  connections : int;
+  replayed : int;
+}
+
+type conn = { fd : Unix.file_descr; wmutex : Mutex.t; mutable alive : bool }
+
+type job = { conn : conn; id : int; req : Wire.request; t0 : int64 }
+
+type t = {
+  cfg : config;
+  addr : address;
+  listen_fd : Unix.file_descr;
+  plans : Store.Plan_store.t;
+  scheds : Store.Sched_store.t;
+  log : Plan_log.t option;
+  replayed : int;
+  queue : job Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  c_requests : int Atomic.t;
+  c_hits : int Atomic.t;
+  c_batched : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_protocol_errors : int Atomic.t;
+  c_connections : int Atomic.t;
+  lat_mutex : Mutex.t;
+  lat_ring : float array;
+  mutable lat_count : int;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable worker_domains : unit Domain.t list;
+  mutable listener : Thread.t option;
+}
+
+let obs_requests = Obs.counter ~doc:"requests decoded by the daemon" "serve.requests"
+let obs_hits = Obs.counter ~doc:"daemon requests answered from a store" "serve.hits"
+
+let obs_batched =
+  Obs.counter ~doc:"requests answered by a batch leader's lookup" "serve.batched"
+
+let obs_shed = Obs.counter ~doc:"requests shed past the high-water mark" "serve.shed"
+
+let group_by key items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun it ->
+      let k = key it in
+      match Hashtbl.find_opt tbl k with
+      | Some cell -> cell := it :: !cell
+      | None ->
+          Hashtbl.add tbl k (ref [ it ]);
+          order := k :: !order)
+    items;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+(* Only the connection's reader thread ever [close]s the descriptor —
+   everyone else at most [shutdown]s it, which wakes the reader without
+   freeing the fd number, so a blocked read never races a reuse. *)
+let close_conn conn =
+  Mutex.lock conn.wmutex;
+  if conn.alive then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.wmutex
+
+let shutdown_conn conn =
+  Mutex.lock conn.wmutex;
+  (if conn.alive then
+     try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  Mutex.unlock conn.wmutex
+
+let respond conn id resp =
+  Mutex.lock conn.wmutex;
+  (if conn.alive then
+     try Wire.write_frame conn.fd (Wire.encode_response ~id resp)
+     with Unix.Unix_error _ | Sys_error _ -> (
+       conn.alive <- false;
+       try Unix.close conn.fd with Unix.Unix_error _ -> ()));
+  Mutex.unlock conn.wmutex
+
+let record_latency t t0 =
+  let us = Int64.to_float (Int64.sub (Timer.now_ns ()) t0) /. 1e3 in
+  Mutex.lock t.lat_mutex;
+  t.lat_ring.(t.lat_count mod Array.length t.lat_ring) <- us;
+  t.lat_count <- t.lat_count + 1;
+  Mutex.unlock t.lat_mutex
+
+let latency_summary t =
+  Mutex.lock t.lat_mutex;
+  let retained = min t.lat_count (Array.length t.lat_ring) in
+  let xs = Array.sub t.lat_ring 0 retained in
+  let count = t.lat_count in
+  Mutex.unlock t.lat_mutex;
+  if retained = 0 then
+    { Wire.d_count = count; d_min = 0.; d_mean = 0.; d_p95 = 0.; d_max = 0. }
+  else
+    {
+      Wire.d_count = count;
+      d_min = Array.fold_left min xs.(0) xs;
+      d_mean = Stats.mean xs;
+      d_p95 = Stats.percentile xs 0.95;
+      d_max = Array.fold_left max xs.(0) xs;
+    }
+
+let counters t =
+  {
+    requests = Atomic.get t.c_requests;
+    hits = Atomic.get t.c_hits;
+    batched = Atomic.get t.c_batched;
+    shed = Atomic.get t.c_shed;
+    protocol_errors = Atomic.get t.c_protocol_errors;
+    connections = Atomic.get t.c_connections;
+    replayed = t.replayed;
+  }
+
+let plan_stats t = Store.Plan_store.stats t.plans
+let sched_stats t = Store.Sched_store.stats t.scheds
+
+let stats_payload t =
+  let c = counters t in
+  let ps = plan_stats t and ss = sched_stats t in
+  {
+    Wire.s_counters =
+      [
+        ("serve.requests", c.requests);
+        ("serve.hits", c.hits);
+        ("serve.batched", c.batched);
+        ("serve.shed", c.shed);
+        ("serve.protocol_errors", c.protocol_errors);
+        ("serve.connections", c.connections);
+        ("serve.replayed", c.replayed);
+        ("serve.plan_store.size", ps.size);
+        ("serve.plan_store.hits", ps.hits);
+        ("serve.plan_store.misses", ps.misses);
+        ("serve.plan_store.evictions", ps.evictions);
+        ("serve.sched_store.size", ss.size);
+        ("serve.sched_store.hits", ss.hits);
+        ("serve.sched_store.misses", ss.misses);
+        ("serve.sched_store.evictions", ss.evictions);
+      ];
+    s_dists = [ ("serve.latency_us", latency_summary t) ];
+  }
+
+let finish t job resp =
+  record_latency t job.t0;
+  respond job.conn job.id resp
+
+let maybe_rotate t log =
+  if t.cfg.rotate_after > 0 && Plan_log.appended log >= t.cfg.rotate_after then
+    Plan_log.rotate log ~plans:t.plans ~scheds:t.scheds
+
+let log_append_plan t key =
+  match t.log with
+  | None -> ()
+  | Some log ->
+      Plan_log.append_plan log key;
+      maybe_rotate t log
+
+let log_append_sched t key =
+  match t.log with
+  | None -> ()
+  | Some log ->
+      Plan_log.append_sched log key;
+      maybe_rotate t log
+
+let count_served t ~rank ~hit =
+  let served_hit = hit || rank > 0 in
+  if served_hit then begin
+    Atomic.incr t.c_hits;
+    Obs.incr obs_hits
+  end;
+  if rank > 0 then begin
+    Atomic.incr t.c_batched;
+    Obs.incr obs_batched
+  end;
+  served_hit
+
+let process_plan_group t key members =
+  match Store.Plan_store.find_key t.plans key with
+  | exception _ ->
+      List.iter
+        (fun (job, _) ->
+          finish t job (Wire.Error (Wire.E_internal, "plan build failed")))
+        members
+  | v, hit ->
+      if not hit then log_append_plan t key;
+      List.iteri
+        (fun rank (job, local_shift) ->
+          let served_hit = count_served t ~rank ~hit in
+          finish t job
+            (Wire.Plan_digest
+               (Store.Plan_store.digest v ~local_shift ~hit:served_hit)))
+        members
+
+let process_sched_group t key members =
+  match Store.Sched_store.find_key t.scheds key with
+  | exception _ ->
+      List.iter
+        (fun (job, _, _) ->
+          finish t job (Wire.Error (Wire.E_internal, "schedule build failed")))
+        members
+  | v, hit ->
+      if not hit then log_append_sched t key;
+      List.iteri
+        (fun rank (job, _, _) ->
+          let served_hit = count_served t ~rank ~hit in
+          let resp =
+            match job.req with
+            | Wire.Schedule _ ->
+                Wire.Sched_digest
+                  (Store.Sched_store.sched_digest v ~hit:served_hit)
+            | _ ->
+                Wire.Redist_digest
+                  (Store.Sched_store.redist_digest v ~hit:served_hit)
+          in
+          finish t job resp)
+        members
+
+let process_batch t jobs =
+  let plan_ok = ref [] and sched_ok = ref [] in
+  List.iter
+    (fun job ->
+      match job.req with
+      | Wire.Plan r -> (
+          match Store.Plan_store.key_of_req r with
+          | Ok (key, _g_shift, local_shift) ->
+              plan_ok := (key, (job, local_shift)) :: !plan_ok
+          | Error msg -> finish t job (Wire.Error (Wire.E_invalid_request, msg)))
+      | Wire.Schedule r | Wire.Redist r -> (
+          match Store.Sched_store.key_of_req r with
+          | Ok (key, src_shift, dst_shift) ->
+              sched_ok := (key, (job, src_shift, dst_shift)) :: !sched_ok
+          | Error msg -> finish t job (Wire.Error (Wire.E_invalid_request, msg)))
+      | Wire.Stats -> finish t job (Wire.Stats_reply (stats_payload t)))
+    jobs;
+  List.iter
+    (fun (key, members) -> process_plan_group t key (List.map snd members))
+    (group_by fst (List.rev !plan_ok));
+  List.iter
+    (fun (key, members) -> process_sched_group t key (List.map snd members))
+    (group_by fst (List.rev !sched_ok))
+
+let rec worker_loop t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+    Condition.wait t.qcond t.qmutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.qmutex
+    (* stopping, and fully drained *)
+  else begin
+    let batch = ref [] and n = ref 0 in
+    while !n < t.cfg.batch_max && not (Queue.is_empty t.queue) do
+      batch := Queue.take t.queue :: !batch;
+      incr n
+    done;
+    Mutex.unlock t.qmutex;
+    (try process_batch t (List.rev !batch) with _ -> ());
+    worker_loop t
+  end
+
+let shed t job =
+  Atomic.incr t.c_shed;
+  Obs.incr obs_shed;
+  respond job.conn job.id Wire.Overloaded
+
+let enqueue t job =
+  Atomic.incr t.c_requests;
+  Obs.incr obs_requests;
+  if Atomic.get t.stopping then shed t job
+  else begin
+    Mutex.lock t.qmutex;
+    if Queue.length t.queue >= t.cfg.high_water then begin
+      Mutex.unlock t.qmutex;
+      shed t job
+    end
+    else begin
+      Queue.push job t.queue;
+      Condition.signal t.qcond;
+      Mutex.unlock t.qmutex
+    end
+  end
+
+let protocol_error t conn fe =
+  Atomic.incr t.c_protocol_errors;
+  let code, msg = Wire.error_of_frame_error fe in
+  respond conn 0 (Wire.Error (code, msg))
+
+let rec reader_loop t conn =
+  match Wire.read_frame conn.fd with
+  | exception Unix.Unix_error _ -> close_conn conn
+  | `Eof -> close_conn conn
+  | `Error fe ->
+      protocol_error t conn fe;
+      close_conn conn
+  | `Frame payload -> (
+      match Wire.decode_request payload with
+      | Error fe ->
+          protocol_error t conn fe;
+          close_conn conn
+      | Ok (id, req) ->
+          enqueue t { conn; id; req; t0 = Timer.now_ns () };
+          reader_loop t conn)
+
+let rec listener_loop t =
+  if not (Atomic.get t.stopping) then
+    match Unix.select [ t.listen_fd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> listener_loop t
+    | [], _, _ -> listener_loop t
+    | _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error _ -> listener_loop t
+        | fd, _ ->
+            let conn = { fd; wmutex = Mutex.create (); alive = true } in
+            Atomic.incr t.c_connections;
+            Mutex.lock t.conns_mutex;
+            t.conns <- conn :: t.conns;
+            let th = Thread.create (fun () -> reader_loop t conn) () in
+            t.readers <- th :: t.readers;
+            Mutex.unlock t.conns_mutex;
+            listener_loop t)
+
+let bind_address addr =
+  match addr with
+  | `Unix path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      fd
+  | `Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (try Unix.bind fd (Unix.ADDR_INET (inet, port)) with
+      | e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e);
+      Unix.listen fd 128;
+      fd
+
+let start cfg addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let cfg =
+    {
+      cfg with
+      shards = max 1 cfg.shards;
+      workers = max 1 cfg.workers;
+      batch_max = max 1 cfg.batch_max;
+      high_water = max 0 cfg.high_water;
+    }
+  in
+  let plans =
+    Store.Plan_store.create ~shards:cfg.shards ~capacity:cfg.plan_capacity ()
+  in
+  let scheds =
+    Store.Sched_store.create ~shards:cfg.shards ~capacity:cfg.sched_capacity ()
+  in
+  let replayed, log =
+    match cfg.log_path with
+    | None -> (0, None)
+    | Some path ->
+        let warmed = Plan_log.replay path ~plans ~scheds in
+        (warmed, Some (Plan_log.open_log path))
+  in
+  let listen_fd = bind_address addr in
+  let t =
+    {
+      cfg;
+      addr;
+      listen_fd;
+      plans;
+      scheds;
+      log;
+      replayed;
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      c_requests = Atomic.make 0;
+      c_hits = Atomic.make 0;
+      c_batched = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_protocol_errors = Atomic.make 0;
+      c_connections = Atomic.make 0;
+      lat_mutex = Mutex.create ();
+      lat_ring = Array.make 8192 0.;
+      lat_count = 0;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      readers = [];
+      worker_domains = [];
+      listener = None;
+    }
+  in
+  t.worker_domains <-
+    List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
+  t
+
+let stop t =
+  if Atomic.compare_and_set t.stopped false true then begin
+    Atomic.set t.stopping true;
+    Mutex.lock t.qmutex;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qmutex;
+    (match t.listener with Some th -> Thread.join th | None -> ());
+    (* Workers exit only once the queue is empty, so joining them here is
+       the drain: every job accepted before the stop gets its answer
+       while its connection is still up. *)
+    List.iter Domain.join t.worker_domains;
+    Mutex.lock t.conns_mutex;
+    let conns = t.conns and readers = t.readers in
+    Mutex.unlock t.conns_mutex;
+    List.iter shutdown_conn conns;
+    List.iter Thread.join readers;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.log with
+    | None -> ()
+    | Some log ->
+        Plan_log.flush log;
+        Plan_log.close log);
+    match t.addr with
+    | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | `Tcp _ -> ()
+  end
+
+let run cfg addr =
+  let stop_flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let t = start cfg addr in
+  (match addr with
+  | `Unix path -> Printf.printf "listening on unix:%s\n%!" path
+  | `Tcp (host, port) -> Printf.printf "listening on tcp:%s:%d\n%!" host port);
+  while not (Atomic.get stop_flag) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  stop t

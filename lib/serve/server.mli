@@ -1,0 +1,73 @@
+(** The plan-compilation daemon behind [lams serve].
+
+    One listener thread accepts connections; a reader thread per
+    connection decodes frames and enqueues jobs; a pool of worker
+    {e domains} drains the queue in batches, groups jobs that share a
+    canonical cache key, resolves each group with {e one} store lookup
+    (one build on a miss) and fans the rebased digests back out. Lookups
+    go through the sharded stores ({!Store}), so workers contend only on
+    same-shard keys, never on a global cache mutex.
+
+    Back-pressure is load shedding: once the queue holds
+    [high_water] jobs, new requests are answered [Overloaded]
+    immediately instead of queued ([high_water = 0] sheds everything — a
+    test hook). Shutdown is graceful: the queue is drained and every
+    enqueued job answered, then connections close and the plan log is
+    flushed — so a SIGTERM never loses logged keys or strands an
+    accepted request. *)
+
+type config = {
+  shards : int;  (** store shards (clamped to [>= 1]) *)
+  plan_capacity : int;
+  sched_capacity : int;
+  workers : int;  (** worker domains (clamped to [>= 1]) *)
+  batch_max : int;  (** max jobs drained per batch *)
+  high_water : int;  (** shed above this queue depth; [0] sheds all *)
+  log_path : string option;  (** plan log; [None] disables persistence *)
+  rotate_after : int;  (** rotate the log every this many appends *)
+}
+
+val default_config : config
+(** 8 shards (or domain count), 4096/1024 capacities, 4 workers,
+    batch 64, high water 1024, no log, rotate every 65536 appends. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type counters = {
+  requests : int;  (** decoded requests, shed or served *)
+  hits : int;  (** jobs answered from a store (incl. batch fan-out) *)
+  batched : int;  (** fan-out members beyond each group's leader *)
+  shed : int;  (** [Overloaded] answers *)
+  protocol_errors : int;  (** framing/decode failures answered [Error] *)
+  connections : int;  (** connections accepted over the lifetime *)
+  replayed : int;  (** entries warmed from the plan log at startup *)
+}
+
+type t
+
+val start : config -> address -> t
+(** Bind, replay the plan log (if any), spawn workers and the listener.
+    An existing socket file at a [`Unix] path is replaced.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above. Idempotent. *)
+
+val counters : t -> counters
+val plan_stats : t -> Store.stats
+val sched_stats : t -> Store.stats
+
+val stats_payload : t -> Wire.stats_payload
+(** What a [Stats] request answers: the counters above, both stores'
+    accounting, and the served-latency distribution (microseconds). *)
+
+val run : config -> address -> unit
+(** [start], then block until SIGTERM or SIGINT, then [stop]. Installs
+    the signal handlers (and ignores SIGPIPE); prints one
+    [listening on ...] line to stdout when ready. *)
+
+val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
+(** The batching step, exposed pure for tests: partition a batch by key,
+    preserving first-seen key order and per-key arrival order.
+    [List.concat_map snd (group_by f xs)] is a permutation of [xs], and
+    every group is non-empty and key-homogeneous. *)

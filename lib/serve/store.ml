@@ -1,0 +1,325 @@
+module Problem = Lams_core.Problem
+module Plan_cache = Lams_core.Plan_cache
+module Start_finder = Lams_core.Start_finder
+module Layout = Lams_dist.Layout
+module Section = Lams_dist.Section
+module Schedule = Lams_sched.Schedule
+
+type stats = {
+  size : int;
+  capacity : int;
+  shards : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  removals : int;
+}
+
+let max_procs = 4096
+
+let fnv_fold init xs = List.fold_left (fun h x -> Wire.fnv1a64 ~init:h x) init xs
+
+module Plan_store = struct
+  type key = { p : int; k : int; s : int; l : int; u : int }
+
+  module Lru = Lams_util.Sharded_lru.Make (struct
+    type t = key
+
+    let equal (a : key) (b : key) =
+      a.p = b.p && a.k = b.k && a.s = b.s && a.l = b.l && a.u = b.u
+
+    (* A hand-mixed hash: the generic [Hashtbl.hash] costs a C call per
+       lookup, and the sharded store hashes twice (shard pick + bucket),
+       so the serve hot path wants this to be a handful of int ops. *)
+    let hash (k : key) =
+      let h = k.p in
+      let h = (h * 0x1000193) + k.k in
+      let h = (h * 0x1000193) + k.s in
+      let h = (h * 0x1000193) + k.l in
+      let h = (h * 0x1000193) + k.u in
+      h land max_int
+  end)
+
+  type value = { entry : Plan_cache.entry; digests : Wire.proc_digest array }
+  type t = value Lru.t
+
+  let create ?shards ~capacity () = Lru.create ?shards ~capacity ()
+
+  let canonical_key pr ~u =
+    let pr0, u0, g_shift, local_shift = Plan_cache.canonicalize pr ~u in
+    let { Problem.p; k; l; s } = pr0 in
+    ({ p; k; s; l; u = u0 }, g_shift, local_shift)
+
+  let key_of_req (r : Wire.plan_req) =
+    if r.p > max_procs then
+      Error (Printf.sprintf "p = %d exceeds the serving cap (%d)" r.p max_procs)
+    else if r.u < r.l then
+      Error (Printf.sprintf "empty section: u = %d < l = %d" r.u r.l)
+    else
+      match Problem.make ~p:r.p ~k:r.k ~l:r.l ~s:r.s with
+      | pr -> Ok (canonical_key pr ~u:r.u)
+      | exception Invalid_argument msg -> Error msg
+
+  (* One processor's digest at canonical position. [table_hash] folds
+     only shift-invariant data (gap period, gaps, FSM transitions), so a
+     rebased view of the same entry hashes identically — which is
+     exactly what lets a hit skip re-hashing. *)
+  let proc_digest pr0 ~u0 view ~m =
+    let lay = Problem.layout pr0 in
+    let table = Plan_cache.table view ~m in
+    let last = Plan_cache.last_location view ~m in
+    let count = Start_finder.count_owned pr0 ~m ~u:u0 in
+    let h = fnv_fold Wire.fnv_offset [ table.length ] in
+    let h = Array.fold_left (fun h g -> Wire.fnv1a64 ~init:h g) h table.gaps in
+    let h =
+      match Plan_cache.fsm view ~m with
+      | None -> Wire.fnv1a64 ~init:h (-1)
+      | Some fsm ->
+          let h = fnv_fold h [ fsm.start_offset; fsm.length ] in
+          let h =
+            Array.fold_left (fun h d -> Wire.fnv1a64 ~init:h d) h fsm.delta
+          in
+          Array.fold_left (fun h o -> Wire.fnv1a64 ~init:h o) h fsm.next_offset
+    in
+    match (last, table.start_local) with
+    | Some last_g, Some start_local when count > 0 ->
+        {
+          Wire.owned = true;
+          start_local;
+          last_local = Layout.local_address lay last_g;
+          length = table.length;
+          count;
+          table_hash = h;
+        }
+    | _ ->
+        {
+          Wire.owned = false;
+          start_local = -1;
+          last_local = -1;
+          length = table.length;
+          count = 0;
+          table_hash = h;
+        }
+
+  let build_value (key : key) =
+    let pr0 = Problem.make ~p:key.p ~k:key.k ~l:key.l ~s:key.s in
+    let entry = Plan_cache.build_entry pr0 ~u:key.u in
+    let view = Plan_cache.view_of_entry entry ~g_shift:0 ~local_shift:0 in
+    let digests =
+      Array.init key.p (fun m -> proc_digest pr0 ~u0:key.u view ~m)
+    in
+    { entry; digests }
+
+  let find_key t key = Lru.find_or_build t key ~build:build_value
+
+  let digest v ~local_shift ~hit =
+    let procs =
+      if local_shift = 0 then v.digests
+      else
+        Array.map
+          (fun (d : Wire.proc_digest) ->
+            if d.owned then
+              {
+                d with
+                start_local = d.start_local + local_shift;
+                last_local = d.last_local + local_shift;
+              }
+            else d)
+          v.digests
+    in
+    { Wire.plan_hit = hit; procs }
+
+  let view v ~g_shift ~local_shift =
+    Plan_cache.view_of_entry v.entry ~g_shift ~local_shift
+
+  let find t pr ~u =
+    let key, g_shift, local_shift = canonical_key pr ~u in
+    let v, hit = find_key t key in
+    (view v ~g_shift ~local_shift, hit)
+
+  let stats t =
+    {
+      size = Lru.size t;
+      capacity = Lru.capacity t;
+      shards = Lru.shards t;
+      hits = Lru.hits t;
+      misses = Lru.misses t;
+      evictions = Lru.evictions t;
+      insertions = Lru.insertions t;
+      removals = Lru.removals t;
+    }
+
+  let clear = Lru.clear
+  let iter_keys = Lru.iter_keys
+end
+
+module Sched_store = struct
+  type key = {
+    sp : int;
+    sk : int;
+    ssec : int * int * int;
+    dp : int;
+    dk : int;
+    dsec : int * int * int;
+  }
+
+  module Lru = Lams_util.Sharded_lru.Make (struct
+    type t = key
+
+    let equal (a : key) (b : key) =
+      a.sp = b.sp && a.sk = b.sk && a.dp = b.dp && a.dk = b.dk
+      &&
+      let slo, shi, sst = a.ssec and slo', shi', sst' = b.ssec in
+      slo = slo' && shi = shi' && sst = sst'
+      &&
+      let dlo, dhi, dst = a.dsec and dlo', dhi', dst' = b.dsec in
+      dlo = dlo' && dhi = dhi' && dst = dst'
+
+    let hash (k : key) =
+      let slo, shi, sst = k.ssec and dlo, dhi, dst = k.dsec in
+      let h = k.sp in
+      let h = (h * 0x1000193) + k.sk in
+      let h = (h * 0x1000193) + slo in
+      let h = (h * 0x1000193) + shi in
+      let h = (h * 0x1000193) + sst in
+      let h = (h * 0x1000193) + k.dp in
+      let h = (h * 0x1000193) + k.dk in
+      let h = (h * 0x1000193) + dlo in
+      let h = (h * 0x1000193) + dhi in
+      let h = (h * 0x1000193) + dst in
+      h land max_int
+  end)
+
+  type value = {
+    sched : Schedule.t;  (** at canonical section positions *)
+    sdig : Wire.sched_digest;  (** with [sched_hit = false] *)
+    rdig : Wire.redist_digest;  (** with [redist_hit = false] *)
+  }
+
+  type t = value Lru.t
+
+  let create ?shards ~capacity () = Lru.create ?shards ~capacity ()
+
+  let triplet (sec : Section.t) = (sec.lo, sec.hi, sec.stride)
+
+  let validate_side ~what ~p ~k (lo, hi, stride) =
+    if p < 1 || p > max_procs then
+      Error (Printf.sprintf "%s: p = %d out of [1, %d]" what p max_procs)
+    else if k < 1 then Error (Printf.sprintf "%s: k = %d must be >= 1" what k)
+    else if stride = 0 then Error (Printf.sprintf "%s: stride must be non-zero" what)
+    else if lo < 0 || hi < 0 then
+      Error (Printf.sprintf "%s: negative section bound" what)
+    else
+      let sec = Section.make ~lo ~hi ~stride in
+      if Section.is_empty sec then Error (Printf.sprintf "%s: empty section" what)
+      else Ok (Layout.create ~p ~k, sec)
+
+  let key_of_req (r : Wire.sched_req) =
+    match
+      ( validate_side ~what:"source" ~p:r.src_p ~k:r.src_k
+          (r.src_lo, r.src_hi, r.src_stride),
+        validate_side ~what:"destination" ~p:r.dst_p ~k:r.dst_k
+          (r.dst_lo, r.dst_hi, r.dst_stride) )
+    with
+    | Error e, _ | _, Error e -> Error e
+    | Ok (src_layout, src_section), Ok (dst_layout, dst_section) ->
+        if Section.count src_section <> Section.count dst_section then
+          Error
+            (Printf.sprintf "element count mismatch: source %d, destination %d"
+               (Section.count src_section) (Section.count dst_section))
+        else
+          let (src0, src_shift), (dst0, dst_shift) =
+            Lams_sched.Cache.canonicalize ~src_layout ~src_section ~dst_layout
+              ~dst_section
+          in
+          Ok
+            ( {
+                sp = r.src_p;
+                sk = r.src_k;
+                ssec = triplet src0;
+                dp = r.dst_p;
+                dk = r.dst_k;
+                dsec = triplet dst0;
+              },
+              src_shift,
+              dst_shift )
+
+  let digests_of_schedule (sched : Schedule.t) =
+    let shape_hash =
+      List.fold_left
+        (fun h round ->
+          let h = Wire.fnv1a64 ~init:h (-1) in
+          List.fold_left
+            (fun h (tr : Schedule.transfer) ->
+              fnv_fold h [ tr.src_proc; tr.dst_proc; tr.elements ])
+            h round)
+        Wire.fnv_offset sched.rounds
+    in
+    let pairs = Hashtbl.create 64 in
+    let add (tr : Schedule.transfer) =
+      let key = (tr.src_proc, tr.dst_proc) in
+      let prev = try Hashtbl.find pairs key with Not_found -> 0 in
+      Hashtbl.replace pairs key (prev + tr.elements)
+    in
+    List.iter add sched.locals;
+    List.iter (List.iter add) sched.rounds;
+    let pair_list =
+      Hashtbl.fold (fun (s, d) e acc -> (s, d, e) :: acc) pairs []
+      |> List.sort compare |> Array.of_list
+    in
+    let sdig =
+      {
+        Wire.sched_hit = false;
+        rounds = Schedule.rounds_count sched;
+        max_degree = sched.max_degree;
+        total = sched.total;
+        cross = Schedule.cross_elements sched;
+        locals = List.length sched.locals;
+        shape_hash;
+      }
+    in
+    let rdig =
+      {
+        Wire.redist_hit = false;
+        r_total = sched.total;
+        r_cross = Schedule.cross_elements sched;
+        pairs = pair_list;
+      }
+    in
+    (sdig, rdig)
+
+  let build_value (key : key) =
+    let slo, shi, sst = key.ssec and dlo, dhi, dst = key.dsec in
+    let sched =
+      Schedule.build
+        ~src_layout:(Layout.create ~p:key.sp ~k:key.sk)
+        ~src_section:(Section.make ~lo:slo ~hi:shi ~stride:sst)
+        ~dst_layout:(Layout.create ~p:key.dp ~k:key.dk)
+        ~dst_section:(Section.make ~lo:dlo ~hi:dhi ~stride:dst)
+    in
+    let sdig, rdig = digests_of_schedule sched in
+    { sched; sdig; rdig }
+
+  let find_key t key = Lru.find_or_build t key ~build:build_value
+  let sched_digest v ~hit = { v.sdig with Wire.sched_hit = hit }
+  let redist_digest v ~hit = { v.rdig with Wire.redist_hit = hit }
+
+  let schedule v ~src_shift ~dst_shift =
+    Schedule.rebase v.sched ~src_delta:src_shift ~dst_delta:dst_shift
+
+  let stats t =
+    {
+      size = Lru.size t;
+      capacity = Lru.capacity t;
+      shards = Lru.shards t;
+      hits = Lru.hits t;
+      misses = Lru.misses t;
+      evictions = Lru.evictions t;
+      insertions = Lru.insertions t;
+      removals = Lru.removals t;
+    }
+
+  let clear = Lru.clear
+  let iter_keys = Lru.iter_keys
+end

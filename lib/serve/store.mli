@@ -1,0 +1,100 @@
+(** The daemon's caches: sharded LRUs over canonical plan and schedule
+    keys.
+
+    These replace the single-mutex process caches
+    ({!Lams_core.Plan_cache}, {!Lams_sched.Cache}) on the serve path:
+    keys are the same canonical tuples those caches use (so the hit
+    semantics are identical — translated sections collide), but lookups
+    go through {!Lams_util.Sharded_lru} with one mutex per shard, and
+    misses build through the exposed construction entry points without
+    ever touching the global caches. Each cached value carries the wire
+    digest precomputed at canonical position; a hit rebases the two
+    position-dependent fields and never re-hashes. *)
+
+type stats = {
+  size : int;
+  capacity : int;
+  shards : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  removals : int;
+}
+
+val max_procs : int
+(** Serving cap on [p] (and on each side of a redistribution): plan
+    digests are [O(p)] on the wire, so a query past this bound is an
+    [E_invalid_request], not a build. *)
+
+module Plan_store : sig
+  type key = private { p : int; k : int; s : int; l : int; u : int }
+  (** Canonical: [0 <= l < cycle_span], [u] shifted to match. *)
+
+  type value
+  type t
+
+  val create : ?shards:int -> capacity:int -> unit -> t
+
+  val canonical_key : Lams_core.Problem.t -> u:int -> key * int * int
+  (** [(key, g_shift, local_shift)], per
+      {!Lams_core.Plan_cache.canonicalize}. *)
+
+  val key_of_req : Wire.plan_req -> (key * int * int, string) result
+  (** Validate and canonicalize a wire request ([Error] on arguments
+      {!Lams_core.Problem.make} rejects, or [p > max_procs]). *)
+
+  val find_key : t -> key -> value * bool
+  (** Lookup-or-build under the canonical key; [true] = served from the
+      cache. *)
+
+  val digest : value -> local_shift:int -> hit:bool -> Wire.plan_digest
+  (** The wire digest rebased to the requester's section position. *)
+
+  val view : value -> g_shift:int -> local_shift:int -> Lams_core.Plan_cache.view
+  (** The underlying whole-machine plan, rebased — what the hammer test
+      diffs against {!Lams_codegen.Plan.build_uncached}. *)
+
+  val find : t -> Lams_core.Problem.t -> u:int -> Lams_core.Plan_cache.view * bool
+  (** Convenience composition of the three steps above. *)
+
+  val stats : t -> stats
+  val clear : t -> unit
+  val iter_keys : t -> (key -> unit) -> unit
+end
+
+module Sched_store : sig
+  type key = private {
+    sp : int;
+    sk : int;
+    ssec : int * int * int;  (** canonical source [lo, hi, stride] *)
+    dp : int;
+    dk : int;
+    dsec : int * int * int;
+  }
+
+  type value
+  type t
+
+  val create : ?shards:int -> capacity:int -> unit -> t
+
+  val key_of_req : Wire.sched_req -> (key * int * int, string) result
+  (** [(key, src_local_shift, dst_local_shift)] per
+      {!Lams_sched.Cache.canonicalize}; [Error] on invalid layouts,
+      empty or count-mismatched sections, or [p] past {!max_procs}. *)
+
+  val find_key : t -> key -> value * bool
+
+  val sched_digest : value -> hit:bool -> Wire.sched_digest
+
+  val redist_digest : value -> hit:bool -> Wire.redist_digest
+  (** Digests are translation-invariant (they carry no local addresses),
+      so hits need no rebase at all. *)
+
+  val schedule : value -> src_shift:int -> dst_shift:int -> Lams_sched.Schedule.t
+  (** The full rebased schedule (tests; the wire sends only digests). *)
+
+  val stats : t -> stats
+  val clear : t -> unit
+  val iter_keys : t -> (key -> unit) -> unit
+end

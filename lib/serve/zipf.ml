@@ -1,0 +1,31 @@
+type t = { cum : float array; total : float; theta : float }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if not (Float.is_finite theta) || theta < 0. then
+    invalid_arg "Zipf.create: theta must be finite and non-negative";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (float_of_int (r + 1) ** -.theta);
+    cum.(r) <- !acc
+  done;
+  { cum; total = !acc; theta }
+
+let n t = Array.length t.cum
+let theta t = t.theta
+
+let sample t rng =
+  let u = Lams_util.Prng.float rng t.total in
+  (* Smallest r with cum.(r) > u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let mass t r =
+  if r <= 0 then 0.
+  else if r >= Array.length t.cum then 1.
+  else t.cum.(r - 1) /. t.total

@@ -1,0 +1,25 @@
+(** Zipf-distributed key sampling for the load generator.
+
+    Rank [r] (0-based) is drawn with probability proportional to
+    [(r + 1) ** -theta]: [theta = 0] is uniform, [theta ~ 1] is the
+    classic web-workload skew, larger [theta] concentrates more mass on
+    the hottest keys. The sampler precomputes the cumulative weights
+    once ([O(n)] setup, [O(log n)] per draw) and is immutable after
+    {!create}, so one table can be shared by every client thread. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** @raise Invalid_argument if [n <= 0], [theta < 0] or [theta] is not
+    finite. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Lams_util.Prng.t -> int
+(** A rank in [\[0, n)]; rank 0 is the most probable. *)
+
+val mass : t -> int -> float
+(** [mass t r] is the probability that a draw lands in [\[0, r)] — the
+    working-set mass of the [r] hottest keys (used to size caches in the
+    bench). [mass t 0 = 0.], [mass t (n t) = 1.]. *)

@@ -1,0 +1,735 @@
+open Lams_serve
+module Problem = Lams_core.Problem
+module Plan = Lams_codegen.Plan
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_plan_req =
+  QCheck2.Gen.(
+    let* p = int_range 1 64 in
+    let* k = int_range 1 64 in
+    let* s = int_range 1 4096 in
+    let* l = int_range 0 100_000 in
+    let* span = int_range 0 1_000_000 in
+    return { Wire.p; k; s; l; u = l + span })
+
+let gen_sched_req =
+  QCheck2.Gen.(
+    let* src_p = int_range 1 32 in
+    let* src_k = int_range 1 32 in
+    let* src_lo = int_range 0 10_000 in
+    let* src_hi = int_range 0 10_000 in
+    let* src_stride = int_range 1 64 in
+    let* dst_p = int_range 1 32 in
+    let* dst_k = int_range 1 32 in
+    let* dst_lo = int_range 0 10_000 in
+    let* dst_hi = int_range 0 10_000 in
+    let* dst_stride = int_range 1 64 in
+    return
+      {
+        Wire.src_p;
+        src_k;
+        src_lo;
+        src_hi;
+        src_stride;
+        dst_p;
+        dst_k;
+        dst_lo;
+        dst_hi;
+        dst_stride;
+      })
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun r -> Wire.Plan r) gen_plan_req;
+        map (fun r -> Wire.Schedule r) gen_sched_req;
+        map (fun r -> Wire.Redist r) gen_sched_req;
+        return Wire.Stats;
+      ])
+
+let gen_proc_digest =
+  QCheck2.Gen.(
+    let* owned = bool in
+    let* start_local = int_range (-1) 100_000 in
+    let* last_local = int_range (-1) 100_000 in
+    let* length = int_range 0 4096 in
+    let* count = int_range 0 100_000 in
+    let* h = int_range 0 max_int in
+    return
+      {
+        Wire.owned;
+        start_local;
+        last_local;
+        length;
+        count;
+        table_hash = Int64.of_int h;
+      })
+
+let gen_response =
+  QCheck2.Gen.(
+    let small_string = string_size ~gen:printable (int_range 0 40) in
+    oneof
+      [
+        (let* plan_hit = bool in
+         let* procs = array_size (int_range 0 8) gen_proc_digest in
+         return (Wire.Plan_digest { plan_hit; procs }));
+        (let* sched_hit = bool in
+         let* rounds = int_range 0 64 in
+         let* max_degree = int_range 0 64 in
+         let* total = int_range 0 1_000_000 in
+         let* cross = int_range 0 1_000_000 in
+         let* locals = int_range 0 64 in
+         let* h = int_range 0 max_int in
+         return
+           (Wire.Sched_digest
+              {
+                sched_hit;
+                rounds;
+                max_degree;
+                total;
+                cross;
+                locals;
+                shape_hash = Int64.of_int h;
+              }));
+        (let* redist_hit = bool in
+         let* r_total = int_range 0 1_000_000 in
+         let* r_cross = int_range 0 1_000_000 in
+         let* pairs =
+           array_size (int_range 0 12)
+             (tup3 (int_range 0 31) (int_range 0 31) (int_range 1 10_000))
+         in
+         return (Wire.Redist_digest { redist_hit; r_total; r_cross; pairs }));
+        (let* s_counters =
+           list_size (int_range 0 6)
+             (tup2 small_string (int_range 0 1_000_000))
+         in
+         let* s_dists =
+           list_size (int_range 0 3)
+             (tup2 small_string
+                (let* d_count = int_range 0 10_000 in
+                 let* d_min = float_bound_inclusive 100. in
+                 let* d_mean = float_bound_inclusive 100. in
+                 let* d_p95 = float_bound_inclusive 100. in
+                 let* d_max = float_bound_inclusive 100. in
+                 return { Wire.d_count; d_min; d_mean; d_p95; d_max }))
+         in
+         return (Wire.Stats_reply { s_counters; s_dists }));
+        (let* code =
+           oneofl
+             [
+               Wire.E_bad_magic;
+               Wire.E_bad_version;
+               Wire.E_bad_frame;
+               Wire.E_bad_tag;
+               Wire.E_invalid_request;
+               Wire.E_internal;
+             ]
+         in
+         let* msg = small_string in
+         return (Wire.Error (code, msg)));
+        return Wire.Overloaded;
+      ])
+
+let prop_request_roundtrip =
+  Tutil.qtest "wire: request encode/decode roundtrip"
+    QCheck2.Gen.(tup2 (int_range 0 1_000_000) gen_request)
+    (fun (id, req) ->
+      match Wire.decode_request (Wire.encode_request ~id req) with
+      | Ok (id', req') -> id' = id && req' = req
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  Tutil.qtest "wire: response encode/decode roundtrip"
+    QCheck2.Gen.(tup2 (int_range 0 1_000_000) gen_response)
+    (fun (id, resp) ->
+      match Wire.decode_response (Wire.encode_response ~id resp) with
+      | Ok (id', resp') -> id' = id && resp' = resp
+      | Error _ -> false)
+
+let prop_garbage_never_raises =
+  Tutil.qtest "wire: decoding arbitrary bytes never raises"
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      let b = Bytes.of_string s in
+      (match Wire.decode_request b with Ok _ | Error _ -> ());
+      (match Wire.decode_response b with Ok _ | Error _ -> ());
+      true)
+
+let patch_u8 b pos v = Bytes.set_uint8 b pos v
+
+let test_bad_frames () =
+  let valid () = Wire.encode_request ~id:7 (Wire.Plan { p = 4; k = 8; s = 9; l = 4; u = 400 }) in
+  (* Header shorter than the fixed 15 bytes. *)
+  (match Wire.decode_request (Bytes.sub (valid ()) 0 9) with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "short header must be Truncated");
+  (* Body shorter than the tag demands. *)
+  (match Wire.decode_request (Bytes.sub (valid ()) 0 20) with
+  | Error (Wire.Truncated | Wire.Bad_payload _) -> ()
+  | _ -> Alcotest.fail "short body must be a typed error");
+  (* Corrupt magic. *)
+  let b = valid () in
+  patch_u8 b 0 0xde;
+  (match Wire.decode_request b with
+  | Error (Wire.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "corrupt magic must be Bad_magic");
+  (* Wrong version. *)
+  let b = valid () in
+  patch_u8 b 5 (Wire.version + 9);
+  (match Wire.decode_request b with
+  | Error (Wire.Bad_version v) ->
+      Tutil.check_int "version echoed" (Wire.version + 9) v
+  | _ -> Alcotest.fail "wrong version must be Bad_version");
+  (* Unknown tag. *)
+  let b = valid () in
+  patch_u8 b 6 0xee;
+  (match Wire.decode_request b with
+  | Error (Wire.Bad_tag 0xee) -> ()
+  | _ -> Alcotest.fail "unknown tag must be Bad_tag");
+  (* Every frame error maps to a typed error code. *)
+  List.iter
+    (fun fe -> ignore (Wire.error_of_frame_error fe : Wire.error_code * string))
+    [
+      Wire.Truncated;
+      Wire.Oversized 99;
+      Wire.Bad_magic 1;
+      Wire.Bad_version 2;
+      Wire.Bad_tag 3;
+      Wire.Bad_payload "x";
+    ]
+
+let test_read_frame_limits () =
+  let with_pipe f =
+    let r, w = Unix.pipe () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        try Unix.close w with Unix.Unix_error _ -> ())
+      (fun () -> f r w)
+  in
+  (* A declared length beyond max_frame is rejected unread. *)
+  with_pipe (fun r w ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 (Int32.of_int (Wire.max_frame + 1));
+      ignore (Unix.write w hdr 0 4);
+      match Wire.read_frame r with
+      | `Error (Wire.Oversized n) ->
+          Tutil.check_int "oversized length echoed" (Wire.max_frame + 1) n
+      | _ -> Alcotest.fail "oversized frame must be rejected");
+  (* EOF mid-frame is Truncated, not a clean Eof. *)
+  with_pipe (fun r w ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 10l;
+      ignore (Unix.write w hdr 0 4);
+      ignore (Unix.write w (Bytes.make 3 'x') 0 3);
+      Unix.close w;
+      match Wire.read_frame r with
+      | `Error Wire.Truncated -> ()
+      | _ -> Alcotest.fail "EOF mid-frame must be Truncated");
+  (* EOF at a frame boundary is clean. *)
+  with_pipe (fun r w ->
+      Unix.close w;
+      match Wire.read_frame r with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "EOF at boundary must be Eof")
+
+(* ------------------------------------------------------------------ *)
+(* Batching helper                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_group_by =
+  Tutil.qtest "server: group_by partitions and preserves order"
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 5))
+    (fun xs ->
+      let groups = Server.group_by (fun x -> x mod 3) xs in
+      (* Concatenating the groups is a permutation of the input... *)
+      List.sort compare (List.concat_map snd groups) = List.sort compare xs
+      (* ...each group is key-homogeneous and non-empty... *)
+      && List.for_all
+           (fun (key, members) ->
+             members <> [] && List.for_all (fun x -> x mod 3 = key) members)
+           groups
+      (* ...and group keys appear in first-seen order. *)
+      && List.map fst groups
+         = List.fold_left
+             (fun seen x ->
+               let key = x mod 3 in
+               if List.mem key seen then seen else seen @ [ key ])
+             [] xs)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded LRU                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Int_lru = Lams_util.Sharded_lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = Hashtbl.hash x
+end)
+
+let lru_invariants t ~lookups =
+  Tutil.check_int "hits + misses = lookups" lookups
+    (Int_lru.hits t + Int_lru.misses t);
+  Tutil.check_int "insertions - evictions - removals = size"
+    (Int_lru.size t)
+    (Int_lru.insertions t - Int_lru.evictions t - Int_lru.removals t);
+  Tutil.check_bool "size within capacity slack" true
+    (Int_lru.size t <= Int_lru.capacity t + Int_lru.shards t)
+
+let test_lru_accounting () =
+  let t = Int_lru.create ~shards:2 ~capacity:4 () in
+  let build k = k * 10 in
+  (* 10 distinct keys through a 4-entry cache: all misses, evictions. *)
+  for key = 0 to 9 do
+    let v, hit = Int_lru.find_or_build t key ~build in
+    Tutil.check_int "built value" (key * 10) v;
+    Tutil.check_bool "cold lookup is a miss" false hit
+  done;
+  lru_invariants t ~lookups:10;
+  Tutil.check_bool "eviction happened" true (Int_lru.evictions t > 0);
+  (* Re-touch whatever survived: every lookup counted, hit or miss. *)
+  let live = ref [] in
+  Int_lru.iter_keys t (fun key -> live := key :: !live);
+  List.iter
+    (fun key ->
+      let _, hit = Int_lru.find_or_build t key ~build in
+      Tutil.check_bool "live key hits" true hit)
+    !live;
+  lru_invariants t ~lookups:(10 + List.length !live);
+  (* remove is counted under removals, not evictions. *)
+  (match !live with
+  | key :: _ ->
+      let ev = Int_lru.evictions t in
+      Int_lru.remove t key;
+      Tutil.check_int "removals" 1 (Int_lru.removals t);
+      Tutil.check_int "evictions unchanged" ev (Int_lru.evictions t);
+      Tutil.check_bool "removed key gone" true
+        (Int_lru.find_opt t key = None)
+  | [] -> Alcotest.fail "cache unexpectedly empty");
+  Int_lru.clear t;
+  Tutil.check_int "clear empties" 0 (Int_lru.size t);
+  Tutil.check_int "clear resets accounting" 0
+    (Int_lru.hits t + Int_lru.misses t)
+
+let test_lru_zero_capacity () =
+  let t = Int_lru.create ~capacity:0 () in
+  for key = 0 to 5 do
+    let v, hit = Int_lru.find_or_build t key ~build:(fun k -> k + 1) in
+    Tutil.check_int "still built" (key + 1) v;
+    Tutil.check_bool "never cached" false hit
+  done;
+  Tutil.check_int "size stays 0" 0 (Int_lru.size t);
+  Tutil.check_int "no insertions" 0 (Int_lru.insertions t)
+
+(* The hammer: several domains pound one Plan_store over a mixed
+   hot/cold key population small enough to force evictions, then the
+   accounting must balance exactly and the served plans must match the
+   uncached per-processor oracle bit for bit. *)
+let test_store_hammer () =
+  let domains = 4 and per_domain = 1500 and population = 48 in
+  let store = Store.Plan_store.create ~shards:8 ~capacity:24 () in
+  let req_of_rank r =
+    let p = 1 + (r mod 7) in
+    let k = 1 + (r mod 9) in
+    let s = 1 + (r mod 31) in
+    let l = 3 * r in
+    { Wire.p; k; s; l; u = l + (s * (10 + (r mod 50))) }
+  in
+  let errors = Atomic.make 0 in
+  let work seed () =
+    for i = 0 to per_domain - 1 do
+      let r = ((i * 17) + (seed * 5)) mod population in
+      match Store.Plan_store.key_of_req (req_of_rank r) with
+      | Error _ -> Atomic.incr errors
+      | Ok (key, _, _) ->
+          let v, _hit = Store.Plan_store.find_key store key in
+          ignore (Store.Plan_store.digest v ~local_shift:0 ~hit:true)
+    done
+  in
+  let ds = Array.init domains (fun d -> Domain.spawn (work d)) in
+  Array.iter Domain.join ds;
+  Tutil.check_int "no invalid keys" 0 (Atomic.get errors);
+  let st = Store.Plan_store.stats store in
+  Tutil.check_int "hits + misses = lookups" (domains * per_domain)
+    (st.hits + st.misses);
+  Tutil.check_int "insertions - evictions - removals = size" st.size
+    (st.insertions - st.evictions - st.removals);
+  Tutil.check_bool "evictions under pressure" true (st.evictions > 0);
+  (* Oracle check on a sample of the population, through the public
+     find (canonicalize + rebase), against the seed-path build. *)
+  List.iter
+    (fun r ->
+      let { Wire.p; k; s; l; u } = req_of_rank r in
+      let pr = Problem.make ~p ~k ~l ~s in
+      let view, _hit = Store.Plan_store.find store pr ~u in
+      for m = 0 to p - 1 do
+        let table = Lams_core.Plan_cache.table view ~m in
+        match Plan.build_uncached pr ~m ~u with
+        | None ->
+            Tutil.check_bool "oracle: unowned" true (table.start_local = None)
+        | Some oracle ->
+            Tutil.check_int "oracle: start_local" oracle.Plan.start_local
+              (Option.get table.start_local);
+            Tutil.check_int "oracle: period" oracle.Plan.length table.length
+      done)
+    [ 0; 7; 13; 29; 41 ]
+
+(* ------------------------------------------------------------------ *)
+(* Digest rebase                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_rebase () =
+  let p = 4 and k = 8 and s = 9 and l = 4 in
+  let pr = Problem.make ~p ~k ~l ~s in
+  let span = Problem.cycle_span pr in
+  let u = l + (s * 100) in
+  let shifted =
+    { Wire.p; k; s; l = l + (3 * span); u = u + (3 * span) }
+  in
+  let key0, _, shift0 = Result.get_ok (Store.Plan_store.key_of_req { p; k; s; l; u }) in
+  let key1, _, shift1 = Result.get_ok (Store.Plan_store.key_of_req shifted) in
+  Tutil.check_bool "translated sections share one canonical key" true
+    (key0 = key1);
+  let store = Store.Plan_store.create ~capacity:8 () in
+  let v, hit0 = Store.Plan_store.find_key store key0 in
+  Tutil.check_bool "first lookup misses" false hit0;
+  let d0 = Store.Plan_store.digest v ~local_shift:shift0 ~hit:false in
+  let d1 = Store.Plan_store.digest v ~local_shift:shift1 ~hit:true in
+  Tutil.check_bool "hit flag carried" true
+    ((not d0.Wire.plan_hit) && d1.Wire.plan_hit);
+  let delta = shift1 - shift0 in
+  Tutil.check_bool "some processor owns elements" true
+    (Array.exists (fun pd -> pd.Wire.owned) d0.Wire.procs);
+  Array.iteri
+    (fun m (pd0 : Wire.proc_digest) ->
+      let pd1 = d1.Wire.procs.(m) in
+      Tutil.check_bool "table_hash is shift-invariant" true
+        (Int64.equal pd0.table_hash pd1.table_hash);
+      Tutil.check_int "count is shift-invariant" pd0.count pd1.count;
+      if pd0.owned then begin
+        Tutil.check_int "start_local rebased" (pd0.start_local + delta)
+          pd1.start_local;
+        Tutil.check_int "last_local rebased" (pd0.last_local + delta)
+          pd1.last_local
+      end)
+    d0.Wire.procs
+
+(* ------------------------------------------------------------------ *)
+(* Zipf sampler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf () =
+  let z = Zipf.create ~n:1000 ~theta:1.2 in
+  Tutil.check_bool "mass 0 = 0" true (Zipf.mass z 0 = 0.);
+  Tutil.check_bool "mass n = 1" true (abs_float (Zipf.mass z 1000 -. 1.) < 1e-9);
+  let prev = ref 0. in
+  for r = 1 to 1000 do
+    let m = Zipf.mass z r in
+    Tutil.check_bool "mass monotone" true (m >= !prev);
+    prev := m
+  done;
+  let rng = Lams_util.Prng.create 42L in
+  let top = ref 0 in
+  let draws = 5000 in
+  for _ = 1 to draws do
+    let r = Zipf.sample z rng in
+    Tutil.check_bool "sample in range" true (r >= 0 && r < 1000);
+    if r < 10 then incr top
+  done;
+  (* theta = 1.2: the 10 hottest keys carry well over a third of the
+     mass; a uniform sampler would put 1% there. *)
+  Tutil.check_bool "skew concentrates on hot ranks" true
+    (float_of_int !top /. float_of_int draws > 0.3);
+  Alcotest.check_raises "n must be positive"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~theta:1.))
+
+(* ------------------------------------------------------------------ *)
+(* Plan log                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "lams_serve_test" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let plan_key ~p ~k ~s ~l ~u =
+  let pr = Problem.make ~p ~k ~l ~s in
+  let key, _, _ = Store.Plan_store.canonical_key pr ~u in
+  key
+
+let test_plan_log_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      (* A missing file warms nothing and is not an error. *)
+      let plans = Store.Plan_store.create ~capacity:64 () in
+      let scheds = Store.Sched_store.create ~capacity:64 () in
+      Tutil.check_int "missing log replays 0" 0
+        (Plan_log.replay path ~plans ~scheds);
+      let log = Plan_log.open_log path in
+      let keys =
+        [
+          plan_key ~p:4 ~k:8 ~s:9 ~l:4 ~u:400;
+          plan_key ~p:2 ~k:3 ~s:5 ~l:0 ~u:200;
+          plan_key ~p:8 ~k:4 ~s:7 ~l:11 ~u:900;
+        ]
+      in
+      List.iter (Plan_log.append_plan log) keys;
+      let sched_key, _, _ =
+        Result.get_ok
+          (Store.Sched_store.key_of_req
+             {
+               Wire.src_p = 4;
+               src_k = 3;
+               src_lo = 0;
+               src_hi = 59;
+               src_stride = 1;
+               dst_p = 4;
+               dst_k = 5;
+               dst_lo = 0;
+               dst_hi = 59;
+               dst_stride = 1;
+             })
+      in
+      Plan_log.append_sched log sched_key;
+      Tutil.check_int "appended counts both kinds" 4 (Plan_log.appended log);
+      Plan_log.close log;
+      (* Garbage and a torn tail must be skipped, not fatal. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "not a log line\nP 3 bogus\nP 1 1 1 0";
+      close_out oc;
+      let warmed = Plan_log.replay path ~plans ~scheds in
+      Tutil.check_int "replay warms exactly the valid entries" 4 warmed;
+      List.iter
+        (fun key ->
+          let _, hit = Store.Plan_store.find_key plans key in
+          Tutil.check_bool "replayed plan key hits" true hit)
+        keys;
+      let _, hit = Store.Sched_store.find_key scheds sched_key in
+      Tutil.check_bool "replayed sched key hits" true hit)
+
+let test_plan_log_rotate () =
+  with_temp_file (fun path ->
+      let plans = Store.Plan_store.create ~capacity:64 () in
+      let scheds = Store.Sched_store.create ~capacity:64 () in
+      let log = Plan_log.open_log path in
+      (* Log the same canonical key repeatedly: rotation compacts to the
+         one live store entry. *)
+      let key = plan_key ~p:4 ~k:8 ~s:9 ~l:4 ~u:400 in
+      ignore (Store.Plan_store.find_key plans key);
+      for _ = 1 to 10 do
+        Plan_log.append_plan log key
+      done;
+      Plan_log.flush log;
+      Plan_log.rotate log ~plans ~scheds;
+      Tutil.check_int "rotation resets the append counter" 0
+        (Plan_log.appended log);
+      Plan_log.close log;
+      let plans' = Store.Plan_store.create ~capacity:64 () in
+      let scheds' = Store.Sched_store.create ~capacity:64 () in
+      Tutil.check_int "compacted log holds one key" 1
+        (Plan_log.replay path ~plans:plans' ~scheds:scheds');
+      let _, hit = Store.Plan_store.find_key plans' key in
+      Tutil.check_bool "compacted key still replays" true hit)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a Unix socket                                       *)
+(* ------------------------------------------------------------------ *)
+
+let temp_sock () =
+  let path = Filename.temp_file "lams_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(cfg = Server.default_config) f =
+  let path = temp_sock () in
+  let t = Server.start cfg (`Unix path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f t (`Unix path))
+
+let small_cfg =
+  {
+    Server.default_config with
+    shards = 4;
+    plan_capacity = 64;
+    sched_capacity = 64;
+    workers = 2;
+  }
+
+let sched_req_60 =
+  {
+    Wire.src_p = 4;
+    src_k = 3;
+    src_lo = 0;
+    src_hi = 59;
+    src_stride = 1;
+    dst_p = 4;
+    dst_k = 5;
+    dst_lo = 0;
+    dst_hi = 59;
+    dst_stride = 1;
+  }
+
+let test_server_e2e () =
+  with_server ~cfg:small_cfg (fun t addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          let preq = { Wire.p = 4; k = 8; s = 9; l = 4; u = 400 } in
+          (match Client.plan c preq with
+          | Wire.Plan_digest d ->
+              Tutil.check_bool "cold plan misses" false d.plan_hit;
+              Tutil.check_int "one digest per processor" 4
+                (Array.length d.procs)
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+          (match Client.plan c preq with
+          | Wire.Plan_digest d ->
+              Tutil.check_bool "warm plan hits" true d.plan_hit
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+          (* A translated section must hit the same entry. *)
+          let pr = Problem.make ~p:4 ~k:8 ~l:4 ~s:9 in
+          let span = Problem.cycle_span pr in
+          (match
+             Client.plan c
+               { preq with l = preq.l + span; u = preq.u + span }
+           with
+          | Wire.Plan_digest d ->
+              Tutil.check_bool "translated section hits" true d.plan_hit
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+          (match Client.schedule c sched_req_60 with
+          | Wire.Sched_digest d ->
+              Tutil.check_bool "cold schedule misses" false d.sched_hit;
+              Tutil.check_int "total elements" 60 d.total;
+              Tutil.check_bool "coloring meets the Konig bound" true
+                (d.rounds <= d.max_degree)
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+          (* Redist shares the schedule store: same key, now a hit. *)
+          (match Client.redist c sched_req_60 with
+          | Wire.Redist_digest d ->
+              Tutil.check_bool "redist reuses the sched entry" true
+                d.redist_hit;
+              Tutil.check_int "redist total" 60 d.r_total;
+              Tutil.check_int "pair counts sum to total" 60
+                (Array.fold_left (fun a (_, _, e) -> a + e) 0 d.pairs)
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+          (* Invalid argument: typed error, connection stays up. *)
+          (match Client.plan c { preq with u = preq.l - 1 } with
+          | Wire.Error (Wire.E_invalid_request, _) -> ()
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+          (match Client.stats c with
+          | Wire.Stats_reply { s_counters; s_dists } ->
+              let counter name = List.assoc name s_counters in
+              Tutil.check_bool "requests counted" true
+                (counter "serve.requests" >= 6);
+              Tutil.check_bool "hits counted" true (counter "serve.hits" >= 2);
+              Tutil.check_bool "latency summary present" true
+                (List.mem_assoc "serve.latency_us" s_dists)
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r)));
+      let ctr = Server.counters t in
+      Tutil.check_bool "connection counted" true (ctr.connections >= 1);
+      Tutil.check_int "no protocol errors" 0 ctr.protocol_errors)
+
+let test_server_protocol_error () =
+  with_server ~cfg:small_cfg (fun t addr ->
+      let c = Client.connect addr in
+      (* Garbage payload: one typed Error back, then the daemon closes
+         this connection (the stream cannot be resynchronised). *)
+      Client.send_payload c (Bytes.of_string "definitely not a frame");
+      (match Client.receive c with
+      | `Response (_, Wire.Error (code, _)) ->
+          Tutil.check_bool "typed protocol error" true
+            (code = Wire.E_bad_magic || code = Wire.E_bad_frame)
+      | _ -> Alcotest.fail "expected a typed Error response");
+      (match Client.receive c with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "daemon must close after a framing error");
+      Client.close c;
+      (* The daemon itself survives: a fresh connection is served. *)
+      let c2 = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c2) (fun () ->
+          match Client.plan c2 { Wire.p = 2; k = 2; s = 3; l = 0; u = 60 } with
+          | Wire.Plan_digest _ -> ()
+          | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+      let ctr = Server.counters t in
+      Tutil.check_bool "protocol error counted" true (ctr.protocol_errors >= 1))
+
+let test_server_shedding () =
+  with_server ~cfg:{ small_cfg with high_water = 0 } (fun t addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          for _ = 1 to 5 do
+            match Client.plan c { Wire.p = 2; k = 2; s = 3; l = 0; u = 60 } with
+            | Wire.Overloaded -> ()
+            | r -> Alcotest.fail (Format.asprintf "%a" Wire.pp_response r)
+          done);
+      let ctr = Server.counters t in
+      Tutil.check_int "every request shed" 5 ctr.shed;
+      Tutil.check_int "nothing served" 0 ctr.hits)
+
+let test_server_warm_restart () =
+  with_temp_file (fun log_path ->
+      let cfg = { small_cfg with log_path = Some log_path } in
+      let path = temp_sock () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let preq = { Wire.p = 4; k = 8; s = 9; l = 4; u = 400 } in
+          (* First incarnation: serve a plan and a schedule, then stop —
+             which must flush the log. *)
+          let t1 = Server.start cfg (`Unix path) in
+          let c = Client.connect (`Unix path) in
+          ignore (Client.plan c preq);
+          ignore (Client.schedule c sched_req_60);
+          Client.close c;
+          Server.stop t1;
+          (* Second incarnation on the same log: both keys replay and
+             the very first query is already a hit. *)
+          let t2 = Server.start cfg (`Unix path) in
+          Fun.protect
+            ~finally:(fun () -> Server.stop t2)
+            (fun () ->
+              Tutil.check_int "both keys replayed" 2
+                (Server.counters t2).replayed;
+              let c2 = Client.connect (`Unix path) in
+              Fun.protect ~finally:(fun () -> Client.close c2) (fun () ->
+                  (match Client.plan c2 preq with
+                  | Wire.Plan_digest d ->
+                      Tutil.check_bool "warm restart serves a hit" true
+                        d.plan_hit
+                  | r ->
+                      Alcotest.fail (Format.asprintf "%a" Wire.pp_response r));
+                  match Client.schedule c2 sched_req_60 with
+                  | Wire.Sched_digest d ->
+                      Tutil.check_bool "warm restart hits schedules too" true
+                        d.sched_hit
+                  | r ->
+                      Alcotest.fail (Format.asprintf "%a" Wire.pp_response r)))))
+
+let suite =
+  [
+    prop_request_roundtrip;
+    prop_response_roundtrip;
+    prop_garbage_never_raises;
+    ("wire bad frames", `Quick, test_bad_frames);
+    ("wire read_frame limits", `Quick, test_read_frame_limits);
+    prop_group_by;
+    ("sharded LRU accounting", `Quick, test_lru_accounting);
+    ("sharded LRU zero capacity", `Quick, test_lru_zero_capacity);
+    ("plan store hammer", `Slow, test_store_hammer);
+    ("digest rebase", `Quick, test_digest_rebase);
+    ("zipf sampler", `Quick, test_zipf);
+    ("plan log roundtrip", `Quick, test_plan_log_roundtrip);
+    ("plan log rotation", `Quick, test_plan_log_rotate);
+    ("server end-to-end", `Quick, test_server_e2e);
+    ("server protocol error", `Quick, test_server_protocol_error);
+    ("server load shedding", `Quick, test_server_shedding);
+    ("server warm restart", `Quick, test_server_warm_restart);
+  ]

@@ -16,6 +16,7 @@ let () =
       ("multidim", Suite_multidim.suite);
       ("hpf", Suite_hpf.suite);
       ("check", Suite_check.suite);
+      ("serve", Suite_serve.suite);
       ("chaos", Suite_chaos.suite);
       ("stress", Suite_stress.suite);
       ("errors", Suite_errors.suite) ]
