@@ -2,7 +2,7 @@
 
 .PHONY: all check test bench bench-json bench-dataplane-quick \
 	bench-inspector-quick smoke fuzz-quick chaos-quick native-quick \
-	serve-quick doc clean
+	serve-quick adaptive-quick doc clean
 
 all:
 	dune build @all
@@ -25,6 +25,7 @@ check:
 	dune build @dataplane
 	dune build @inspector
 	dune build @serve
+	dune build @adaptive
 
 smoke:
 	dune build @smoke
@@ -72,6 +73,17 @@ native-quick:
 serve-quick:
 	dune build @serve
 
+# Adaptive-scheduling gate: cost-aware rounds vs the cost-blind baseline
+# on heterogeneous fabrics at reduced size. The bench asserts every gate
+# inside: perfect-fabric neutrality (bit-identical messages), the
+# sick-pair tick speedup (>= 1.3x), the one-slow-link model speedup
+# (>= 1.3x weighted critical path at p = 32), and a zero-divergence
+# convergence sweep against the legacy oracle. The committed
+# BENCH_adaptive.json comes from the full run,
+# `dune exec bench/main.exe -- adaptive --json BENCH_adaptive.json`.
+adaptive-quick:
+	dune build @adaptive
+
 bench:
 	dune exec bench/main.exe
 
@@ -86,6 +98,7 @@ bench-json:
 	dune exec bench/main.exe -- dataplane --quick --json BENCH_dataplane.json
 	dune exec bench/main.exe -- inspector --quick --json BENCH_inspector.json
 	dune exec bench/main.exe -- serve --quick --json BENCH_serve.json
+	dune exec bench/main.exe -- adaptive --quick --json BENCH_adaptive.json
 
 doc:
 	dune build @doc

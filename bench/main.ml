@@ -8,8 +8,8 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [table1 | figure7 | table2 | ablations | amortize \
-     | redistribute | dataplane | inspector | chaos | codegen | serve | \
-     bechamel | all] [--quick] [--json FILE]";
+     | redistribute | dataplane | inspector | chaos | adaptive | codegen | \
+     serve | bechamel | all] [--quick] [--json FILE]";
   print_endline "  (no experiment = all)"
 
 let run_table1_and_figure7 () =
@@ -41,6 +41,7 @@ let () =
   let dataplane () = Dataplane.run ~quick:!quick ?json:!json () in
   let inspector () = Inspector.run ~quick:!quick ?json:!json () in
   let chaos () = Chaos.run ~quick:!quick ?json:!json () in
+  let adaptive () = Adaptive.run ~quick:!quick ?json:!json () in
   let codegen () = Codegen_native.run ~quick:!quick ?json:!json () in
   let serve () = Serve.run ~quick:!quick ?json:!json () in
   List.iter
@@ -55,6 +56,7 @@ let () =
       | "dataplane" -> dataplane ()
       | "inspector" -> inspector ()
       | "chaos" -> chaos ()
+      | "adaptive" -> adaptive ()
       | "codegen" | "codegen_native" -> codegen ()
       | "serve" -> serve ()
       | "bechamel" -> Bechamel_suite.run ()
@@ -74,6 +76,8 @@ let () =
           inspector ();
           print_newline ();
           chaos ();
+          print_newline ();
+          adaptive ();
           print_newline ();
           codegen ();
           print_newline ();

@@ -470,6 +470,73 @@ let stats_cmd =
           (Lams_sched.Pool.retained_bytes ())
           (c "sched.pool.hits") (c "sched.pool.misses")
           (c "sched.pool.releases");
+        (* One adaptive exchange on a deliberately sick fabric — a
+           drop-heavy 0->1 link and a bandwidth-limited 1->0 link — so
+           the fabric-health section has live estimates to show. *)
+        if p > 1 then begin
+          Lams_sched.Link_health.reset ();
+          let link_rates id =
+            if id = 1 (* 0 -> 1 *) then
+              Some
+                { Lams_sim.Fault_model.no_faults with
+                  drop = 0.3;
+                  delay = 0.2
+                }
+            else None
+          in
+          let bandwidth id = if id = p (* 1 -> 0 *) then Some 2.0 else None in
+          let fm =
+            Lams_sim.Fault_model.create ~link_rates ~bandwidth ~seed:7 ()
+          in
+          let sick_net = Lams_sim.Network.create ~p in
+          Lams_sim.Network.set_faults sick_net (Some fm);
+          let sec = Section.make ~lo:0 ~hi:(p * k - 1) ~stride:1 in
+          let sched =
+            Lams_sched.Cache.find ~src_layout:layout_a ~src_section:sec
+              ~dst_layout:layout_b ~dst_section:sec
+          in
+          let dst_sick =
+            Lams_sim.Darray.create ~name:"stats_sick" ~n ~p
+              ~dist:(Distribution.Block_cyclic (k + 1))
+          in
+          ignore
+            (Lams_sched.Executor.run ~net:sick_net ~adaptive:true sched ~src
+               ~dst:dst_sick
+              : Lams_sim.Network.t);
+          Lams_sched.Link_health.absorb_network sick_net;
+          let snap = Lams_obs.Obs.snapshot () in
+          let c name =
+            Option.value ~default:0 (Lams_obs.Obs.find_counter snap name)
+          in
+          Printf.printf
+            "fabric health (one adaptive exchange, lossy 0->1, slow 1->0, \
+             seed 7):\n";
+          Printf.printf
+            "  events: %d acks, %d retransmits, %d downgrades; %d \
+             reweights, %d splits, %d replans%s\n"
+            (c "sched.health.acks")
+            (c "sched.health.retransmits")
+            (c "sched.health.downgrades")
+            (c "sched.reweights") (c "sched.splits")
+            (c "sched.executor.replans")
+            (if Lams_obs.Obs.enabled () then ""
+             else " (pass --metrics to record)");
+          List.iter
+            (fun ((hs, hd), st) ->
+              Printf.printf
+                "  %d->%d: cost %.2f, loss %.2f, %.2f ticks/elt, %d acks, \
+                 %d retransmits, %d downgrades%s\n"
+                hs hd st.Lams_sched.Link_health.cost st.loss
+                st.ticks_per_element st.acks st.retransmits st.downgrades
+                (if st.sick then " [SICK]" else ""))
+            (Lams_sched.Link_health.report ());
+          match Lams_obs.Obs.find snap "sched.reliable.backoff" with
+          | Some { Lams_obs.Obs.value = Lams_obs.Obs.Distribution d; _ }
+            when d.Lams_obs.Obs.count > 0 ->
+              Printf.printf "  reliable backoff: mean %g, p95 %g ticks\n"
+                d.Lams_obs.Obs.mean d.Lams_obs.Obs.p95
+          | _ -> ()
+        end;
         0
   in
   let term =
@@ -1032,8 +1099,27 @@ let chaos_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the report as a JSON object.")
   in
+  let link_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "link" ] ~docv:"SPEC"
+          ~doc:
+            "Per-link fault profile $(i,SRC:DST:key=val,...) — keys \
+             $(b,drop), $(b,dup), $(b,reorder), $(b,corrupt), $(b,delay) \
+             (probabilities) and $(b,bw) (elements per tick). Repeatable; \
+             replaces the global rates on that link only.")
+  in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Plan the exchange cost-aware: weight rounds by the \
+             link-health table, split oversized transfers, and re-plan \
+             mid-exchange when a link turns sick.")
+  in
   let run p src_k dst_k count l s seed drop dup reorder corrupt delay
-      max_delay crash_ranks budget json =
+      max_delay crash_ranks budget links adaptive json =
     let open Lams_sim in
     if p <= 0 || src_k <= 0 || dst_k <= 0 || count < 2 || l < 0 || s < 1
        || budget < 1 || crash_ranks < 0 || max_delay < 1
@@ -1042,13 +1128,37 @@ let chaos_cmd =
       1
     end
     else begin
+      let link_profiles, link_errors =
+        List.fold_left
+          (fun (oks, errs) spec ->
+            match Fault_model.parse_link_spec spec with
+            | Ok (((src, dst), _, _) as prof) ->
+                if src >= p || dst >= p then
+                  ( oks,
+                    Printf.sprintf "--link %s: endpoints outside 0..%d" spec
+                      (p - 1)
+                    :: errs )
+                else (prof :: oks, errs)
+            | Error msg ->
+                (oks, Printf.sprintf "--link %s: %s" spec msg :: errs))
+          ([], []) links
+      in
+      match List.rev link_errors with
+      | err :: _ ->
+          Printf.eprintf "error: %s\n" err;
+          1
+      | [] ->
       Lams_obs.Obs.set_enabled true;
       Lams_obs.Obs.reset ();
+      Lams_sched.Link_health.reset ();
       let rates =
         { Fault_model.drop; duplicate = dup; reorder; corrupt; delay }
       in
       let crash_ranks = min crash_ranks p in
-      let faulty = Fault_model.some_faults rates || crash_ranks > 0 in
+      let faulty =
+        Fault_model.some_faults rates || crash_ranks > 0
+        || link_profiles <> []
+      in
       let hi = l + (s * (count - 1)) in
       let n = hi + 1 in
       let sec = Section.make ~lo:l ~hi ~stride:s in
@@ -1085,18 +1195,34 @@ let chaos_cmd =
       let dst_chaos = fresh_dst "chaos" in
       if faulty then begin
         let crashes = List.init crash_ranks (fun i -> (i, 2)) in
-        let fm = Fault_model.create ~rates ~max_delay ~crashes ~seed () in
+        let link_tbl = Hashtbl.create 8 in
+        List.iter
+          (fun ((src, dst), r, bw) ->
+            Hashtbl.replace link_tbl ((src * p) + dst) (r, bw))
+          link_profiles;
+        let link_rates id =
+          Option.map fst (Hashtbl.find_opt link_tbl id)
+        in
+        let bandwidth id =
+          Option.bind (Hashtbl.find_opt link_tbl id) snd
+        in
+        let fm =
+          Fault_model.create ~rates ~link_rates ~bandwidth ~max_delay
+            ~crashes ~seed ()
+        in
         Network.set_faults chaos_net (Some fm);
         ignore
           (Lams_sched.Executor.run ~net:chaos_net
              ~reliable:(Lams_sched.Reliable.config_of_budget budget)
              ~respawns:(max 1 (2 * crash_ranks))
-             sched ~src ~dst:dst_chaos
+             ~adaptive sched ~src ~dst:dst_chaos
             : Network.t)
       end
       else
-        ignore (Lams_sched.Executor.run ~net:chaos_net sched ~src ~dst:dst_chaos
+        ignore (Lams_sched.Executor.run ~net:chaos_net ~adaptive sched ~src
+                  ~dst:dst_chaos
                  : Network.t);
+      Lams_sched.Link_health.absorb_network chaos_net;
       let converged = Darray.equal_contents dst_legacy dst_chaos in
       let quiet = Network.in_flight chaos_net = 0 in
       let identical =
@@ -1115,6 +1241,7 @@ let chaos_cmd =
       in
       let fc = Network.fault_counts chaos_net in
       let rounds = Lams_sched.Schedule.rounds_count sched in
+      let health = Lams_sched.Link_health.report () in
       let ok = converged && quiet in
       if json then begin
         let b v = if v then "true" else "false" in
@@ -1133,7 +1260,10 @@ let chaos_cmd =
            %d, \"corrupt_drops\": %d, \"stale_drops\": %d, \"downgrades\": \
            %d, \"backoff_p95\": %s},\n \
            \"recovery\": {\"crashes\": %d, \"respawns\": %d, \"exhausted\": \
-           %d, \"legacy_fallbacks\": %d}}\n"
+           %d, \"legacy_fallbacks\": %d},\n \
+           \"adaptive\": {\"enabled\": %s, \"links\": %d, \"reweights\": \
+           %d, \"splits\": %d, \"replans\": %d},\n \
+           \"health\": [%s]}\n"
           (b ok) (b converged) (b quiet) seed p src_k dst_k count drop dup
           reorder corrupt delay crash_ranks budget rounds
           (Network.messages_sent base_net)
@@ -1154,6 +1284,21 @@ let chaos_cmd =
           (c "spmd.recovery.respawns")
           (c "spmd.recovery.exhausted")
           (c "sched.executor.legacy_fallbacks")
+          (b adaptive) (List.length link_profiles)
+          (c "sched.reweights") (c "sched.splits")
+          (c "sched.executor.replans")
+          (String.concat ", "
+             (List.map
+                (fun ((hs, hd), st) ->
+                  Printf.sprintf
+                    "{\"src\": %d, \"dst\": %d, \"cost\": %.3f, \"loss\": \
+                     %.3f, \"ticks_per_element\": %.3f, \"latency\": %.1f, \
+                     \"acks\": %d, \"retransmits\": %d, \"downgrades\": \
+                     %d, \"sick\": %s}"
+                    hs hd st.Lams_sched.Link_health.cost st.loss
+                    st.ticks_per_element st.latency st.acks st.retransmits
+                    st.downgrades (b st.sick))
+                health))
       end
       else begin
         Printf.printf
@@ -1191,7 +1336,20 @@ let chaos_cmd =
             (c "spmd.recovery.exhausted")
             (c "sched.executor.legacy_fallbacks")
             (Network.messages_sent chaos_net)
-            (Network.now chaos_net)
+            (Network.now chaos_net);
+          if adaptive then
+            Printf.printf "adaptive: %d reweights, %d splits, %d replans\n"
+              (c "sched.reweights") (c "sched.splits")
+              (c "sched.executor.replans");
+          List.iter
+            (fun ((hs, hd), st) ->
+              Printf.printf
+                "health %d->%d: cost %.2f, loss %.2f, %.2f ticks/elt, %d \
+                 acks, %d retransmits, %d downgrades%s\n"
+                hs hd st.Lams_sched.Link_health.cost st.loss
+                st.ticks_per_element st.acks st.retransmits st.downgrades
+                (if st.sick then " [SICK]" else ""))
+            health
         end
         else
           Printf.printf
@@ -1212,16 +1370,18 @@ let chaos_cmd =
       const run $ procs_arg $ src_k_arg $ dst_k_arg $ count_arg $ lower_arg
       $ stride_arg $ seed_arg $ drop_arg $ dup_arg $ reorder_arg
       $ corrupt_arg $ delay_arg $ max_delay_arg $ crash_ranks_arg
-      $ budget_arg $ json_arg)
+      $ budget_arg $ link_arg $ adaptive_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run one scheduled redistribution on a deterministic lossy \
           fabric (seeded drop/duplicate/reorder/corrupt/delay, planned \
-          rank crashes) through the reliable-delivery protocol, and \
-          check the result against the legacy exchange on a perfect \
-          network. Exits 1 on divergence or a non-quiet fabric.")
+          rank crashes, per-link $(b,--link) profiles with bandwidth \
+          limits) through the reliable-delivery protocol — optionally \
+          $(b,--adaptive) via the cost-aware planner — and check the \
+          result against the legacy exchange on a perfect network. \
+          Exits 1 on divergence or a non-quiet fabric.")
     term
 
 (* --- metrics --- *)

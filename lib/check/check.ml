@@ -28,6 +28,11 @@ let c_comm_rounds =
   Lams_obs.Obs.counter "check.comm_rounds" ~units:"rounds"
     ~doc:"comm-set inspector rounds (linear joint-cycle walk vs all-pairs CRT)"
 
+let c_adaptive_rounds =
+  Lams_obs.Obs.counter "check.adaptive_rounds" ~units:"rounds"
+    ~doc:"adaptive-scheduling rounds (adaptive vs cost-blind vs legacy on \
+          heterogeneous fabrics)"
+
 (* --- Cases --------------------------------------------------------- *)
 
 type case = { p : int; k : int; l : int; s : int; u : int }
@@ -697,6 +702,93 @@ let comm_round case =
     Lams_obs.Obs.incr c_mismatches;
     Some mm
 
+(* Adaptive-scheduling round: the same exchange on a heterogeneous
+   fabric (case-derived per-link lossy and bandwidth-limited links on
+   top of a mildly faulty baseline), run cost-blind and adaptive —
+   adaptive both cold (empty health table: must take the bit-identical
+   neutral path) and warm (health learned from the two earlier runs:
+   reweighted rounds, split transfers, possible mid-exchange re-plans).
+   All three must land exactly the legacy contents; any divergence is a
+   planning or protocol bug, never bad luck. The health table is reset
+   at round start so campaigns replay deterministically. *)
+let adaptive_round case =
+  Lams_obs.Obs.incr c_adaptive_rounds;
+  let open Lams_sim in
+  try
+    if case.u >= case.l && case.u + 1 <= sim_extent_cap && case.p > 1 then begin
+      let n = case.u + 1 in
+      let p = case.p in
+      let sec = Section.make ~lo:case.l ~hi:case.u ~stride:case.s in
+      let src =
+        Darray.of_array ~name:"adp_src" ~p
+          ~dist:(Distribution.Block_cyclic case.k)
+          (Array.init n (fun g -> float_of_int ((7 * g) + 2)))
+      in
+      let mk name =
+        Darray.create ~name ~n ~p
+          ~dist:(Distribution.Block_cyclic (case.k + 1))
+      in
+      let legacy = mk "adp_legacy" in
+      ignore
+        (Section_ops.copy ~src ~src_section:sec ~dst:legacy ~dst_section:sec ()
+          : Network.t);
+      let seed =
+        77 + case.p + (13 * case.k) + (101 * case.l) + (977 * case.s)
+        + (31 * case.u)
+      in
+      (* One lossy link and one slow link, both case-derived. *)
+      let lossy = (case.l mod p, case.u mod p) in
+      let slow = (case.s mod p, (case.s + case.k) mod p) in
+      let link_rates link =
+        let ep = (link / p, link mod p) in
+        if ep = lossy && fst ep <> snd ep then
+          Some
+            { Fault_model.no_faults with Fault_model.drop = 0.4; delay = 0.3 }
+        else None
+      in
+      let bandwidth link =
+        let ep = (link / p, link mod p) in
+        if ep = slow && fst ep <> snd ep then Some 0.5 else None
+      in
+      let base_rates =
+        { Fault_model.drop = 0.1; duplicate = 0.05; reorder = 0.1;
+          corrupt = 0.05; delay = 0.1 }
+      in
+      let sched =
+        Lams_sched.Schedule.build ~src_layout:(Darray.layout src)
+          ~src_section:sec ~dst_layout:(Darray.layout legacy) ~dst_section:sec
+      in
+      let run_exec ~adaptive name =
+        let out = mk name in
+        let fm =
+          Fault_model.create ~rates:base_rates ~link_rates ~bandwidth ~seed ()
+        in
+        let net = Network.create ~p in
+        Network.set_faults net (Some fm);
+        ignore
+          (Lams_sched.Executor.run ~net ~adaptive sched ~src ~dst:out
+            : Network.t);
+        if Network.in_flight net <> 0 then
+          fail case ~m:(-1) ~oracle:"quiet fabric" ~candidate:name
+            "protocol stragglers left in flight after the run";
+        if not (Darray.equal_contents legacy out) then
+          fail case ~m:(-1) ~oracle:"section_ops.copy(perfect network)"
+            ~candidate:name
+            (Printf.sprintf
+               "heterogeneous-fabric run differs from legacy-on-perfect \
+                (fault seed %d)"
+               seed)
+      in
+      Lams_sched.Link_health.reset ();
+      run_exec ~adaptive:true "adp_cold";
+      run_exec ~adaptive:false "adp_blind";
+      run_exec ~adaptive:true "adp_warm"
+    end;
+    None
+  with Found mm ->
+    Lams_obs.Obs.incr c_mismatches;
+    Some mm
+
 (* Compiled-C conformance round: hand the case to the native harness,
    which compiles all five node-code variants (Figure 8 tables plus the
    table-free form) with the system cc and diffs addresses and final
@@ -758,6 +850,7 @@ type report = {
   fault_rounds : int;
   native_rounds : int;
   comm_rounds : int;
+  adaptive_rounds : int;
   failure : (mismatch * shrunk) option;
 }
 
@@ -765,7 +858,7 @@ let run ?(progress = fun _ -> ()) cfg =
   let rng = Prng.create (Int64.of_int cfg.seed) in
   let fault_rng = Prng.split rng in
   let cases = ref 0 and fault_rounds = ref 0 and native_rounds = ref 0 in
-  let comm_rounds = ref 0 in
+  let comm_rounds = ref 0 and adaptive_rounds = ref 0 in
   let failure = ref None in
   (* Each native round costs a cc invocation (~0.1s); budget them so a
      quick 400-case campaign gains at most ~1s of wall time. *)
@@ -789,6 +882,16 @@ let run ?(progress = fun _ -> ()) cfg =
          | Some mm ->
              (* Inspector mismatches are machine-wide and derive their
                 own layouts from the case; report them unshrunk. *)
+             failure := Some (mm, { minimal = mm; steps = 0 });
+             raise Exit
+         | None -> ()
+       end;
+       if cfg.sim && i mod 4 = 0 then begin
+         incr adaptive_rounds;
+         match adaptive_round case with
+         | Some mm ->
+             (* Adaptive mismatches are machine-wide (fabric + health
+                state); report them unshrunk. *)
              failure := Some (mm, { minimal = mm; steps = 0 });
              raise Exit
          | None -> ()
@@ -821,6 +924,7 @@ let run ?(progress = fun _ -> ()) cfg =
     fault_rounds = !fault_rounds;
     native_rounds = !native_rounds;
     comm_rounds = !comm_rounds;
+    adaptive_rounds = !adaptive_rounds;
     failure = !failure }
 
 (* --- Reporting ----------------------------------------------------- *)
@@ -857,8 +961,9 @@ let report_json r =
   Buffer.add_string b
     (Printf.sprintf
        "  \"cases\": %d,\n  \"fault_rounds\": %d,\n  \"native_rounds\": \
-        %d,\n  \"comm_rounds\": %d,\n"
-       r.cases r.fault_rounds r.native_rounds r.comm_rounds);
+        %d,\n  \"comm_rounds\": %d,\n  \"adaptive_rounds\": %d,\n"
+       r.cases r.fault_rounds r.native_rounds r.comm_rounds
+       r.adaptive_rounds);
   Buffer.add_string b
     (Printf.sprintf "  \"mismatches\": %d"
        (match r.failure with None -> 0 | Some _ -> 1));
@@ -879,8 +984,10 @@ let pp_report ppf r =
   | None ->
       Format.fprintf ppf
         "OK: %d cases (seed %d), %d fault rounds, %d native rounds, \
-         %d comm rounds, every implementation pair agrees"
+         %d comm rounds, %d adaptive rounds, every implementation pair \
+         agrees"
         r.cases r.config.seed r.fault_rounds r.native_rounds r.comm_rounds
+        r.adaptive_rounds
   | Some (orig, sh) ->
       Format.fprintf ppf
         "@[<v>MISMATCH after %d cases (seed %d):@ %a@ shrunk (%d steps) \

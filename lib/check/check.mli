@@ -35,9 +35,20 @@
     shorter than one joint cycle — the two must be structurally
     identical.
 
+    Every fourth case (when [sim] is set) runs an adaptive-scheduling
+    round on a heterogeneous fabric: a case-derived lossy link and a
+    bandwidth-limited link on top of mild machine-wide fault rates,
+    with the redistribution executed three ways — adaptive from a cold
+    {!Lams_sched.Link_health} table (the reweight must be the identity),
+    cost-blind, and adaptive again with the health the first two runs
+    accumulated (cost-aware rounds, transfer splitting and mid-exchange
+    re-planning live). All three must drain the fabric and match the
+    legacy {!Lams_sim.Section_ops.copy} oracle bit-for-bit.
+
     Progress is observable through {!Lams_obs.Obs} counters:
     [check.cases], [check.mismatches], [check.shrink_steps],
-    [check.fault_rounds], [check.comm_rounds]. *)
+    [check.fault_rounds], [check.comm_rounds],
+    [check.adaptive_rounds]. *)
 
 (** {1 Cases} *)
 
@@ -76,6 +87,15 @@ val check_case : case -> mismatch option
     divergence found, [None] when every implementation pair agrees.
     Includes the cached-plan path (and therefore touches the process
     plan cache). *)
+
+val adaptive_round : case -> mismatch option
+(** Run the heterogeneous-fabric adaptive round for one case (see the
+    module doc): cold-adaptive, cost-blind and warm-adaptive executions
+    of the case-derived redistribution, each checked for a drained
+    fabric and bit-identical contents against the legacy copy oracle.
+    Resets the process-global {!Lams_sched.Link_health} table first.
+    Cases too large (or too small: [p <= 1]) to materialize return
+    [None] without running. *)
 
 (** {1 Generation and shrinking} *)
 
@@ -139,6 +159,9 @@ type report = {
   comm_rounds : int;
       (** linear-vs-CRT comm-set inspector rounds executed (every
           second case) *)
+  adaptive_rounds : int;
+      (** heterogeneous-fabric adaptive scheduling rounds executed
+          (every fourth case when [sim] is set) *)
   failure : (mismatch * shrunk) option;
       (** original mismatch and its shrunk form; [None] = clean run *)
 }

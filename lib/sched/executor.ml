@@ -16,6 +16,15 @@ let c_legacy_fallbacks =
     ~doc:"scheduled runs abandoned to the legacy Section_ops.copy path \
           after the crash-respawn budget ran out"
 
+let c_adaptive_runs =
+  Lams_obs.Obs.counter "sched.executor.adaptive_runs" ~units:"runs"
+    ~doc:"scheduled runs planned with link-health costs"
+
+let c_replans =
+  Lams_obs.Obs.counter "sched.executor.replans" ~units:"replans"
+    ~doc:"mid-exchange re-plans of the remaining rounds after a link \
+          turned sick"
+
 (* Distinguishes concurrent and back-to-back runs sharing one fabric:
    protocol messages carry the run id, so a straggler from a previous
    run is dropped instead of misdelivered. *)
@@ -44,10 +53,23 @@ let run_counter = Atomic.make 1
    before control leaves, so a reused fabric never pins this run's
    packed buffers. *)
 let run ?net ?(parallel = false) ?reliable ?(respawns = 0) ?(packing = Blit)
-    (sched : Schedule.t) ~src ~dst =
+    ?(adaptive = false) (sched : Schedule.t) ~src ~dst =
   if Darray.procs src <> sched.Schedule.src_procs
      || Darray.procs dst <> sched.Schedule.dst_procs
   then invalid_arg "Executor.run: schedule built for other layouts";
+  let health_cost ~src ~dst = Link_health.cost ~src ~dst in
+  (* Cost-aware planning happens before any buffer is acquired: the
+     reweighted schedule's (possibly split) transfers are what gets
+     packed. With no health data every cost is exactly 1.0 and
+     [reweight] returns the schedule physically unchanged, so the
+     adaptive path is bit-identical to the cost-blind one. *)
+  let sched =
+    if adaptive then begin
+      Lams_obs.Obs.incr c_adaptive_runs;
+      Schedule.reweight sched ~cost:health_cost
+    end
+    else sched
+  in
   let p = max sched.Schedule.src_procs sched.Schedule.dst_procs in
   let net =
     match net with
@@ -159,46 +181,145 @@ let run ?net ?(parallel = false) ?reliable ?(respawns = 0) ?(packing = Blit)
       let run_id = Atomic.fetch_and_add run_counter 1 in
       let delivered = Array.init p (fun _ -> Hashtbl.create 16) in
       let dst_data m = Local_store.data (Darray.local dst m) in
-      let width =
-        Array.fold_left (fun acc r -> max acc (Array.length r)) 1 rounds
+      (* Sequence numbers are a monotone per-run counter: re-planning
+         mints fresh seqs for split pieces, and a fresh seq can never
+         collide with one a receiver already recorded in [delivered]. *)
+      let next_seq = ref 0 in
+      let fresh_seq () =
+        let s = !next_seq in
+        incr next_seq;
+        s
       in
-      let seqs =
-        Array.mapi
-          (fun r round -> Array.mapi (fun i _ -> (r * width) + i) round)
-          rounds
+      (* The live plan: rounds of (transfer, seq, pre-packed buffer)
+         triples. [completed] collects rounds the protocol has finished;
+         together they always cover exactly the authoritative transfer
+         set (a re-plan replaces pending triples wholesale — the
+         replaced seqs were never sent). *)
+      let pending =
+        ref
+          (Array.to_list
+             (Array.mapi
+                (fun r round ->
+                  Array.mapi
+                    (fun i tr -> (tr, fresh_seq (), round_bufs.(r).(i)))
+                    round)
+                rounds))
       in
+      let completed = ref [] in
       (* The bottom rung that is always available in-run: any transfer
          not yet delivered is unpacked straight from its pre-packed
          buffer. Packing happened before any write, so this is correct
          even when [src] and [dst] alias. *)
       let replay_undelivered () =
-        Array.iteri
-          (fun r round ->
-            Array.iteri
-              (fun i (tr : Schedule.transfer) ->
-                let seq = seqs.(r).(i) in
-                let m = tr.Schedule.dst_proc in
-                if not (Hashtbl.mem delivered.(m) seq) then begin
-                  Hashtbl.add delivered.(m) seq ();
-                  Pack.unpack tr.Schedule.dst_side ~buf:round_bufs.(r).(i)
-                    ~data:(dst_data m);
-                  Reliable.note_downgrade ()
-                end)
-              round)
-          rounds
+        let replay ((tr : Schedule.transfer), seq, buf) =
+          let m = tr.Schedule.dst_proc in
+          if not (Hashtbl.mem delivered.(m) seq) then begin
+            Hashtbl.add delivered.(m) seq ();
+            Pack.unpack tr.Schedule.dst_side ~buf ~data:(dst_data m);
+            Reliable.note_downgrade ()
+          end
+        in
+        List.iter (Array.iter replay) !completed;
+        List.iter (Array.iter replay) !pending
+      in
+      (* Links currently billed sick among the not-yet-sent transfers.
+         A re-plan fires when this set grows past what the current plan
+         was built around — backoff on a link crossing the sickness
+         threshold mid-exchange is exactly the signal. *)
+      let sick_now () =
+        List.fold_left
+          (fun acc round ->
+            Array.fold_left
+              (fun acc ((tr : Schedule.transfer), _, _) ->
+                let key = (tr.Schedule.src_proc, tr.Schedule.dst_proc) in
+                if
+                  (not (List.mem key acc))
+                  && Link_health.is_sick ~src:tr.Schedule.src_proc
+                       ~dst:tr.Schedule.dst_proc
+                then key :: acc
+                else acc)
+              acc round)
+          [] !pending
+      in
+      let planned_sick = ref (if adaptive then sick_now () else []) in
+      (* Re-plan the remaining rounds against current link costs:
+         re-split any transfer now over budget (its pieces are sub-views
+         of the already-packed buffer — the data plane is untouched) and
+         regroup everything heaviest-first. Only never-sent transfers
+         are touched, so exactly-once delivery is preserved. *)
+      let replan () =
+        Lams_obs.Obs.incr c_replans;
+        let triples = List.concat_map Array.to_list !pending in
+        let budget =
+          List.fold_left
+            (fun a ((tr : Schedule.transfer), _, _) ->
+              Float.max a (float_of_int tr.Schedule.elements))
+            1. triples
+        in
+        let pieces =
+          List.concat_map
+            (fun (((tr : Schedule.transfer), _, buf) as triple) ->
+              let w = Schedule.weigh tr ~cost:health_cost in
+              if w > budget && tr.Schedule.elements > 1 then begin
+                match
+                  Schedule.split_transfer tr
+                    ~parts:(int_of_float (ceil (w /. budget)))
+                with
+                | [ _ ] -> [ triple ]
+                | parts ->
+                    let off = ref 0 in
+                    List.map
+                      (fun (piece : Schedule.transfer) ->
+                        let pb =
+                          Lams_util.Fbuf.sub buf ~pos:!off
+                            ~len:piece.Schedule.elements
+                        in
+                        off := !off + piece.Schedule.elements;
+                        (piece, fresh_seq (), pb))
+                      parts
+              end
+              else [ triple ])
+            triples
+        in
+        pending :=
+          Schedule.regroup
+            ~weight:(fun tr -> Schedule.weigh tr ~cost:health_cost)
+            (List.map (fun ((tr, _, _) as triple) -> (tr, triple)) pieces)
+          |> List.map (fun round -> Array.of_list (List.map snd round))
       in
       (try
-         Array.iteri
-           (fun r round ->
-             Reliable.exchange cfg ~net ~p ~run_id ~tag:r ~transfers:round
-               ~seqs:seqs.(r) ~bufs:round_bufs.(r) ~dst_data ~delivered
-               ~run_phase;
-             Array.iter
-               (fun (tr : Schedule.transfer) ->
-                 Lams_obs.Obs.add c_packed_bytes
-                   (Network.bytes_per_element * tr.Schedule.elements))
-               round)
-           rounds;
+         let tag = ref 0 in
+         let rec drive () =
+           match !pending with
+           | [] -> ()
+           | round :: rest ->
+               let transfers = Array.map (fun (tr, _, _) -> tr) round in
+               let seqs = Array.map (fun (_, s, _) -> s) round in
+               let bufs = Array.map (fun (_, _, b) -> b) round in
+               Reliable.exchange cfg ~net ~p ~run_id ~tag:!tag ~transfers
+                 ~seqs ~bufs ~dst_data ~delivered ~run_phase;
+               incr tag;
+               completed := round :: !completed;
+               pending := rest;
+               Array.iter
+                 (fun (tr : Schedule.transfer) ->
+                   Lams_obs.Obs.add c_packed_bytes
+                     (Network.bytes_per_element * tr.Schedule.elements))
+                 transfers;
+               if adaptive && !pending <> [] then begin
+                 let sick = sick_now () in
+                 if
+                   List.exists
+                     (fun l -> not (List.mem l !planned_sick))
+                     sick
+                 then begin
+                   planned_sick := sick;
+                   replan ()
+                 end
+               end;
+               drive ()
+         in
+         drive ();
          (* Protocol stragglers (delayed duplicates, late acks) must not
             greet the caller's next exchange on this fabric. *)
          ignore (Network.purge net : int)
@@ -220,17 +341,20 @@ let check_section (a : Darray.t) sec =
   if norm.Section.lo < 0 || norm.Section.hi >= Darray.size a then
     invalid_arg "Executor: section outside the array"
 
-let redistribute ?net ?parallel ?reliable ?respawns ?packing ~src
+let redistribute ?net ?parallel ?reliable ?respawns ?packing ?adaptive ~src
     ~src_section ~dst ~dst_section () =
   check_section src src_section;
   check_section dst dst_section;
   if Section.count src_section <> Section.count dst_section then
     invalid_arg "Executor.redistribute: section element counts differ";
+  (* The cache stays cost-blind: entries are canonical unweighted
+     schedules, and the adaptive reweight is applied per run inside
+     [run] — health changes between two hits on the same entry. *)
   let sched =
     Cache.find ~src_layout:(Darray.layout src) ~src_section
       ~dst_layout:(Darray.layout dst) ~dst_section
   in
-  try run ?net ?parallel ?reliable ?respawns ?packing sched ~src ~dst
+  try run ?net ?parallel ?reliable ?respawns ?packing ?adaptive sched ~src ~dst
   with Spmd.Crash _ ->
     (* The respawn budget ran out and the run could not finish in
        place: degrade to the legacy oracle exchange on a perfect

@@ -39,7 +39,23 @@
     {b Payload buffers} come from the per-domain {!Pool} and are
     released on every exit path, so a steady-state exchange (schedule
     cached, pool warm) performs zero payload allocations —
-    [sched.pool.hits] advances by exactly the transfer count. *)
+    [sched.pool.hits] advances by exactly the transfer count.
+
+    {b Adaptive planning} ([~adaptive:true]). Before any buffer is
+    acquired the schedule is passed through {!Schedule.reweight} with
+    {!Link_health.cost}: transfers on links the estimator has seen
+    struggle are weighted up, oversized ones split, and rounds rebuilt
+    to minimize the weighted critical path. With no health data the
+    reweight is the identity and the run is bit-identical to the
+    cost-blind path. Mid-exchange, whenever the reliable protocol's
+    backoff pushes a link over the sickness threshold
+    ({!Link_health.is_sick}) on a link still carrying pending
+    transfers, the remaining rounds are re-planned
+    ([sched.executor.replans]): never-sent transfers are re-split
+    against current costs (pieces reuse sub-views of the already-packed
+    buffers) and regrouped under fresh sequence numbers, so
+    exactly-once delivery and the full degradation ladder
+    (re-plan → downgrade → legacy fallback) are preserved. *)
 
 type packing =
   | Blit  (** contiguous runs move as [memmove]-speed blits (default) *)
@@ -54,6 +70,7 @@ val run :
   ?reliable:Reliable.config ->
   ?respawns:int ->
   ?packing:packing ->
+  ?adaptive:bool ->
   Schedule.t ->
   src:Lams_sim.Darray.t ->
   dst:Lams_sim.Darray.t ->
@@ -75,6 +92,7 @@ val redistribute :
   ?reliable:Reliable.config ->
   ?respawns:int ->
   ?packing:packing ->
+  ?adaptive:bool ->
   src:Lams_sim.Darray.t ->
   src_section:Lams_dist.Section.t ->
   dst:Lams_sim.Darray.t ->

@@ -274,6 +274,32 @@ let shift side delta =
           (fun b -> { b with start_local = b.start_local + delta })
           side.blocks }
 
+(* Cut a side at a buffer position. Blocks are sorted by [buf_pos] and
+   partition [0, elements), so exactly one block can straddle the cut;
+   both halves of a straddling block stay one arithmetic run
+   (start_local advances [step] per buffer cell). Right-side positions
+   are rebased to 0 so each half is a well-formed side over its own
+   (smaller) payload buffer. *)
+let split side ~at =
+  if at <= 0 || at >= side.elements then invalid_arg "Pack.split";
+  let left = ref [] and right = ref [] in
+  List.iter
+    (fun ({ buf_pos; start_local; length; step } as b) ->
+      if buf_pos + length <= at then left := b :: !left
+      else if buf_pos >= at then
+        right := { b with buf_pos = buf_pos - at } :: !right
+      else begin
+        let l1 = at - buf_pos in
+        left := { b with length = l1 } :: !left;
+        right :=
+          { buf_pos = 0; start_local = start_local + (step * l1);
+            length = length - l1; step }
+          :: !right
+      end)
+    side.blocks;
+  ( { blocks = List.rev !left; elements = at },
+    { blocks = List.rev !right; elements = side.elements - at } )
+
 let block_count side = List.length side.blocks
 
 let local_addresses side =

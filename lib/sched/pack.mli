@@ -71,6 +71,16 @@ val unpack_floats : side -> buf:float array -> data:float array -> unit
 val shift : side -> int -> side
 (** Translate every block's [start_local] (schedule-cache rebase). *)
 
+val split : side -> at:int -> side * side
+(** [split side ~at] cuts the side at buffer position [at]
+    ([0 < at < elements]) into two well-formed sides: the left covers
+    buffer positions [\[0, at)], the right covers [\[at, elements)]
+    rebased to start at 0. A block straddling the cut is divided — both
+    halves remain single arithmetic runs. Splitting both sides of a
+    transfer at the same [at] yields two transfers that move the same
+    elements (the sides share one buffer order by construction).
+    @raise Invalid_argument if [at] is outside [(0, elements)]. *)
+
 val block_count : side -> int
 
 val local_addresses : side -> int array

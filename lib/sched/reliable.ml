@@ -74,6 +74,9 @@ let exchange cfg ~net ~p ~run_id ~tag ~transfers ~seqs ~bufs ~dst_data
     let acked = Array.make nt false in
     let attempts = Array.make nt 0 in
     let next_send = Array.make nt min_int in
+    (* Simulated instant of each transfer's first send: the ack latency
+       sample fed to {!Link_health} is (ack arrival - first send). *)
+    let first_send = Array.make nt 0 in
     let index_of_seq = Hashtbl.create (2 * nt) in
     Array.iteri (fun i s -> Hashtbl.replace index_of_seq s i) seqs;
     (* Acks collected during the drain phase, posted one phase later so
@@ -98,7 +101,13 @@ let exchange cfg ~net ~p ~run_id ~tag ~transfers ~seqs ~bufs ~dst_data
             | Some i
               when transfers.(i).Schedule.src_proc = m && not acked.(i) ->
                 acked.(i) <- true;
-                Lams_obs.Obs.incr c_acks
+                Lams_obs.Obs.incr c_acks;
+                if attempts.(i) > 0 then
+                  Link_health.note_ack ~src:m
+                    ~dst:transfers.(i).Schedule.dst_proc
+                    ~attempts:attempts.(i)
+                    ~latency:(max 0 (Network.now net - first_send.(i)))
+                    ~elements:transfers.(i).Schedule.elements
             | _ -> () (* duplicate ack, or an earlier round's — done *)
           end
           else if
@@ -149,6 +158,7 @@ let exchange cfg ~net ~p ~run_id ~tag ~transfers ~seqs ~bufs ~dst_data
               else 0
             in
             let retransmit = attempts.(i) > 0 in
+            if not retransmit then first_send.(i) <- Network.now net;
             (* The planned-crash check inside [transmit] fires before
                anything is enqueued and before the bookkeeping below, so
                a respawned rank resends this transfer. *)
@@ -161,7 +171,9 @@ let exchange cfg ~net ~p ~run_id ~tag ~transfers ~seqs ~bufs ~dst_data
             in
             if retransmit then begin
               Lams_obs.Obs.incr c_retransmits;
-              Lams_obs.Obs.observe d_backoff (float_of_int backoff)
+              Lams_obs.Obs.observe d_backoff (float_of_int backoff);
+              Link_health.note_retransmit ~src:m ~dst:tr.Schedule.dst_proc
+                ~backoff
             end;
             next_send.(i) <- Network.now net + backoff
           end)
@@ -222,7 +234,9 @@ let exchange cfg ~net ~p ~run_id ~tag ~transfers ~seqs ~bufs ~dst_data
             Pack.unpack tr.Schedule.dst_side ~buf:bufs.(i)
               ~data:(dst_data m)
           end;
-          note_downgrade ()
+          note_downgrade ();
+          Link_health.note_downgrade ~src:tr.Schedule.src_proc
+            ~dst:tr.Schedule.dst_proc
         end)
       transfers
   end

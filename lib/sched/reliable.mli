@@ -39,7 +39,12 @@
     Counters: [sched.reliable.retransmits], [.acks], [.dup_drops],
     [.corrupt_drops], [.stale_drops], [.downgrades] and the
     [sched.reliable.backoff] distribution (p95 of retransmit backoff
-    ticks). *)
+    ticks).
+
+    {b Health feedback.} Every first ack (attempt count, first-send to
+    ack latency, payload size), every retransmit (with its backoff) and
+    every downgrade is also fed to {!Link_health}, the process-global
+    per-link estimator the adaptive executor plans from. *)
 
 type config = {
   max_attempts : int;  (** sends per transfer before downgrading *)

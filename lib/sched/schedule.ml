@@ -18,6 +18,7 @@ type t = {
   locals : transfer list;
   rounds : round list;
   max_degree : int;
+  weighted : bool;
 }
 
 let c_builds =
@@ -162,7 +163,8 @@ let build ~src_layout ~src_section ~dst_layout ~dst_section =
       total = cs.Comm_sets.total;
       locals;
       rounds;
-      max_degree = delta }
+      max_degree = delta;
+      weighted = false }
   in
   Lams_obs.Obs.incr c_builds;
   Lams_obs.Obs.add c_rounds (List.length rounds);
@@ -170,6 +172,165 @@ let build ~src_layout ~src_section ~dst_layout ~dst_section =
   t
 
 let rounds_count t = List.length t.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Cost-aware rounds.                                                  *)
+
+let c_reweights =
+  Lams_obs.Obs.counter "sched.reweights" ~units:"schedules"
+    ~doc:"schedules rebuilt into cost-aware weighted rounds"
+
+let c_splits =
+  Lams_obs.Obs.counter "sched.splits" ~units:"transfers"
+    ~doc:"transfers split across rounds by the per-round budget"
+
+let weigh tr ~cost =
+  float_of_int tr.elements *. cost ~src:tr.src_proc ~dst:tr.dst_proc
+
+let critical_path t ~cost =
+  List.fold_left
+    (fun acc round ->
+      acc
+      +. List.fold_left (fun m tr -> Float.max m (weigh tr ~cost)) 0. round)
+    0. t.rounds
+
+(* Cut one transfer into [parts] near-equal pieces at buffer-position
+   boundaries. Both sides share the buffer order by construction, so
+   cutting them at the same positions yields transfers that move the
+   same elements. Clamped so every piece keeps at least one element. *)
+let split_transfer tr ~parts =
+  let parts = max 1 (min parts tr.elements) in
+  if parts = 1 then [ tr ]
+  else begin
+    let n = tr.elements in
+    let rec go tr i acc =
+      if i = parts - 1 then List.rev (tr :: acc)
+      else begin
+        let len = ((i + 1) * n / parts) - (i * n / parts) in
+        let src_l, src_r = Pack.split tr.src_side ~at:len in
+        let dst_l, dst_r = Pack.split tr.dst_side ~at:len in
+        let piece =
+          { tr with elements = len; src_side = src_l; dst_side = dst_l }
+        in
+        go
+          { tr with
+            elements = tr.elements - len;
+            src_side = src_r;
+            dst_side = dst_r }
+          (i + 1) (piece :: acc)
+      end
+    in
+    Lams_obs.Obs.incr c_splits;
+    go tr 0 []
+  end
+
+(* Greedy weighted grouping: place transfers heaviest-first into
+   conflict-free rounds, minimizing the schedule's critical path
+   (sum over rounds of the heaviest transfer in the round). Best-fit
+   order: a round whose current maximum already dominates the new
+   weight costs nothing (prefer the tightest such fit, keeping roomy
+   rounds available for heavy transfers); otherwise the round with the
+   largest maximum minimizes the increase; otherwise open a new round.
+   Scanning in creation order with first-wins ties keeps the result
+   deterministic. *)
+type 'tag group = {
+  mutable members : (transfer * 'tag) list;
+  srcs : (int, unit) Hashtbl.t;
+  dsts : (int, unit) Hashtbl.t;
+  mutable max_w : float;
+}
+
+let regroup ~weight items =
+  let weighted = List.map (fun ((tr, _) as it) -> (it, weight tr)) items in
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare b a) weighted
+  in
+  let groups : 'tag group list ref = ref [] in
+  List.iter
+    (fun (((tr : transfer), _) as item, w) ->
+      let fits g =
+        (not (Hashtbl.mem g.srcs tr.src_proc))
+        && not (Hashtbl.mem g.dsts tr.dst_proc)
+      in
+      let best =
+        List.fold_left
+          (fun best g ->
+            if not (fits g) then best
+            else
+              match best with
+              | None -> Some g
+              | Some b ->
+                  (* Dominating rounds beat non-dominating; among
+                     dominating prefer the smallest max, among
+                     non-dominating the largest. *)
+                  let dom g = g.max_w >= w in
+                  if dom g && ((not (dom b)) || g.max_w < b.max_w) then Some g
+                  else if (not (dom g)) && (not (dom b)) && g.max_w > b.max_w
+                  then Some g
+                  else best)
+          None !groups
+      in
+      let g =
+        match best with
+        | Some g -> g
+        | None ->
+            let g =
+              { members = []; srcs = Hashtbl.create 8;
+                dsts = Hashtbl.create 8; max_w = 0. }
+            in
+            groups := !groups @ [ g ];
+            g
+      in
+      g.members <- item :: g.members;
+      Hashtbl.add g.srcs tr.src_proc ();
+      Hashtbl.add g.dsts tr.dst_proc ();
+      if w > g.max_w then g.max_w <- w)
+    sorted;
+  List.map (fun g -> List.rev g.members) !groups
+
+let reweight ?budget t ~cost =
+  let cross = List.concat t.rounds in
+  if cross = [] then t
+  else begin
+    let neutral_budget =
+      List.fold_left (fun a tr -> Float.max a (float_of_int tr.elements)) 1.
+        cross
+    in
+    let budget =
+      match budget with
+      | Some b -> if b <= 0. then invalid_arg "Schedule.reweight: budget <= 0" else b
+      | None -> neutral_budget
+    in
+    let neutral =
+      List.for_all
+        (fun tr -> cost ~src:tr.src_proc ~dst:tr.dst_proc = 1.0)
+        cross
+    in
+    if neutral && List.for_all (fun tr -> weigh tr ~cost <= budget) cross then
+      (* No health signal and nothing over budget: the unweighted König
+         schedule is already optimal; hand it back untouched so the
+         adaptive path is bit-identical to the cost-blind one. *)
+      t
+    else begin
+      let pieces =
+        List.concat_map
+          (fun tr ->
+            let w = weigh tr ~cost in
+            if w > budget then
+              split_transfer tr
+                ~parts:(int_of_float (ceil (w /. budget)))
+            else [ tr ])
+          cross
+      in
+      let rounds =
+        regroup ~weight:(fun tr -> weigh tr ~cost)
+          (List.map (fun tr -> (tr, ())) pieces)
+        |> List.map (List.map fst)
+      in
+      Lams_obs.Obs.incr c_reweights;
+      { t with rounds; weighted = true }
+    end
+  end
 
 let cross_elements t =
   List.fold_left
@@ -239,19 +400,24 @@ let validate t =
       let delivered = List.fold_left (fun a tr -> a + tr.elements) 0 all in
       if delivered <> t.total then
         fail "schedule delivers %d of %d elements" delivered t.total
-      else if List.length t.rounds > t.max_degree then
-        (* The constructive König coloring guarantees <= Δ colors; a
-           schedule needing more is a coloring bug, not slack to allow. *)
+      else if (not t.weighted) && List.length t.rounds > t.max_degree then
+        (* The constructive König coloring guarantees <= Δ colors; an
+           unweighted schedule needing more is a coloring bug, not slack
+           to allow. Weighted schedules may trade extra rounds for a
+           shorter critical path (split transfers serialize their
+           pieces), so only the conflict-freedom and delivery checks
+           bind there. *)
         fail "%d rounds exceed max degree %d" (List.length t.rounds)
           t.max_degree
       else List.fold_left (fun acc tr -> check_sides tr acc) (Ok ()) all
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>%d elements (%d local in %d pairs), %d rounds, max degree %d@,"
+    "@[<v>%d elements (%d local in %d pairs), %d rounds, max degree %d%s@,"
     t.total
     (List.fold_left (fun a tr -> a + tr.elements) 0 t.locals)
-    (List.length t.locals) (List.length t.rounds) t.max_degree;
+    (List.length t.locals) (List.length t.rounds) t.max_degree
+    (if t.weighted then " (weighted)" else "");
   List.iteri
     (fun i round ->
       Format.fprintf ppf "  round %d:" i;

@@ -30,6 +30,9 @@ type t = {
   rounds : round list;
   max_degree : int;  (** max transfers touching one processor — the
                          contention lower bound on rounds *)
+  weighted : bool;  (** rebuilt by {!reweight}: rounds minimize the
+                        weighted critical path and may exceed
+                        [max_degree] (split transfers serialize) *)
 }
 
 val build :
@@ -48,6 +51,51 @@ val rounds_count : t -> int
 val cross_elements : t -> int
 (** Elements that actually cross processors (sum over rounds). *)
 
+val weigh : transfer -> cost:(src:int -> dst:int -> float) -> float
+(** A transfer's weight: [elements * cost src dst] — payload volume
+    scaled by the link's observed cost factor
+    ({!Link_health.cost}-shaped; [1.0] = healthy). *)
+
+val critical_path : t -> cost:(src:int -> dst:int -> float) -> float
+(** Sum over rounds of the heaviest transfer in the round — the
+    weighted makespan model the cost-aware builder minimizes (rounds
+    are barriers; within a round transfers run in parallel). *)
+
+val split_transfer : transfer -> parts:int -> transfer list
+(** Cut a transfer into [parts] near-equal pieces at packed-buffer
+    boundaries ({!Pack.split} on both sides at the same positions), so
+    the pieces together move exactly the original element set. Clamped
+    to one element per piece minimum; [parts <= 1] returns the transfer
+    unchanged. *)
+
+val regroup :
+  weight:(transfer -> float) ->
+  (transfer * 'tag) list ->
+  (transfer * 'tag) list list
+(** The weighted grouping heart of {!reweight}, exposed over tagged
+    transfers so the executor can re-plan mid-exchange while carrying
+    each transfer's sequence number and pre-packed buffer along:
+    heaviest-first best-fit into conflict-free rounds (no sender or
+    receiver twice per round), minimizing the summed per-round maximum
+    weight. Deterministic for a given input order. *)
+
+val reweight : ?budget:float -> t -> cost:(src:int -> dst:int -> float) -> t
+(** Rebuild the cross-processor rounds cost-aware: weight every
+    transfer by {!weigh}, split any whose weight exceeds [budget]
+    (default: the largest transfer's element count, i.e. the heaviest
+    neutral-cost edge) into [ceil (weight / budget)] pieces, then
+    regroup greedily heaviest-first into conflict-free rounds
+    minimizing {!critical_path}. The result moves exactly the same
+    elements; only round membership changes, so it interoperates with
+    the executor, reliable protocol and cache rebase unchanged.
+
+    Neutrality: when every cost is exactly [1.0] and nothing exceeds
+    the budget, the schedule is returned {e physically unchanged}
+    ([weighted] stays [false]) — with no health data the adaptive path
+    is bit-identical to the cost-blind one, and the unweighted König
+    build stays the oracle.
+    @raise Invalid_argument if [budget <= 0]. *)
+
 val rebase : t -> src_delta:int -> dst_delta:int -> t
 (** Shift all local addresses on the source / destination side.
     Schedules are translation-invariant per side in steps of the cycle
@@ -58,8 +106,10 @@ val validate : t -> (unit, string) result
 (** Structural invariants: every round free of send and receive
     conflicts and of self-transfers, every element delivered exactly
     once, rounds bounded by [max_degree] (the constructive König
-    coloring guarantees <= Δ colors, so the bound is exact, not Δ+1),
-    and both sides of every transfer sized to its element count. *)
+    coloring guarantees <= Δ colors, so the bound is exact, not Δ+1 —
+    relaxed for [weighted] schedules, where split transfers may trade
+    extra rounds for a shorter critical path), and both sides of every
+    transfer sized to its element count. *)
 
 val pp : Format.formatter -> t -> unit
 (** Deterministic rendering: a summary line, then one line per round

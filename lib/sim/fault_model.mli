@@ -39,6 +39,8 @@ type t
 
 val create :
   ?rates:rates ->
+  ?link_rates:(int -> rates option) ->
+  ?bandwidth:(int -> float option) ->
   ?max_delay:int ->
   ?crashes:(int * int) list ->
   seed:int ->
@@ -49,12 +51,45 @@ val create :
     makes the network report [has_faults], which switches the reliable
     protocol to verifying checksums. [max_delay] (default 3, ticks of
     simulated time) bounds every drawn delay.
+
+    [link_rates] gives per-link overrides for heterogeneous fabrics:
+    [link_rates (src * p + dst) = Some r] replaces the global [rates]
+    for that link only. It must be a pure function of the link id
+    (consulted on every send).
+
+    [bandwidth] models slow links: [Some epb] (elements per tick) adds
+    a deterministic service delay of [ceil (payload_len / epb)] ticks
+    to every delivered copy on that link. Zero-length payloads
+    (protocol acks) are exempt. No PRNG draw is involved, so a
+    bandwidth profile never perturbs the fault streams — the same seed
+    replays the same drops with or without it.
     @raise Invalid_argument on a rate outside [\[0, 1\]], [max_delay < 1],
     or a crash entry with negative rank or [nth < 1]. *)
 
 val rates : t -> rates
 val seed : t -> int
 val max_delay : t -> int
+
+val rates_for : t -> link:int -> rates
+(** The rates in force on [link]: the per-link override if present,
+    else the global rates.
+    @raise Invalid_argument if the override has a rate outside [\[0, 1\]]. *)
+
+val bandwidth_for : t -> link:int -> float option
+(** The bandwidth limit on [link], if any (elements per tick). *)
+
+val service_ticks : t -> link:int -> payload_len:int -> int
+(** The deterministic service delay a [payload_len]-element message
+    incurs on [link]: [ceil (payload_len / epb)] under a bandwidth
+    limit, else 0. *)
+
+val parse_link_spec :
+  string -> ((int * int) * rates * float option, string) result
+(** Parse a ["SRC:DST:key=val,key=val"] per-link profile (the
+    [lams chaos --link] grammar). Keys: [drop], [dup]/[duplicate],
+    [reorder], [corrupt], [delay] (probabilities in [\[0, 1\]]) and
+    [bw] (elements per tick, > 0). Returns the endpoints, the parsed
+    rates (unset keys zero) and the bandwidth limit if given. *)
 
 (** {1 The per-send verdict} — drawn by {!Network.send}, exposed for
     tests. *)

@@ -42,6 +42,10 @@ let rev_blit ~src ~src_pos ~dst ~dst_pos ~len =
   check_range "Fbuf.rev_blit" dst dst_pos len;
   if len > 0 then unsafe_rev_blit_stub src src_pos dst dst_pos len
 
+let sub t ~pos ~len =
+  check_range "Fbuf.sub" t pos len;
+  Bigarray.Array1.sub t pos len
+
 let sub_blit_to_floats ~src ~src_pos ~dst ~dst_pos ~len =
   check_range "Fbuf.sub_blit_to_floats" src src_pos len;
   if len < 0 || dst_pos < 0 || dst_pos > Array.length dst - len then

@@ -47,6 +47,13 @@ val rev_blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
     [Invalid_argument "Fbuf.rev_blit"] out of range. The two ranges must
     not overlap. *)
 
+val sub : t -> pos:int -> len:int -> t
+(** [sub t ~pos ~len] is a zero-copy view of [pos, pos + len): writes
+    through the view land in [t]. Views share storage with their parent,
+    so a view obtained from a pooled buffer must never itself be released
+    to the pool — release the parent. Bounds-checked; raises
+    [Invalid_argument "Fbuf.sub"] out of range. *)
+
 val sub_blit_to_floats : src:t -> src_pos:int -> dst:float array ->
   dst_pos:int -> len:int -> unit
 (** Copy out of a buffer into a plain [float array] (boxing bridge for

@@ -18,5 +18,6 @@ let () =
       ("check", Suite_check.suite);
       ("serve", Suite_serve.suite);
       ("chaos", Suite_chaos.suite);
+      ("adaptive", Suite_adaptive.suite);
       ("stress", Suite_stress.suite);
       ("errors", Suite_errors.suite) ]
